@@ -1,0 +1,30 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once under ``benchmark.pedantic`` (the simulation is
+deterministic — repeated timing only measures the host, not the system
+under study), prints the regenerated rows/series, and persists them under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name, text):
+    """Print a result block and persist it to benchmarks/results/<name>.txt."""
+    banner = "\n=== %s ===\n" % name
+    print(banner + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,139 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Co-location (Figure 4)** — ``dot`` between two ``derive``d DCVs vs two
+   independently created ones: the non-co-located spelling is legal but
+   pays a cross-server realignment whose cost scales with the dimension.
+2. **Sparse pull** — PS2's pull-what-the-batch-needs vs Petuum's dense
+   full-model pull at varying batch sparsity (the mechanism behind
+   Figure 10's Petuum gap).
+3. **Server-count tradeoff** — the PS2-vs-PS DeepWalk speedup as servers
+   grow (the Figure 9(d) discussion the paper leaves as future work).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.data import preferential_attachment_graph, random_walks, \
+    sparse_classification
+from repro.experiments import format_table, make_context
+from repro.ml import train_deepwalk
+from repro.ml.linear import train_linear_ps2
+from repro.baselines import train_lr_petuum
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_colocated_vs_realigned_dot(benchmark):
+    def run():
+        rows_out = []
+        for dim in (10_000, 100_000, 1_000_000):
+            ctx = make_context(seed=23)
+            a = ctx.dense(dim, rows=4)
+            sibling = a.derive().fill(1.0)
+            stranger = ctx.dense(dim).fill(1.0)
+            a.fill(1.0)
+
+            t0 = ctx.elapsed()
+            colocated_value = a.dot(sibling)
+            colocated_cost = ctx.elapsed() - t0
+
+            t0 = ctx.elapsed()
+            realigned_value = a.dot(stranger)
+            realigned_cost = ctx.elapsed() - t0
+            moved = ctx.metrics.bytes_for_tag("realign")
+
+            assert colocated_value == pytest.approx(realigned_value)
+            rows_out.append((dim, colocated_cost, realigned_cost, moved))
+        return rows_out
+
+    rows_out = run_once(benchmark, run)
+    table = [
+        ("%d" % dim, "%.6f s" % fast, "%.6f s" % slow, "%.1fx" % (slow / fast),
+         "%d" % int(moved))
+        for dim, fast, slow, moved in rows_out
+    ]
+    text = format_table(
+        ["dim", "co-located dot", "non-co-located dot", "penalty",
+         "realign bytes"],
+        table,
+        title="Ablation (Figure 4): derive() vs independent dense()",
+    )
+    emit("ablation_colocation", text)
+
+    # The penalty grows with dimension; co-location moves zero bulk data.
+    penalties = [slow / fast for _d, fast, slow, _m in rows_out]
+    assert penalties[-1] > penalties[0]
+    assert penalties[-1] > 3.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sparse_pull_vs_dense_pull(benchmark):
+    def run():
+        dim = 200_000
+        rows_out = []
+        for nnz_per_row in (10, 1_000, 20_000):
+            data, _ = sparse_classification(400, dim, nnz_per_row, seed=23)
+            kwargs = dict(n_iterations=4, batch_fraction=0.5, seed=23)
+            sparse = train_linear_ps2(
+                make_context(seed=23), data, dim, optimizer="sgd", **kwargs
+            )
+            dense = train_lr_petuum(make_context(seed=23), data, dim, **kwargs)
+            rows_out.append(
+                (nnz_per_row, sparse.elapsed, dense.elapsed)
+            )
+        return rows_out
+
+    rows_out = run_once(benchmark, run)
+    table = [
+        (nnz, "%.4f s" % s, "%.4f s" % d, "%.1fx" % (d / s))
+        for nnz, s, d in rows_out
+    ]
+    text = format_table(
+        ["nnz/row", "sparse pulls (PS2)", "dense pulls (Petuum-style)",
+         "dense/sparse"],
+        table,
+        title="Ablation: sparse pull advantage vs batch density "
+              "(dim=200000)",
+    )
+    emit("ablation_sparse_pull", text)
+
+    # Sparse pulling wins, and wins hardest on the sparsest batches.
+    ratios = [d / s for _n, s, d in rows_out]
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[0] > ratios[-1]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_deepwalk_server_count_tradeoff(benchmark):
+    def run():
+        adjacency = preferential_attachment_graph(200, out_degree=3, seed=23)
+        walks = random_walks(adjacency, 300, walk_length=8, seed=23)
+        kwargs = dict(embedding_dim=100, n_iterations=2, batch_size=200,
+                      learning_rate=0.01, seed=23)
+        rows_out = []
+        for n_servers in (2, 5, 10, 30):
+            ps2 = train_deepwalk(
+                make_context(n_servers=n_servers, seed=23), walks, 200,
+                server_side=True, **kwargs,
+            )
+            ps = train_deepwalk(
+                make_context(n_servers=n_servers, seed=23), walks, 200,
+                server_side=False, **kwargs,
+            )
+            rows_out.append((n_servers, ps.elapsed / ps2.elapsed))
+        return rows_out
+
+    rows_out = run_once(benchmark, run)
+    table = [(n, "%.2fx" % r) for n, r in rows_out]
+    text = format_table(
+        ["servers", "PS-DeepWalk / PS2-DeepWalk"],
+        table,
+        title="Ablation (Figure 9(d) discussion): the DCV win erodes as "
+              "servers multiply",
+    )
+    emit("ablation_deepwalk_servers", text)
+
+    ratios = np.array([r for _n, r in rows_out])
+    # Monotone-ish erosion: the few-server win exceeds the many-server one.
+    assert ratios[0] > ratios[-1]
+    assert ratios[0] > 1.3

@@ -1,0 +1,56 @@
+"""Ablation: GBDT histogram subtraction (extension beyond the paper).
+
+The DimBoost/TencentBoost lineage behind PS2's GBDT builds, per split, the
+histogram of the *smaller* child only and derives the sibling server-side
+as ``parent - child`` — on PS2 that is one co-located DCV ``sub``.  This
+bench measures how much histogram-building compute and push traffic the
+trick removes, at identical (up to float reassociation) trees.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.data import dataset
+from repro.experiments import format_table, make_context
+from repro.ml import train_gbdt
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_histogram_subtraction(benchmark):
+    def run():
+        features, labels = dataset("gender", seed=29)
+        kwargs = dict(n_trees=8, max_depth=5, n_bins=32, seed=29)
+        ctx_plain = make_context(seed=29)
+        plain = train_gbdt(ctx_plain, features, labels, method="ps2",
+                           **kwargs)
+        ctx_sub = make_context(seed=29)
+        subtracted = train_gbdt(ctx_sub, features, labels, method="ps2",
+                                hist_subtraction=True, **kwargs)
+        return {
+            "plain": (plain, ctx_plain.metrics.bytes_for_tag("push:req")),
+            "sub": (subtracted, ctx_sub.metrics.bytes_for_tag("push:req")),
+        }
+
+    outcome = run_once(benchmark, run)
+    plain, plain_push = outcome["plain"]
+    subtracted, sub_push = outcome["sub"]
+    table = [
+        ("direct build", "%.3f s" % plain.elapsed, "%d" % int(plain_push),
+         "%.4f" % plain.final_loss),
+        ("hist subtraction", "%.3f s" % subtracted.elapsed,
+         "%d" % int(sub_push), "%.4f" % subtracted.final_loss),
+    ]
+    text = format_table(
+        ["variant", "time to 8 trees", "histogram push bytes", "final loss"],
+        table,
+        title="Ablation: histogram subtraction (sibling = parent - child, "
+              "one server-side DCV sub)",
+    )
+    emit("ablation_hist_subtraction", text)
+    benchmark.extra_info["push_bytes_saved_pct"] = round(
+        100 * (1 - sub_push / plain_push), 1
+    )
+
+    assert sub_push < 0.8 * plain_push
+    assert subtracted.elapsed < plain.elapsed
+    assert subtracted.final_loss == pytest.approx(plain.final_loss, rel=5e-2)

@@ -1,0 +1,66 @@
+"""Figure 1 — empirical analysis of Spark MLlib (Section 2).
+
+(a) time per iteration of MLlib's LR-SGD as features grow (the paper sweeps
+40K -> 60,000K over 20 executors and sees a 168x degradation);
+(b) per-step breakdown showing gradient aggregation dominating.
+
+Our sweep scales every dimension by ~1/100 (400 -> 600,000), preserving the
+paper's 1 : 75 : 750 : 1500 feature ratios.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.baselines import train_lr_mllib
+from repro.data import sparse_classification
+from repro.experiments import format_table, make_context
+
+#: Paper: 40K, 3,000K, 30,000K, 60,000K features; ours are /100.
+FEATURE_SWEEP = [400, 30_000, 300_000, 600_000]
+ITERATIONS = 5
+
+
+@pytest.mark.benchmark(group="fig01")
+def test_fig01_mllib_time_per_iteration_and_breakdown(benchmark):
+    def run():
+        rows_out = []
+        per_iter = {}
+        for dim in FEATURE_SWEEP:
+            data, _ = sparse_classification(400, dim, 20, seed=1)
+            result = train_lr_mllib(
+                make_context(n_executors=20, n_servers=1, seed=1),
+                data, dim, optimizer="sgd", n_iterations=ITERATIONS,
+                batch_fraction=0.1, seed=1,
+            )
+            seconds = result.elapsed / ITERATIONS
+            per_iter[dim] = seconds
+            b = result.extras["breakdown"]
+            total = sum(b.values()) or 1.0
+            rows_out.append((
+                "%dK" % (dim // 10),
+                "%.5f s" % seconds,
+                "%.0f%%" % (100 * b["broadcast"] / total),
+                "%.0f%%" % (100 * b["gradient"] / total),
+                "%.0f%%" % (100 * b["aggregation"] / total),
+                "%.0f%%" % (100 * b["update"] / total),
+            ))
+        return rows_out, per_iter
+
+    rows_out, per_iter = run_once(benchmark, run)
+    degradation = per_iter[FEATURE_SWEEP[-1]] / per_iter[FEATURE_SWEEP[0]]
+    text = format_table(
+        ["features (paper-scale)", "time/iter", "broadcast", "gradient",
+         "aggregation", "update"],
+        rows_out,
+        title="Figure 1: MLlib degrades %.0fx from smallest to largest "
+              "model (paper: 168x)" % degradation,
+    )
+    emit("fig01_mllib_analysis", text)
+    benchmark.extra_info["degradation_x"] = round(degradation, 1)
+
+    # Figure 1(a)'s shape: severe super-constant degradation with dimension.
+    assert degradation > 20
+    # Figure 1(b)'s shape: communication (broadcast+aggregation) dominates
+    # at the largest model.
+    last_dim = FEATURE_SWEEP[-1]
+    assert per_iter[last_dim] > per_iter[FEATURE_SWEEP[1]]

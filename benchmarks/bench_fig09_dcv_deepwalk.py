@@ -1,0 +1,73 @@
+"""Figure 9(c,d) — effectiveness of DCV on DeepWalk (Section 6.2.2).
+
+PS2-DeepWalk (server-side dot + axpy; only scalars on the wire) against
+PS-DeepWalk (pull both K-vectors, update locally, push back) on the Graph1
+analogue with 2 servers and the Graph2 analogue with 30 servers.  The paper
+measures 5x on Graph1 and only 1.4x on Graph2 — the per-request fan-out
+overhead grows with the server count and erodes the DCV win, the tradeoff
+Section 6.2.2 calls future work.
+"""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.data import dataset
+from repro.experiments import format_speedup, format_table, make_context
+from repro.ml import train_deepwalk
+
+
+def _compare(name, n_servers, seed=5):
+    _adjacency, walks = dataset(name, seed=seed)
+    n_vertices = max(int(w.max()) for w in walks) + 1
+    kwargs = dict(
+        embedding_dim=100, n_iterations=2, batch_size=256,
+        learning_rate=0.01, window=4, n_negative=5, seed=seed,
+    )
+    ps2 = train_deepwalk(
+        make_context(n_executors=20, n_servers=n_servers, seed=seed),
+        walks, n_vertices, server_side=True, **kwargs,
+    )
+    ps = train_deepwalk(
+        make_context(n_executors=20, n_servers=n_servers, seed=seed),
+        walks, n_vertices, server_side=False, **kwargs,
+    )
+    return {"graph": name, "n_servers": n_servers, "ps2": ps2, "ps": ps}
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_fig09cd_dcv_effect_on_deepwalk(benchmark):
+    def run():
+        return [_compare("graph1", n_servers=2),
+                _compare("graph2", n_servers=30)]
+
+    outcomes = run_once(benchmark, run)
+    table = []
+    speedups = []
+    for outcome in outcomes:
+        speedup = outcome["ps"].elapsed / outcome["ps2"].elapsed
+        speedups.append(speedup)
+        table.append((
+            outcome["graph"],
+            outcome["n_servers"],
+            "%.3f s" % outcome["ps2"].elapsed,
+            "%.3f s" % outcome["ps"].elapsed,
+            format_speedup(speedup),
+        ))
+        benchmark.extra_info["%s_speedup" % outcome["graph"]] = \
+            round(speedup, 2)
+        # Same algorithm: identical losses.
+        assert outcome["ps2"].final_loss == \
+            pytest.approx(outcome["ps"].final_loss)
+
+    text = format_table(
+        ["graph", "servers", "PS2-DeepWalk", "PS-DeepWalk",
+         "speedup (paper: 5x / 1.4x)"],
+        table,
+        title="Figure 9(c,d): DCV speedup on DeepWalk vs server count",
+    )
+    emit("fig09cd_dcv_deepwalk", text)
+
+    # Shape: PS2 wins on few servers; the win shrinks with 30 servers.
+    assert speedups[0] > 1.3
+    assert speedups[1] < speedups[0]
+    assert speedups[1] > 0.9  # never meaningfully *slower*

@@ -1,0 +1,90 @@
+"""Figure 10 — end-to-end LR-SGD comparison (Section 6.3.1).
+
+PS2 vs DistML vs Spark MLlib vs Petuum on KDDB and KDD12 analogues, 20
+executors/servers.  Paper: PS2 converges fastest (1.6x / 2.3x over Petuum),
+MLlib slowest, DistML fails to converge on KDDB.  (The paper omits CTR here
+because Petuum could not be deployed and DistML crashed.)
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.baselines import train_lr_distml, train_lr_mllib, train_lr_petuum
+from repro.data import dataset, spec
+from repro.experiments import format_table, make_context
+from repro.ml import train_logistic_regression
+from repro.ml.optim import SGD
+
+ITERATIONS = 20
+
+
+#: The paper's 0.618 suits its 1000x larger batches; the scaled analogues
+#: need a proportionally larger step to make visible progress in 20 rounds.
+LEARNING_RATE = 2.0
+
+
+def _race(name, seed):
+    rows = dataset(name, seed=seed)
+    dim = spec(name).params["dim"]
+    kwargs = dict(n_iterations=ITERATIONS, batch_fraction=0.3, seed=seed)
+    ps2 = train_logistic_regression(
+        make_context(seed=seed), rows, dim,
+        optimizer=SGD(learning_rate=LEARNING_RATE), system="PS2", **kwargs,
+    )
+    petuum = train_lr_petuum(make_context(seed=seed), rows, dim,
+                             learning_rate=LEARNING_RATE, **kwargs)
+    mllib = train_lr_mllib(
+        make_context(seed=seed), rows, dim, optimizer="sgd",
+        learning_rate=LEARNING_RATE, **kwargs,
+    )
+    distml = train_lr_distml(make_context(seed=seed), rows, dim,
+                             learning_rate=LEARNING_RATE, **kwargs)
+    return {"dataset": spec(name).name, "runs": [ps2, petuum, mllib, distml]}
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_lr_end_to_end(benchmark):
+    def run():
+        return [_race("kddb", seed=7), _race("kdd12", seed=7)]
+
+    outcomes = run_once(benchmark, run)
+    table = []
+    for outcome in outcomes:
+        ps2, petuum, mllib, distml = outcome["runs"]
+        # Petuum's per-worker normalization differs microscopically from
+        # the global average; race to a loss every synchronized system hits.
+        target = max(ps2.final_loss, petuum.final_loss, mllib.final_loss) \
+            + 1e-6
+        table.append((
+            outcome["dataset"],
+            "%.4f s" % ps2.time_to(target),
+            "%.4f s" % petuum.time_to(target),
+            "%.4f s" % mllib.time_to(target),
+            ("%.4f" % distml.final_loss) + " (no converge)",
+            "%.2fx" % (petuum.time_to(target) / ps2.time_to(target)),
+        ))
+        benchmark.extra_info["%s_petuum_over_ps2" % outcome["dataset"]] = \
+            round(petuum.time_to(target) / ps2.time_to(target), 2)
+
+        # Shape assertions: PS2 < Petuum < MLlib; identical losses for the
+        # synchronized systems; DistML stuck near log(2).
+        assert ps2.time_to(target) < petuum.time_to(target) \
+            < mllib.time_to(target)
+        assert petuum.final_loss == pytest.approx(ps2.final_loss, abs=2e-3)
+        assert mllib.final_loss == pytest.approx(ps2.final_loss, rel=1e-9)
+        distml_floor = min(l for _t, l in distml.history)
+        assert distml_floor > 0.8 * np.log(2)
+        assert ps2.final_loss < 0.97 * np.log(2)
+        if outcome["dataset"] == "KDDB":
+            # Figure 10(a)'s specific claim: DistML never reaches the loss
+            # the synchronized systems converge to on KDDB.
+            assert ps2.final_loss < distml_floor
+
+    text = format_table(
+        ["dataset", "PS2", "Petuum", "SparkMLlib", "DistML final loss",
+         "Petuum/PS2 (paper 1.6x-2.3x)"],
+        table,
+        title="Figure 10: time to PS2's final training loss (LR with SGD)",
+    )
+    emit("fig10_lr_end2end", text)

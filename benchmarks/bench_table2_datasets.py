@@ -1,0 +1,56 @@
+"""Table 2 — dataset statistics, paper originals vs generated analogues."""
+
+import numpy as np
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.data import CATALOG, dataset
+from repro.experiments import format_table
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_dataset_statistics(benchmark):
+    def run():
+        rows_out = []
+        for key, spec_obj in CATALOG.items():
+            data = dataset(key, seed=1)
+            if spec_obj.model in ("LR", "SVM"):
+                n_rows = len(data)
+                n_cols = spec_obj.params["dim"]
+                nnz = sum(r.nnz for r in data)
+                measured = "%d rows, %d cols, %d nnz" % (n_rows, n_cols, nnz)
+            elif spec_obj.model == "LDA":
+                tokens = sum(d.size for d in data)
+                measured = "%d docs, %d vocab, %d tokens" % (
+                    len(data), spec_obj.params["vocab"], tokens)
+            elif spec_obj.model == "GBDT":
+                features, _labels = data
+                measured = "%d rows, %d features" % features.shape
+            else:
+                adjacency, walks = data
+                measured = "%d vertices, %d walks" % (
+                    len(adjacency), len(walks))
+            paper = ", ".join(
+                "%s=%s" % kv for kv in spec_obj.paper_stats.items()
+            )
+            rows_out.append((spec_obj.name, spec_obj.model, paper, measured))
+        return rows_out
+
+    rows_out = run_once(benchmark, run)
+    text = format_table(
+        ["dataset", "model", "paper (Table 2)", "generated analogue"],
+        rows_out,
+        title="Table 2: dataset statistics (originals vs scaled analogues)",
+    )
+    emit("table2_datasets", text)
+
+    assert len(rows_out) == 8
+    # Aspect ratios: CTR is the widest LR set; Graph2 >> Graph1; App has
+    # more docs than PubMED — as in the paper.
+    lr_dims = {name: CATALOG[name].params["dim"]
+               for name in ("kddb", "kdd12", "ctr")}
+    assert lr_dims["ctr"] == max(lr_dims.values())
+    assert CATALOG["graph2"].params["n_vertices"] > \
+        CATALOG["graph1"].params["n_vertices"]
+    assert CATALOG["app"].params["n_docs"] > CATALOG["pubmed"].params["n_docs"]
+    assert np.isfinite(len(rows_out))

@@ -1,0 +1,40 @@
+"""Table 3 — algorithms supported by each (reproduced) system."""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.experiments import (
+    SUPPORT_MATRIX,
+    TRAINER_INDEX,
+    WORKLOADS,
+    format_table,
+    support_rows,
+)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_capability_matrix(benchmark):
+    def run():
+        return [
+            (system,) + tuple(
+                "yes" if row[w] else "-" for w in WORKLOADS
+            )
+            for system, row in support_rows()
+        ]
+
+    rows_out = run_once(benchmark, run)
+    text = format_table(
+        ["system"] + list(WORKLOADS),
+        rows_out,
+        title="Table 3: algorithms supported by different systems "
+              "(every 'yes' cell is backed by a runnable trainer here)",
+    )
+    emit("table3_capabilities", text)
+
+    assert len(rows_out) == len(SUPPORT_MATRIX)
+    # PS2 is the only full row, and every supported cell resolves to code.
+    ps2_row = [r for r in rows_out if r[0] == "PS2"][0]
+    assert all(cell == "yes" for cell in ps2_row[1:])
+    for system, row in SUPPORT_MATRIX.items():
+        for workload, supported in row.items():
+            assert supported == ((system, workload) in TRAINER_INDEX)

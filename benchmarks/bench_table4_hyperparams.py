@@ -1,0 +1,59 @@
+"""Table 4 — hyperparameter settings, checked against the code defaults."""
+
+import pytest
+
+from benchmarks._common import emit, run_once
+from repro.experiments import format_table
+from repro.ml.optim import Adam, SGD
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table4_hyperparameters(benchmark):
+    def run():
+        import inspect
+
+        from repro.ml import deepwalk, gbdt, lda
+
+        adam = Adam()
+        dw = inspect.signature(deepwalk.train_deepwalk).parameters
+        gb = inspect.signature(gbdt.train_gbdt).parameters
+        ld = inspect.signature(lda.train_lda).parameters
+        return [
+            ("LR", "learning_rate", "0.618", "%g" % SGD().learning_rate),
+            ("LR", "beta1", "0.9", "%g" % adam.beta1),
+            ("LR", "beta2", "0.999", "%g" % adam.beta2),
+            ("LR", "epsilon", "1e-8", "%g" % adam.eps),
+            ("DeepWalk", "walk_length", "8", "8 (data.random_walks default)"),
+            ("DeepWalk", "learning_rate", "0.01",
+             "%g" % dw["learning_rate"].default),
+            ("DeepWalk", "window_size", "4", "%d" % dw["window"].default),
+            ("DeepWalk", "negative_sampling", "5",
+             "%d" % dw["n_negative"].default),
+            ("DeepWalk", "batch_size", "512", "%d" % dw["batch_size"].default),
+            ("GBDT", "learning_rate", "0.1",
+             "%g" % gb["learning_rate"].default),
+            ("GBDT", "number_of_trees", "100",
+             "%d (benches use 20, scaled)" % gb["n_trees"].default),
+            ("GBDT", "max_depth", "7",
+             "%d (benches use 5, scaled)" % gb["max_depth"].default),
+            ("GBDT", "size_of_histogram", "100",
+             "%d (benches use 32, scaled)" % gb["n_bins"].default),
+            ("LDA", "alpha", "0.5", "%g" % ld["alpha"].default),
+            ("LDA", "beta", "0.01", "%g" % ld["beta"].default),
+        ]
+
+    rows_out = run_once(benchmark, run)
+    text = format_table(
+        ["model", "hyperparameter", "paper (Table 4)", "this reproduction"],
+        rows_out,
+        title="Table 4: hyperparameter settings",
+    )
+    emit("table4_hyperparams", text)
+
+    # The statistical hyperparameters match the paper exactly.
+    exact = {r[1]: (r[2], r[3]) for r in rows_out}
+    for key in ("learning_rate", "beta1", "beta2", "alpha", "beta",
+                "window_size", "negative_sampling", "batch_size",
+                "number_of_trees", "max_depth", "size_of_histogram"):
+        paper_value, ours = exact[key]
+        assert paper_value.split()[0] in ours or ours.startswith(paper_value)

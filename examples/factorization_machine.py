@@ -1,0 +1,82 @@
+"""Factorization machines for user profiling (Section 1's other model).
+
+The paper's motivating pipeline trains "classification models like logistic
+regression or factorization machine" over very wide user instances.  This
+example builds a dataset whose labels depend on feature *co-occurrence*
+(something linear models cannot express), then shows FM on PS2 beating LR
+on it — with all of FM's k+1 model vectors living co-located on the
+parameter servers and updated by server-side kernels.
+
+Run:  python examples/factorization_machine.py
+"""
+
+import numpy as np
+
+from repro.common.rng import RngRegistry
+from repro.experiments import format_table, make_context
+from repro.linalg.sparse import SparseRow
+from repro.ml import train_fm, train_logistic_regression
+from repro.ml.lr import accuracy
+from repro.ml.optim import SGD
+
+
+def co_occurrence_data(n_rows=800, dim=400, nnz=8, n_pairs=5, seed=5):
+    """Positive iff a designated feature *pair* co-occurs.
+
+    Every pair member appears equally often in positives (both members) and
+    negatives (one member), so each feature is marginally uninformative —
+    a linear model cannot do better than chance, while FM's factor vectors
+    can represent the pairwise interaction.
+    """
+    rng = RngRegistry(seed).get("fm-example")
+    pairs = rng.choice(dim, size=(n_pairs, 2), replace=False)
+    rows = []
+    for i in range(n_rows):
+        a, b = pairs[int(rng.integers(n_pairs))]
+        positive = i % 2 == 0
+        anchor = [a, b] if positive else [a if rng.random() < 0.5 else b]
+        fillers = rng.choice(dim, size=nnz - len(anchor), replace=False)
+        idx = np.unique(np.concatenate([anchor, fillers]))
+        rows.append(SparseRow(idx, np.ones(idx.size),
+                              1.0 if positive else 0.0))
+    return rows
+
+
+def main():
+    dim = 200
+    rows = co_occurrence_data(dim=dim)
+    train, test = rows[:600], rows[600:]
+    print("dataset: %d train / %d test, %d features, labels need "
+          "second-order structure" % (len(train), len(test), dim))
+
+    fm = train_fm(
+        make_context(n_executors=8, n_servers=8, seed=5), train, dim,
+        n_factors=8, learning_rate=0.5, n_iterations=250,
+        batch_fraction=0.5, seed=5,
+    )
+    lr = train_logistic_regression(
+        make_context(n_executors=8, n_servers=8, seed=5), train, dim,
+        optimizer=SGD(learning_rate=0.5), n_iterations=250,
+        batch_fraction=0.5, seed=5,
+    )
+
+    fm_model = fm.extras["model"]
+    fm_probs = fm_model.predict_proba(test)
+    labels = np.array([r.label for r in test])
+    fm_acc = float(np.mean((fm_probs > 0.5) == (labels > 0.5)))
+    lr_acc = accuracy(test, lr.extras["weight"].materialize())
+
+    print()
+    print(format_table(
+        ["model", "final train loss", "test accuracy"],
+        [("FM (k=8, on PS2)", "%.4f" % fm.final_loss, "%.3f" % fm_acc),
+         ("LR (on PS2)", "%.4f" % lr.final_loss, "%.3f" % lr_acc)],
+        title="Second-order structure: FM vs LR",
+    ))
+    print("\nFM's %d model vectors (w + 8 factors + gradients) share one"
+          % (2 * 9))
+    print("co-located DCV pool; minibatches block-pull/push them together.")
+
+
+if __name__ == "__main__":
+    main()

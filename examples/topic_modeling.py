@@ -1,0 +1,45 @@
+"""Topic modeling with LDA on the parameter server (Section 5.2.4 / 6.3.3).
+
+Draws a synthetic corpus from a ground-truth topic model, trains collapsed
+Gibbs LDA with the word-topic matrix held in DCVs (sparse, compressed
+pulls), and reports the per-token negative log-likelihood per sweep plus a
+peek at the sharpest learned topics.
+
+Run:  python examples/topic_modeling.py
+"""
+
+import numpy as np
+
+from repro.data import synthetic_corpus
+from repro.experiments import make_context
+from repro.ml import train_lda
+
+
+def main():
+    vocab_size = 400
+    docs, _truth = synthetic_corpus(
+        200, vocab_size, n_topics=6, doc_length=60, seed=5
+    )
+    print("corpus: %d docs, vocab %d, %d tokens"
+          % (len(docs), vocab_size, sum(d.size for d in docs)))
+
+    ctx = make_context(n_executors=4, n_servers=4, seed=5)
+    result = train_lda(
+        ctx, docs, vocab_size, n_topics=6, n_iterations=8, seed=5,
+    )
+    print("neg. log-likelihood per token by sweep:")
+    print("  " + " -> ".join("%.4f" % l for _t, l in result.history))
+
+    # Pull the learned word-topic matrix (charged, like any client would).
+    matrix_id = result.extras["matrix_id"]
+    n_topics = result.extras["n_topics"]
+    client = ctx.coordinator_client
+    counts = client.pull_block(matrix_id, list(range(n_topics)))
+    top_words = np.argsort(-counts, axis=1)[:, :5]
+    print("\ntop words per learned topic:")
+    for k in range(n_topics):
+        print("  topic %d: %s" % (k, top_words[k].tolist()))
+
+
+if __name__ == "__main__":
+    main()

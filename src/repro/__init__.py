@@ -1,0 +1,30 @@
+"""repro — a full reproduction of *PS2: Parameter Server on Spark* (SIGMOD'19).
+
+Public entry points:
+
+- :class:`repro.PS2Context` — create DCVs, parallelize data, train models;
+- :class:`repro.DCV` — the Dimension Co-located Vector abstraction;
+- :class:`repro.ClusterConfig` — size/shape of the simulated deployment;
+- ``repro.ml`` — LR, SVM, DeepWalk, GBDT, LDA on top of PS2;
+- ``repro.baselines`` — MLlib-, Petuum-, XGBoost-, Glint- and DistML-style
+  comparators running on the same simulated substrate;
+- ``repro.data`` — seeded synthetic analogues of the paper's datasets.
+"""
+
+from repro.config import ClusterConfig, FailureConfig, NetworkSpec, NodeSpec
+from repro.cluster.cluster import Cluster
+from repro.core.context import PS2Context
+from repro.core.dcv import DCV
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "FailureConfig",
+    "NetworkSpec",
+    "NodeSpec",
+    "Cluster",
+    "PS2Context",
+    "DCV",
+    "__version__",
+]

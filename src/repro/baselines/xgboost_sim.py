@@ -1,0 +1,23 @@
+"""XGBoost-style baseline: GBDT with AllReduce split finding.
+
+"In XGboost, this phase is conducted by AllReduce, which generates vast
+communication cost" (Section 6.3.2).  The trainer runs the identical
+histogram-GBDT algorithm as PS2's, exchanging full gradient histograms via
+ring AllReduce instead of pushing them to parameter servers.
+"""
+
+from __future__ import annotations
+
+from repro.ml.gbdt import train_gbdt
+
+
+def train_gbdt_xgboost(ctx, features, labels, **kwargs):
+    """GBDT with AllReduce histograms (the XGBoost communication pattern)."""
+    kwargs.setdefault("system", "XGBoost")
+    return train_gbdt(ctx, features, labels, method="allreduce", **kwargs)
+
+
+def train_gbdt_mllib(ctx, features, labels, **kwargs):
+    """GBDT the MLlib way: all histograms gathered at the single driver."""
+    kwargs.setdefault("system", "SparkMLlib-GBDT")
+    return train_gbdt(ctx, features, labels, method="driver", **kwargs)

@@ -1,0 +1,209 @@
+"""Command-line interface: quick demos and dataset/experiment utilities.
+
+Usage (``python -m repro <command>``):
+
+- ``quickcheck`` — a 10-second end-to-end sanity run (DCV ops + LR training)
+  that prints PASS/FAIL per check;
+- ``dataset <name>`` — generate a Table-2 analogue and print its statistics;
+- ``train <workload>`` — train one of the paper's workloads on its default
+  analogue and print the loss curve;
+- ``experiments`` — list every table/figure benchmark and how to run it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_quickcheck(_args):
+    from repro.config import ClusterConfig
+    from repro.core.context import PS2Context
+    from repro.data import sparse_classification
+    from repro.ml import train_logistic_regression
+    from repro.ml.optim import Adam
+
+    checks = []
+    ctx = PS2Context(config=ClusterConfig(n_executors=4, n_servers=4, seed=1))
+    w = ctx.dense(1000, rows=4)
+    g = w.derive().fill(2.0)
+    w.push(np.arange(1000.0))
+    checks.append(("pull round trip", bool(np.allclose(w.pull(),
+                                                       np.arange(1000.0)))))
+    checks.append(("server-side dot",
+                   abs(w.dot(g) - 2 * np.arange(1000.0).sum()) < 1e-6))
+    checks.append(("co-location", w.is_colocated_with(g)))
+    rows, _ = sparse_classification(400, 1000, 12, seed=1)
+    result = train_logistic_regression(
+        ctx, rows, 1000, optimizer=Adam(learning_rate=0.2),
+        n_iterations=15, batch_fraction=0.5, seed=1,
+    )
+    checks.append(("LR loss decreases",
+                   result.final_loss < result.history[0][1]))
+    checks.append(("virtual time advanced", ctx.elapsed() > 0))
+
+    failed = False
+    for name, ok in checks:
+        print("%-24s %s" % (name, "PASS" if ok else "FAIL"))
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+def _cmd_dataset(args):
+    from repro.data import CATALOG, dataset
+
+    if args.name not in CATALOG:
+        print("unknown dataset %r; have: %s"
+              % (args.name, ", ".join(sorted(CATALOG))))
+        return 1
+    spec_obj = CATALOG[args.name]
+    data = dataset(args.name, seed=args.seed)
+    print("dataset:  %s (%s analogue)" % (spec_obj.name, spec_obj.model))
+    print("paper:    %s" % (spec_obj.paper_stats,))
+    print("params:   %s" % (spec_obj.params,))
+    if spec_obj.model in ("LR", "SVM"):
+        nnz = sum(r.nnz for r in data)
+        print("generated: %d rows, %d non-zeros" % (len(data), nnz))
+    elif spec_obj.model == "LDA":
+        print("generated: %d docs, %d tokens"
+              % (len(data), sum(d.size for d in data)))
+    elif spec_obj.model == "GBDT":
+        print("generated: %d rows x %d features" % data[0].shape)
+    else:
+        adjacency, walks = data
+        print("generated: %d vertices, %d walks" % (len(adjacency), len(walks)))
+    return 0
+
+
+_WORKLOADS = ("lr", "svm", "fm", "deepwalk", "line", "gbdt", "lda")
+
+
+def _cmd_train(args):
+    from repro.data import dataset, spec
+    from repro.experiments import make_context
+
+    ctx = make_context(n_executors=args.executors, n_servers=args.servers,
+                       seed=args.seed)
+    if args.workload == "lr":
+        from repro.ml import train_logistic_regression
+
+        rows = dataset("kddb", seed=args.seed)
+        result = train_logistic_regression(
+            ctx, rows, spec("kddb").params["dim"], optimizer="adam",
+            n_iterations=args.iterations, batch_fraction=0.1, seed=args.seed)
+    elif args.workload == "svm":
+        from repro.ml import train_svm
+
+        rows = dataset("kddb", seed=args.seed)
+        result = train_svm(ctx, rows, spec("kddb").params["dim"],
+                           n_iterations=args.iterations,
+                           batch_fraction=0.1, seed=args.seed)
+    elif args.workload == "fm":
+        from repro.data import sparse_classification
+        from repro.ml import train_fm
+
+        rows, _ = sparse_classification(600, 2000, 12, seed=args.seed)
+        result = train_fm(ctx, rows, 2000, n_factors=8,
+                          n_iterations=args.iterations,
+                          batch_fraction=0.5, seed=args.seed)
+    elif args.workload == "deepwalk":
+        from repro.ml import train_deepwalk
+
+        _adjacency, walks = dataset("graph1", seed=args.seed)
+        n_vertices = max(int(w.max()) for w in walks) + 1
+        result = train_deepwalk(ctx, walks, n_vertices, embedding_dim=32,
+                                n_iterations=args.iterations, seed=args.seed)
+    elif args.workload == "line":
+        from repro.ml import train_line
+
+        adjacency, _walks = dataset("graph1", seed=args.seed)
+        result = train_line(ctx, adjacency, embedding_dim=32,
+                            learning_rate=0.05,
+                            n_iterations=args.iterations, seed=args.seed)
+    elif args.workload == "gbdt":
+        from repro.ml import train_gbdt
+
+        features, labels = dataset("gender", seed=args.seed)
+        result = train_gbdt(ctx, features, labels,
+                            n_trees=args.iterations, max_depth=4, n_bins=16,
+                            seed=args.seed)
+    else:
+        from repro.ml import train_lda
+
+        docs = dataset("pubmed", seed=args.seed)
+        result = train_lda(ctx, docs, spec("pubmed").params["vocab"],
+                           n_topics=24, n_iterations=args.iterations,
+                           seed=args.seed)
+
+    print("system:   %s" % result.system)
+    print("workload: %s" % result.workload)
+    for t, loss in result.history:
+        print("  t=%9.4fs  loss=%.6f" % (t, loss))
+    print("virtual time: %.4f s   (wall time is much smaller; see DESIGN.md)"
+          % result.elapsed)
+    return 0
+
+
+def _cmd_experiments(_args):
+    entries = [
+        ("Figure 1", "benchmarks/bench_fig01_mllib_analysis.py"),
+        ("Figure 9(a,b)", "benchmarks/bench_fig09_dcv_lr.py"),
+        ("Figure 9(c,d)", "benchmarks/bench_fig09_dcv_deepwalk.py"),
+        ("Figure 10", "benchmarks/bench_fig10_lr_end2end.py"),
+        ("Figure 11", "benchmarks/bench_fig11_gbdt.py"),
+        ("Figure 12", "benchmarks/bench_fig12_lda.py"),
+        ("Figure 13(a,b)", "benchmarks/bench_fig13_scalability.py"),
+        ("Figure 13(c)", "benchmarks/bench_fig13_fault_tolerance.py"),
+        ("Table 2", "benchmarks/bench_table2_datasets.py"),
+        ("Table 3", "benchmarks/bench_table3_capabilities.py"),
+        ("Table 4", "benchmarks/bench_table4_hyperparams.py"),
+        ("Ablations", "benchmarks/bench_ablation_colocation.py, "
+                      "benchmarks/bench_ablation_hist_subtraction.py"),
+    ]
+    print("Run any experiment with:")
+    print("  pytest <file> --benchmark-only -s\n")
+    for name, target in entries:
+        print("  %-14s %s" % (name, target))
+    print("\nAll at once: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PS2 (SIGMOD'19) reproduction utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickcheck", help="10-second end-to-end sanity run")
+
+    p_dataset = sub.add_parser("dataset", help="generate a Table-2 analogue")
+    p_dataset.add_argument("name")
+    p_dataset.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser("train", help="train one paper workload")
+    p_train.add_argument("workload", choices=_WORKLOADS)
+    p_train.add_argument("--iterations", type=int, default=10)
+    p_train.add_argument("--executors", type=int, default=8)
+    p_train.add_argument("--servers", type=int, default=8)
+    p_train.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="list the table/figure benchmarks")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "quickcheck": _cmd_quickcheck,
+        "dataset": _cmd_dataset,
+        "train": _cmd_train,
+        "experiments": _cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Simulated cluster substrate: machines, virtual clocks, network, failures."""
+
+from repro.cluster.cluster import DRIVER, Cluster, executor_id, server_id
+from repro.cluster.failures import FailureInjector
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ROLE_DRIVER, ROLE_EXECUTOR, ROLE_SERVER, Node
+from repro.cluster.simclock import SimClock
+
+__all__ = [
+    "DRIVER",
+    "Cluster",
+    "executor_id",
+    "server_id",
+    "FailureInjector",
+    "MetricsRegistry",
+    "NetworkModel",
+    "ROLE_DRIVER",
+    "ROLE_EXECUTOR",
+    "ROLE_SERVER",
+    "Node",
+    "SimClock",
+]

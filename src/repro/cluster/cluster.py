@@ -1,0 +1,146 @@
+"""The simulated deployment: driver + executors + parameter servers.
+
+A :class:`Cluster` owns the shared clock, network, metrics, RNG registry and
+failure injector, and registers one node per simulated machine.  The
+sparklite engine and the PS substrate are both built over the same cluster
+object so that every byte any system sends is charged against the same cost
+model — the control the paper's "Spark- / PS- / PS2-" comparisons rely on.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import ROLE_DRIVER, ROLE_EXECUTOR, ROLE_SERVER, Node
+from repro.cluster.simclock import SimClock
+from repro.common.errors import ClusterError, UnknownNodeError
+from repro.common.rng import RngRegistry
+from repro.config import ClusterConfig
+
+#: Reserved node id for the driver/coordinator.
+DRIVER = "driver"
+
+
+def executor_id(index):
+    """Node id of the *index*-th Spark executor."""
+    return "executor-%d" % index
+
+
+def server_id(index):
+    """Node id of the *index*-th parameter server."""
+    return "server-%d" % index
+
+
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(self, config=None):
+        self.config = config or ClusterConfig()
+        self.clock = SimClock()
+        self.metrics = MetricsRegistry()
+        self.network = NetworkModel(
+            self.clock,
+            self.metrics,
+            latency=self.config.network.latency,
+            default_bandwidth=self.config.network.bandwidth,
+        )
+        self.rng = RngRegistry(self.config.seed)
+        self.failures = FailureInjector(
+            self.rng.get("failures"),
+            task_failure_prob=self.config.failures.task_failure_prob,
+            max_task_retries=self.config.failures.max_task_retries,
+        )
+        self._nodes = {}
+        self._add_node(DRIVER, ROLE_DRIVER)
+        for index in range(self.config.n_executors):
+            self._add_node(executor_id(index), ROLE_EXECUTOR)
+        for index in range(self.config.n_servers):
+            self._add_node(server_id(index), ROLE_SERVER)
+
+    def _add_node(self, node_id, role):
+        node = Node(node_id, role, self.config.node)
+        self._nodes[node_id] = node
+        self.clock.register(node_id)
+        self.network.register(node_id, self.config.node.nic_bandwidth)
+        return node
+
+    # -- topology ---------------------------------------------------------
+
+    def node(self, node_id):
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError("unknown node %r" % (node_id,)) from None
+
+    @property
+    def driver(self):
+        return self._nodes[DRIVER]
+
+    @property
+    def executors(self):
+        """Executor node ids in index order."""
+        return [executor_id(i) for i in range(self.config.n_executors)]
+
+    @property
+    def servers(self):
+        """Server node ids in index order."""
+        return [server_id(i) for i in range(self.config.n_servers)]
+
+    def nodes_by_role(self, role):
+        """All node ids with the given role."""
+        return [n.node_id for n in self._nodes.values() if n.role == role]
+
+    @property
+    def alive_executors(self):
+        """Executor node ids currently up, in index order."""
+        return [e for e in self.executors if self._nodes[e].alive]
+
+    def fail_executor(self, node_id):
+        """Kill an executor: its partitions will be reloaded elsewhere.
+
+        Section 5.3 (executor failure): "PS2 relies on the fault tolerance
+        provided by RDDs.  It simply launches a new executor and reloads
+        that partition of training data from the input."
+        """
+        node = self.node(node_id)
+        if node.role != ROLE_EXECUTOR:
+            raise ClusterError("%r is not an executor" % (node_id,))
+        node.alive = False
+        self.metrics.increment("executor-failures")
+
+    def restore_executor(self, node_id):
+        """Bring a (replacement) executor up under the same id."""
+        node = self.node(node_id)
+        if node.role != ROLE_EXECUTOR:
+            raise ClusterError("%r is not an executor" % (node_id,))
+        node.alive = True
+
+    # -- cost charging ----------------------------------------------------
+
+    def charge_flops(self, node_id, flops, tag="compute"):
+        """Charge *flops* of work to *node_id*'s clock; returns new time."""
+        seconds = self.node(node_id).compute_seconds(flops)
+        self.metrics.record_compute(node_id, seconds, tag=tag)
+        return self.clock.advance(node_id, seconds)
+
+    def charge_seconds(self, node_id, seconds, tag="compute"):
+        """Charge a raw duration (already in virtual seconds) to a node."""
+        self.metrics.record_compute(node_id, seconds, tag=tag)
+        return self.clock.advance(node_id, seconds)
+
+    def elapsed(self):
+        """Virtual makespan so far: the latest clock in the deployment."""
+        return self.clock.global_time()
+
+    def barrier(self, node_ids=None):
+        """Synchronize a node group (all of them by default)."""
+        if node_ids is None:
+            node_ids = list(self._nodes)
+        return self.clock.barrier(node_ids)
+
+    def reset_time(self):
+        """Rewind every clock and NIC queue; metrics are kept."""
+        self.clock.reset()
+        self.network.reset()

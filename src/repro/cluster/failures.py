@@ -1,0 +1,52 @@
+"""Seeded failure injection.
+
+Reproduces the fault-tolerance experiment of Section 6.5: tasks fail with a
+configurable Bernoulli probability and are retried by the sparklite
+scheduler.  Server failures are scheduled at explicit virtual times and
+trigger checkpoint recovery in the PS substrate.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+
+class FailureInjector:
+    """Decides, deterministically, when simulated components fail."""
+
+    def __init__(self, rng, task_failure_prob=0.0, max_task_retries=10):
+        if not 0.0 <= task_failure_prob <= 1.0:
+            raise ConfigError(
+                "task_failure_prob must be in [0, 1], got %r" % (task_failure_prob,)
+            )
+        self._rng = rng
+        self.task_failure_prob = float(task_failure_prob)
+        self.max_task_retries = int(max_task_retries)
+        self._server_failures = []
+        self.injected_task_failures = 0
+
+    def should_fail_task(self):
+        """Whether the task attempt being launched should fail."""
+        if self.task_failure_prob == 0.0:
+            return False
+        failed = bool(self._rng.random() < self.task_failure_prob)
+        if failed:
+            self.injected_task_failures += 1
+        return failed
+
+    def schedule_server_failure(self, server_id, at_time):
+        """Arrange for *server_id* to crash once its clock passes *at_time*."""
+        self._server_failures.append({"server": server_id, "time": float(at_time)})
+
+    def due_server_failures(self, server_id, now):
+        """Pop and return the failures scheduled for *server_id* up to *now*."""
+        due = [
+            event
+            for event in self._server_failures
+            if event["server"] == server_id and event["time"] <= now
+        ]
+        if due:
+            self._server_failures = [
+                event for event in self._server_failures if event not in due
+            ]
+        return due

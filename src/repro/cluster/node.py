@@ -1,0 +1,26 @@
+"""Simulated machine: an identity, a role and a hardware spec."""
+
+from __future__ import annotations
+
+#: Role tags used across the system.
+ROLE_DRIVER = "driver"
+ROLE_EXECUTOR = "executor"
+ROLE_SERVER = "server"
+
+
+class Node:
+    """One simulated machine participating in a deployment."""
+
+    def __init__(self, node_id, role, spec):
+        self.node_id = node_id
+        self.role = role
+        self.spec = spec
+        self.alive = True
+
+    def compute_seconds(self, flops):
+        """Virtual seconds this machine needs for *flops* of work."""
+        return self.spec.compute_seconds(flops)
+
+    def __repr__(self):
+        state = "up" if self.alive else "down"
+        return "Node(%r, role=%r, %s)" % (self.node_id, self.role, state)

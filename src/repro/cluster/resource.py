@@ -1,0 +1,83 @@
+"""Order-insensitive capacity reservation for NICs and server CPUs.
+
+The simulator processes logically-concurrent actors sequentially, so
+requests are *not* presented in virtual-time order.  A naive "busy-until"
+horizon would make a message that arrives at t=5 (but is processed second
+in Python) queue behind one that arrives at t=9 (processed first).
+
+:class:`TimelineResource` instead keeps the set of reserved busy intervals
+and places each new job in the first idle gap at or after its arrival —
+so the outcome is independent of processing order while capacity is never
+double-booked.  Adjacent intervals are merged, keeping the list short.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Gaps shorter than this are merged away (floating-point hygiene).
+_MERGE_EPS = 1e-12
+
+
+class TimelineResource:
+    """A serially-shared resource (one NIC direction, one server CPU)."""
+
+    def __init__(self):
+        self._starts = []
+        self._ends = []
+
+    def reserve(self, earliest, duration):
+        """Book *duration* seconds starting no earlier than *earliest*.
+
+        Returns the start time of the booked slot (the first idle gap that
+        fits).  Zero-duration reservations return *earliest* untouched.
+        """
+        if duration <= 0:
+            return earliest
+        start = float(earliest)
+        index = bisect_left(self._ends, start)
+        while index < len(self._starts):
+            gap_end = self._starts[index]
+            if gap_end - start >= duration - _MERGE_EPS:
+                break
+            start = max(start, self._ends[index])
+            index += 1
+        self._insert(index, start, start + duration)
+        return start
+
+    def _insert(self, index, start, end):
+        """Insert ``[start, end)`` at *index*, merging with its neighbors."""
+        merge_prev = (
+            index > 0 and start - self._ends[index - 1] <= _MERGE_EPS
+        )
+        merge_next = (
+            index < len(self._starts)
+            and self._starts[index] - end <= _MERGE_EPS
+        )
+        if merge_prev and merge_next:
+            self._ends[index - 1] = self._ends[index]
+            del self._starts[index]
+            del self._ends[index]
+        elif merge_prev:
+            self._ends[index - 1] = end
+        elif merge_next:
+            self._starts[index] = start
+        else:
+            self._starts.insert(index, start)
+            self._ends.insert(index, end)
+
+    def busy_seconds(self):
+        """Total reserved time (utilization accounting)."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def horizon(self):
+        """End of the last reservation (0.0 when never used)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    def reset(self):
+        """Drop all reservations."""
+        self._starts = []
+        self._ends = []
+
+    def __len__(self):
+        return len(self._starts)

@@ -1,0 +1,83 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subsystem-specific bases (:class:`ClusterError`,
+:class:`SparkliteError`, :class:`PSError`, :class:`DCVError`) exist so tests can
+assert on the failing layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class ClusterError(ReproError):
+    """Base class for errors raised by the simulated cluster substrate."""
+
+
+class UnknownNodeError(ClusterError):
+    """A node id was used that is not registered in the cluster."""
+
+
+class SparkliteError(ReproError):
+    """Base class for errors raised by the sparklite dataflow engine."""
+
+
+class TaskError(SparkliteError):
+    """A task raised an exception on an executor.
+
+    Carries the task coordinates so the scheduler can decide on a retry.
+    """
+
+    def __init__(self, message, stage_id=None, partition_id=None, attempt=None):
+        super().__init__(message)
+        self.stage_id = stage_id
+        self.partition_id = partition_id
+        self.attempt = attempt
+
+
+class InjectedTaskFailure(TaskError):
+    """A failure raised on purpose by the failure injector (fault-tolerance tests)."""
+
+
+class JobAbortedError(SparkliteError):
+    """A job was abandoned after a task exhausted its retry budget."""
+
+
+class PSError(ReproError):
+    """Base class for errors raised by the parameter-server substrate."""
+
+
+class MatrixNotFoundError(PSError):
+    """A matrix id was referenced that the PS master does not know about."""
+
+
+class ServerDownError(PSError):
+    """A request was routed to a server that is currently failed."""
+
+
+class DCVError(ReproError):
+    """Base class for errors raised by the DCV layer."""
+
+
+class NotColocatedError(DCVError):
+    """A column-access operator was applied to DCVs with different partitioners.
+
+    Raised only in ``strict`` co-location mode; the default mode executes the
+    operation anyway and charges the cross-server realignment cost, matching
+    the "inefficient writing" example in Figure 4 of the paper.
+    """
+
+
+class PoolExhaustedError(DCVError):
+    """``derive`` was called on a pool with no free rows and growth disabled."""
+
+
+class DimensionMismatchError(DCVError):
+    """Two DCVs with different dimensions were combined."""

@@ -1,0 +1,103 @@
+"""Configuration objects for the simulated cluster and experiments.
+
+The defaults mirror the testbed in Section 6.1 of the paper: machines with a
+2.2 GHz 12-core CPU and 256 GB memory, connected by 10 Gbps Ethernet.  The
+simulator is laptop-scale, so dataset sizes are scaled down elsewhere, but
+machine *ratios* (compute speed vs. network bandwidth) follow the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+#: 10 Gbps Ethernet expressed in bytes/second.
+TEN_GBPS = 10e9 / 8
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one simulated machine.
+
+    ``flops`` is the effective double-precision throughput the cost model
+    charges against; 2.2 GHz x 12 cores x ~4 flops/cycle gives roughly 1e11,
+    derated to 2e10 for the scalar-heavy ML kernels these workloads run.
+    """
+
+    cores: int = 12
+    flops: float = 2e10
+    nic_bandwidth: float = TEN_GBPS
+    memory_bytes: int = 256 * 1024**3
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ConfigError("cores must be positive, got %r" % (self.cores,))
+        if self.flops <= 0:
+            raise ConfigError("flops must be positive, got %r" % (self.flops,))
+        if self.nic_bandwidth <= 0:
+            raise ConfigError(
+                "nic_bandwidth must be positive, got %r" % (self.nic_bandwidth,)
+            )
+
+    def compute_seconds(self, flops):
+        """Virtual seconds this node needs for *flops* floating-point ops."""
+        return float(flops) / self.flops
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Network fabric parameters shared by every link."""
+
+    latency: float = 1e-4
+    bandwidth: float = TEN_GBPS
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ConfigError("latency must be >= 0, got %r" % (self.latency,))
+        if self.bandwidth <= 0:
+            raise ConfigError("bandwidth must be positive, got %r" % (self.bandwidth,))
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Probabilities for the failure injector (all default to no failures)."""
+
+    task_failure_prob: float = 0.0
+    max_task_retries: int = 10
+    server_failure_times: tuple = ()
+
+    def __post_init__(self):
+        if not 0.0 <= self.task_failure_prob <= 1.0:
+            raise ConfigError(
+                "task_failure_prob must be in [0, 1], got %r"
+                % (self.task_failure_prob,)
+            )
+        if self.max_task_retries < 0:
+            raise ConfigError(
+                "max_task_retries must be >= 0, got %r" % (self.max_task_retries,)
+            )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Top-level description of a simulated deployment.
+
+    ``n_executors`` Spark executors (PS2 workers) plus ``n_servers``
+    parameter servers plus one driver/coordinator node.
+    """
+
+    n_executors: int = 20
+    n_servers: int = 20
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    failures: FailureConfig = field(default_factory=FailureConfig)
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_executors <= 0:
+            raise ConfigError(
+                "n_executors must be positive, got %r" % (self.n_executors,)
+            )
+        if self.n_servers < 0:
+            raise ConfigError("n_servers must be >= 0, got %r" % (self.n_servers,))

@@ -1,0 +1,9 @@
+"""PS2 core: the PS2 context, the DCV abstraction and its operators."""
+
+from repro.core import kernels
+from repro.core.context import PS2Context
+from repro.core.dcv import DCV
+from repro.core.pool import DCVPool
+from repro.core.zipop import DCVZip, ZipResult
+
+__all__ = ["kernels", "PS2Context", "DCV", "DCVPool", "DCVZip", "ZipResult"]

@@ -1,0 +1,143 @@
+"""PS2Context: Spark + parameter servers wired together (Figure 2).
+
+The context owns one simulated cluster and runs both applications on it —
+sparklite (driver + executors) for data processing, and the PS module
+(master + servers) for model management.  The driver doubles as the
+coordinator, as in Section 5.1, and every executor gets a PS-client.
+
+This mirrors the paper's deployment story: Spark and the parameter servers
+are *separate applications* sharing a cluster; nothing in sparklite's core
+is modified to support the PS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster, DRIVER
+from repro.config import ClusterConfig
+from repro.core.dcv import DCV
+from repro.core.pool import DCVPool
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+from repro.ps.messages import scalar_op_request_bytes
+from repro.ps.partitioner import ColumnLayout
+from repro.sparklite.context import SparkContext
+
+
+class PS2Context:
+    """Entry point: create DCVs, parallelize data, train models."""
+
+    def __init__(self, cluster=None, config=None, strict_colocation=False):
+        self.cluster = cluster or Cluster(config or ClusterConfig())
+        self.spark = SparkContext(self.cluster)
+        self.master = PSMaster(self.cluster)
+        self.strict_colocation = bool(strict_colocation)
+        self.coordinator = DRIVER
+        self._clients = {}
+        self._pool_counter = 0
+
+    # -- clients ------------------------------------------------------------
+
+    def client_for(self, node_id):
+        """The PS-client living on *node_id* (one per executor + coordinator)."""
+        if node_id not in self._clients:
+            self._clients[node_id] = PSClient(self.cluster, self.master, node_id)
+        return self._clients[node_id]
+
+    @property
+    def coordinator_client(self):
+        return self.client_for(self.coordinator)
+
+    # -- DCV creation ---------------------------------------------------------
+
+    def _new_pool(self, dim, rows, name, allow_growth=True, init="zero",
+                  scale=0.01, block=1):
+        rotation = self._pool_counter
+        self._pool_counter += 1
+        layout = ColumnLayout(dim, self.master.n_servers, rotation=rotation,
+                              block=block)
+        pool_name = name or "dcv%d" % rotation
+        return DCVPool(self, dim, rows, layout, pool_name,
+                       allow_growth=allow_growth, init=init, scale=scale)
+
+    def dense(self, dim, rows=10, name=None, allow_growth=True, init="zero",
+              scale=0.01, block=1):
+        """``DCV.dense``: a fresh pool of *rows* co-located slots; row 0 back.
+
+        Each ``dense`` call gets its own placement rotation, so two
+        independently created DCVs are **not** co-located — use ``derive``
+        on the returned DCV for siblings (Figure 4).  ``init`` is applied
+        server-side to every pool row: ``"zero"`` (default), ``"random"``
+        (normal * scale) or ``"uniform"`` (centered, half-width *scale*).
+        ``block`` aligns partition boundaries to multiples of that many
+        columns (GBDT uses it so one feature's histogram bins never straddle
+        two servers).
+        """
+        pool = self._new_pool(dim, rows, name, allow_growth=allow_growth,
+                              init=init, scale=scale, block=block)
+        matrix_id, row = pool.acquire()
+        return DCV(self, pool, matrix_id, row, name=name)
+
+    def sparse(self, dim, rows=10, name=None, allow_growth=True):
+        """``DCV.sparse``: as :meth:`dense`, flagged for index-based access."""
+        dcv = self.dense(dim, rows=rows, name=name, allow_growth=allow_growth)
+        dcv.is_sparse = True
+        return dcv
+
+    # -- realignment (the non-co-located slow path) ------------------------------
+
+    def realign(self, src, dst):
+        """Copy *src*'s contents into *dst* under *dst*'s layout.
+
+        Every range that lives on a different server under the two layouts
+        is shipped server-to-server (tag ``realign``); this is the data
+        shuffling across servers that Figure 4 warns about, made explicit
+        and measurable.
+        """
+        network = self.cluster.network
+        master = self.master
+        for s_srv, s_start, s_stop in src.layout.shards_for_row(src.row):
+            network.transfer(
+                self.coordinator,
+                master.server(s_srv).node_id,
+                scalar_op_request_bytes(),
+                tag="realign:ctrl",
+            )
+            for d_srv, d_start, d_stop in dst.layout.shards_for_row(dst.row):
+                lo = max(s_start, d_start)
+                hi = min(s_stop, d_stop)
+                if lo >= hi:
+                    continue
+                span = np.arange(lo, hi, dtype=np.int64)
+                values = master.server(s_srv).read(src.matrix_id, src.row, span)
+                if s_srv != d_srv:
+                    network.transfer(
+                        master.server(s_srv).node_id,
+                        master.server(d_srv).node_id,
+                        values.nbytes,
+                        tag="realign",
+                    )
+                master.server(d_srv).assign(dst.matrix_id, dst.row, values, span)
+        return dst
+
+    # -- convenience ------------------------------------------------------------
+
+    def parallelize(self, data, n_partitions=None, record_flops=None):
+        """Distribute *data* as an RDD (delegates to sparklite)."""
+        kwargs = {}
+        if record_flops is not None:
+            kwargs["record_flops"] = record_flops
+        return self.spark.parallelize(data, n_partitions=n_partitions, **kwargs)
+
+    def checkpoint(self):
+        """Checkpoint every server's model state to reliable storage."""
+        self.master.checkpoint_all()
+
+    def elapsed(self):
+        """Virtual makespan of everything run on this context so far."""
+        return self.cluster.elapsed()
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics

@@ -1,0 +1,73 @@
+"""The matrix pool backing ``derive``.
+
+Section 4.3: "when allocating one DCV through *dense*, we create a
+distributed raw model matrix with k rows, in which (k-1) rows are
+pre-allocated for future usage.  Thus, when calling the *derive* method, one
+free row from the matrix is returned, and the new derived DCV is guaranteed
+to share the same partition strategy with the first row".
+
+When a pool runs out of pre-allocated rows it grows by a whole sibling
+matrix with the *same layout* (same rotation), so derived DCVs stay
+co-located no matter how many are created.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PoolExhaustedError
+
+
+class DCVPool:
+    """A group of co-located model-matrix rows handed out to DCVs."""
+
+    def __init__(self, ps2, dim, rows, layout, name, allow_growth=True,
+                 init="zero", scale=0.01):
+        if rows < 1:
+            raise PoolExhaustedError("a pool needs at least one row")
+        self.ps2 = ps2
+        self.dim = int(dim)
+        self.rows_per_segment = int(rows)
+        self.layout = layout
+        self.name = name
+        self.allow_growth = allow_growth
+        self.init = init
+        self.scale = float(scale)
+        self.segments = []
+        self._free = []
+        self._grow()
+
+    def _grow(self):
+        segment_name = "%s/seg%d" % (self.name, len(self.segments))
+        matrix_id = self.ps2.master.create_matrix(
+            self.dim,
+            n_rows=self.rows_per_segment,
+            layout=self.layout,
+            init=self.init,
+            scale=self.scale,
+            name=segment_name,
+        )
+        self.segments.append(matrix_id)
+        self._free.extend(
+            (matrix_id, row) for row in range(self.rows_per_segment)
+        )
+
+    def acquire(self):
+        """Hand out one free ``(matrix_id, row)`` slot, growing if needed."""
+        if not self._free:
+            if not self.allow_growth:
+                raise PoolExhaustedError(
+                    "pool %r has no free rows (growth disabled)" % (self.name,)
+                )
+            self._grow()
+        return self._free.pop(0)
+
+    def release(self, slot):
+        """Return a slot to the pool (its contents are left as-is)."""
+        self._free.append(slot)
+
+    @property
+    def free_rows(self):
+        return len(self._free)
+
+    @property
+    def allocated_rows(self):
+        return len(self.segments) * self.rows_per_segment - len(self._free)

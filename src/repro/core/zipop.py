@@ -1,0 +1,81 @@
+"""``zip`` — fused server-side computation over multiple co-located DCVs.
+
+This is the operator the paper's Figure 3 uses for the Adam model update
+(lines 21-26) and Figure 8 uses for GBDT split finding: the coordinator
+issues one kernel per server; each server applies the kernel to the aligned
+local shard arrays of all zipped DCVs; only per-server scalar partials come
+back.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import NotColocatedError
+
+
+class ZipResult:
+    """Per-server partial results of a zip kernel, with driver-side folds."""
+
+    def __init__(self, partials):
+        self.partials = list(partials)
+
+    def collect(self):
+        """The raw per-server partials, in server order."""
+        return list(self.partials)
+
+    def _values(self):
+        return [p for p in self.partials if p is not None]
+
+    def sum(self):
+        """Sum of the (non-None) partials."""
+        return sum(self._values())
+
+    def max(self):
+        """Max of the (non-None) partials (tuples compare lexicographically,
+        which is how GBDT's ``(gain, split)`` partials pick a winner)."""
+        values = self._values()
+        if not values:
+            raise ValueError("zip kernel returned no partials to maximize")
+        return max(values)
+
+    def min(self):
+        """Min of the (non-None) partials."""
+        values = self._values()
+        if not values:
+            raise ValueError("zip kernel returned no partials to minimize")
+        return min(values)
+
+
+class DCVZip:
+    """A group of co-located DCVs awaiting a fused kernel."""
+
+    def __init__(self, first, others):
+        self.dcvs = [first] + list(others)
+        for other in self.dcvs[1:]:
+            if not first.is_colocated_with(other):
+                raise NotColocatedError(
+                    "zip requires co-located DCVs; %r and %r differ "
+                    "(create siblings with derive())" % (first.name, other.name)
+                )
+
+    def map_partitions(self, fn, args=None, task_ctx=None,
+                       n_response_scalars=1, flops_per_server=None,
+                       wait=True):
+        """Run ``fn(arrays, **args)`` on every server's aligned shards.
+
+        ``arrays`` is the list of local 1-D value arrays, one per zipped DCV,
+        in zip order; the kernel may mutate them in place.  Returns a
+        :class:`ZipResult` of the per-server return values.  Pass
+        ``wait=False`` for pure-mutation kernels whose results the caller
+        ignores — the requests are then fire-and-forget, like pushes.
+        """
+        first = self.dcvs[0]
+        client = first._client(task_ctx)
+        partials = client.execute(
+            fn,
+            [dcv.operand() for dcv in self.dcvs],
+            args=args,
+            n_response_scalars=n_response_scalars,
+            flops_per_server=flops_per_server,
+            wait_response=wait,
+        )
+        return ZipResult(partials)

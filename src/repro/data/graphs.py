@@ -1,0 +1,138 @@
+"""Graph generation, random walks and skip-gram pair extraction.
+
+The DeepWalk pipeline of Section 5.2.2: sample random walks over a social
+graph, slide a context window over each walk, and emit (center, context)
+vertex pairs that the embedding trainer treats as "similar".  The paper's
+business units provide pre-sampled walks; we generate both graph and walks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngRegistry
+
+
+def preferential_attachment_graph(n_vertices, out_degree=4, seed=0):
+    """A degree-skewed undirected graph (Barabási–Albert flavor).
+
+    Returns an adjacency list: ``list[np.ndarray]`` of neighbor ids.  Social
+    networks are heavy-tailed, and walk-frequency skew is what stresses the
+    hot embedding vectors in the PS.
+    """
+    if n_vertices < 2:
+        raise ConfigError("need at least 2 vertices")
+    out_degree = min(out_degree, n_vertices - 1)
+    rng = RngRegistry(seed).get("graph")
+    neighbors = [set() for _ in range(n_vertices)]
+    # Repeated-endpoint list implements preferential attachment cheaply.
+    endpoints = [0, 1]
+    neighbors[0].add(1)
+    neighbors[1].add(0)
+    for v in range(2, n_vertices):
+        targets = set()
+        while len(targets) < min(out_degree, v):
+            candidate = endpoints[int(rng.integers(len(endpoints)))]
+            if candidate != v:
+                targets.add(candidate)
+        for t in targets:
+            neighbors[v].add(t)
+            neighbors[t].add(v)
+            endpoints.extend([v, t])
+    return [np.array(sorted(adj), dtype=np.int64) for adj in neighbors]
+
+
+def random_walks(adjacency, n_walks, walk_length=8, seed=0):
+    """Uniform random walks (DeepWalk's sampling rule).
+
+    Start vertices cycle through the graph so every vertex is visited;
+    each walk has *walk_length* steps (the paper uses length 8, Table 4).
+    """
+    rng = RngRegistry(seed).get("walks")
+    n_vertices = len(adjacency)
+    walks = []
+    for w in range(n_walks):
+        vertex = w % n_vertices
+        walk = [vertex]
+        for _ in range(walk_length - 1):
+            adj = adjacency[vertex]
+            if adj.size == 0:
+                break
+            vertex = int(adj[int(rng.integers(adj.size))])
+            walk.append(vertex)
+        walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def skipgram_pairs(walks, window=4):
+    """(center, context) pairs from a sliding window over each walk.
+
+    The paper's Table 4 sets ``window_size = 4``.  Returns a list of
+    ``(u, v)`` int tuples.
+    """
+    pairs = []
+    for walk in walks:
+        length = walk.size
+        for i in range(length):
+            lo = max(0, i - window)
+            hi = min(length, i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((int(walk[i]), int(walk[j])))
+    return pairs
+
+
+def node2vec_walks(adjacency, n_walks, walk_length=8, p=1.0, q=1.0, seed=0):
+    """Second-order biased random walks (node2vec, Grover & Leskovec '16).
+
+    The paper groups node2vec with DeepWalk and LINE as the graph-embedding
+    family PS2 serves (Section 3.1, refs [12, 23, 27]).  Transition weights
+    from ``t -> v`` when standing at *v* having come from *t*:
+
+    - back to ``t``: ``1/p`` (return parameter),
+    - to a neighbor of ``t``: ``1`` (BFS-ish),
+    - elsewhere: ``1/q`` (DFS-ish).
+
+    With ``p = q = 1`` this degenerates to DeepWalk's uniform walks.
+    """
+    rng = RngRegistry(seed).get("node2vec")
+    n_vertices = len(adjacency)
+    neighbor_sets = [set(a.tolist()) for a in adjacency]
+    walks = []
+    for w in range(n_walks):
+        vertex = w % n_vertices
+        walk = [vertex]
+        previous = None
+        for _ in range(walk_length - 1):
+            candidates = adjacency[vertex]
+            if candidates.size == 0:
+                break
+            if previous is None:
+                nxt = int(candidates[int(rng.integers(candidates.size))])
+            else:
+                weights = np.empty(candidates.size)
+                for i, candidate in enumerate(candidates):
+                    c = int(candidate)
+                    if c == previous:
+                        weights[i] = 1.0 / p
+                    elif c in neighbor_sets[previous]:
+                        weights[i] = 1.0
+                    else:
+                        weights[i] = 1.0 / q
+                weights /= weights.sum()
+                nxt = int(candidates[int(rng.choice(candidates.size,
+                                                    p=weights))])
+            walk.append(nxt)
+            previous, vertex = vertex, nxt
+        walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def edge_pairs(adjacency):
+    """Every directed edge as a (center, context) pair (LINE's sampler)."""
+    pairs = []
+    for u, neighbors in enumerate(adjacency):
+        for v in neighbors:
+            pairs.append((u, int(v)))
+    return pairs

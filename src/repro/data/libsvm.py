@@ -1,0 +1,66 @@
+"""Read/write sparse rows in the libsvm text format.
+
+The paper's public datasets ship in libsvm format; these helpers let users
+bring their own files or export the synthetic analogues for inspection.
+Format: ``<label> <index>:<value> <index>:<value> ...`` with 1-based
+indices, one row per line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.linalg.sparse import SparseRow
+
+
+def dumps_row(row):
+    """Serialize one :class:`SparseRow` as a libsvm line (no newline)."""
+    parts = ["%g" % row.label]
+    parts.extend(
+        "%d:%g" % (index + 1, value)
+        for index, value in zip(row.indices, row.values)
+    )
+    return " ".join(parts)
+
+
+def loads_row(line):
+    """Parse one libsvm line into a :class:`SparseRow`."""
+    fields = line.split()
+    if not fields:
+        raise ReproError("empty libsvm line")
+    label = float(fields[0])
+    indices = []
+    values = []
+    for field in fields[1:]:
+        try:
+            index_text, value_text = field.split(":", 1)
+        except ValueError:
+            raise ReproError("malformed libsvm field %r" % (field,)) from None
+        indices.append(int(index_text) - 1)
+        values.append(float(value_text))
+    order = np.argsort(indices, kind="stable")
+    return SparseRow(
+        np.asarray(indices, dtype=np.int64)[order],
+        np.asarray(values, dtype=float)[order],
+        label,
+    )
+
+
+def write_libsvm(path, rows):
+    """Write *rows* to *path* in libsvm format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(dumps_row(row))
+            handle.write("\n")
+
+
+def read_libsvm(path):
+    """Read every row of a libsvm file."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(loads_row(line))
+    return rows

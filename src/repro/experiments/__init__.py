@@ -1,0 +1,29 @@
+"""Experiment harness: shared runners, reports and the Table-3 registry."""
+
+from repro.experiments.capabilities import (
+    SUPPORT_MATRIX,
+    TRAINER_INDEX,
+    WORKLOADS,
+    support_rows,
+    supports,
+)
+from repro.experiments.report import (
+    curve_summary,
+    format_seconds,
+    format_speedup,
+    format_table,
+)
+from repro.experiments.runner import make_context
+
+__all__ = [
+    "SUPPORT_MATRIX",
+    "TRAINER_INDEX",
+    "WORKLOADS",
+    "support_rows",
+    "supports",
+    "curve_summary",
+    "format_seconds",
+    "format_speedup",
+    "format_table",
+    "make_context",
+]

@@ -1,0 +1,53 @@
+"""Plain-text reporting for benchmark output (tables, speedups, curves)."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Render an aligned ASCII table (every cell stringified)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    out = []
+    if title:
+        out.extend([title, rule])
+    out.extend([line, rule])
+    for row in rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_speedup(value):
+    """'3.42x' or 'n/a' for missing speedups."""
+    if value is None:
+        return "n/a"
+    return "%.2fx" % value
+
+
+def format_seconds(value):
+    """Virtual seconds with sensible precision ('n/a' for None)."""
+    if value is None:
+        return "n/a"
+    if value >= 100:
+        return "%.0f s" % value
+    if value >= 1:
+        return "%.2f s" % value
+    return "%.4f s" % value
+
+
+def curve_summary(result, points=4):
+    """A few (time, loss) samples from a TrainResult's history."""
+    history = result.history
+    if not history:
+        return "(no history)"
+    if len(history) <= points:
+        samples = history
+    else:
+        step = max(1, len(history) // points)
+        samples = history[::step][:points - 1] + [history[-1]]
+    return ", ".join("(%.3fs, %.4f)" % (t, l) for t, l in samples)

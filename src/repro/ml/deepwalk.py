@@ -1,0 +1,166 @@
+"""DeepWalk graph embedding on PS2 (Section 5.2.2, Figures 5 and 6).
+
+The model is ``2V`` K-dimensional vectors — an input embedding and a
+"context" embedding per vertex — allocated as one DCV pool so all of them
+are co-located.  Training samples skip-gram pairs from random walks with
+negative sampling (Table 4: window 4, 5 negatives, batch 512, lr 0.01).
+
+Two realizations, exactly the paper's Figure 9(c,d) comparison:
+
+- :func:`train_deepwalk` with ``server_side=True`` (PS2-DeepWalk): the dot
+  product and both ``iaxpy`` updates run on the servers; only scalars cross
+  the network (Figure 6's code).
+- ``server_side=False`` (PS-DeepWalk): workers pull both K-vectors, update
+  locally, and push them back — the pull/push-only baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.rng import RngRegistry
+from repro.data.graphs import skipgram_pairs
+from repro.ml.losses import sigmoid
+from repro.ml.results import TrainResult
+
+_EPS = 1e-9
+
+
+def build_embeddings(ctx, n_vertices, embedding_dim, scale=None):
+    """Allocate the ``2V`` co-located embedding DCVs (Figure 6, lines 1-5).
+
+    Index ``u`` is vertex u's input embedding; ``u + V`` its context vector.
+    """
+    if scale is None:
+        scale = 0.5 / embedding_dim
+    first = ctx.dense(embedding_dim, rows=2 * n_vertices, name="emb",
+                      allow_growth=False, init="uniform", scale=scale)
+    embeddings = [first]
+    for _ in range(2 * n_vertices - 1):
+        embeddings.append(first.derive())
+    return embeddings
+
+
+def _pair_loss(dot_value, positive):
+    prob = float(sigmoid(np.asarray(dot_value)))
+    if positive:
+        return -math.log(max(prob, _EPS))
+    return -math.log(max(1.0 - prob, _EPS))
+
+
+def _update_server_side(task_ctx, embeddings, n_vertices, u, v, positive,
+                        learning_rate):
+    """Figure 6's inner loop: server-side dot + two iaxpy updates."""
+    input_u = embeddings[u]
+    output_v = embeddings[v + n_vertices]
+    dot = input_u.dot(output_v, task_ctx=task_ctx)
+    target = 1.0 if positive else 0.0
+    coeff = learning_rate * (target - float(sigmoid(np.asarray(dot))))
+    input_u.iaxpy(output_v, coeff, task_ctx=task_ctx)
+    output_v.iaxpy(input_u, coeff, task_ctx=task_ctx)
+    return _pair_loss(dot, positive)
+
+
+def _update_pull_push(task_ctx, embeddings, n_vertices, u, v, positive,
+                      learning_rate):
+    """PS-DeepWalk: pull both vectors, update locally, push back."""
+    input_u = embeddings[u]
+    output_v = embeddings[v + n_vertices]
+    vec_u = input_u.pull(task_ctx=task_ctx)
+    vec_v = output_v.pull(task_ctx=task_ctx)
+    dot = float(np.dot(vec_u, vec_v))
+    target = 1.0 if positive else 0.0
+    coeff = learning_rate * (target - float(sigmoid(np.asarray(dot))))
+    new_u = vec_u + coeff * vec_v
+    new_v = vec_v + coeff * new_u
+    task_ctx.charge_flops(6.0 * vec_u.size, tag="embed-update")
+    input_u.push(new_u, task_ctx=task_ctx)
+    output_v.push(new_v, task_ctx=task_ctx)
+    return _pair_loss(dot, positive)
+
+
+def train_embedding_pairs(ctx, pairs, n_vertices, embedding_dim=32,
+                          n_iterations=3, batch_size=512, learning_rate=0.01,
+                          n_negative=5, seed=0, server_side=True,
+                          embeddings=None, system="PS2-Embedding",
+                          workload="embedding"):
+    """Train vertex embeddings from (center, context) *pairs*.
+
+    The shared engine behind DeepWalk, node2vec and LINE: every model
+    samples "similar" vertex pairs by its own rule and trains the same
+    skip-gram-with-negative-sampling objective over the 2V co-located
+    embedding DCVs.
+    """
+    if not pairs:
+        raise ValueError("no training pairs supplied")
+    if embeddings is None:
+        embeddings = build_embeddings(ctx, n_vertices, embedding_dim)
+    update = _update_server_side if server_side else _update_pull_push
+
+    pairs_rdd = ctx.parallelize(pairs).cache()
+    total_pairs = len(pairs)
+    fraction = min(1.0, batch_size / total_pairs)
+    result = TrainResult(system=system, workload=workload)
+
+    for iteration in range(n_iterations):
+        batch = pairs_rdd.sample(fraction, seed=seed * 997 + iteration)
+
+        def pair_task(task_ctx, iterator):
+            rng = RngRegistry(seed * 31 + iteration).get(
+                "neg-%d" % task_ctx.partition_id
+            )
+            loss_sum = 0.0
+            count = 0
+            for u, v in iterator:
+                loss_sum += update(task_ctx, embeddings, n_vertices, u, v,
+                                   True, learning_rate)
+                for _ in range(n_negative):
+                    neg = int(rng.integers(n_vertices))
+                    loss_sum += update(task_ctx, embeddings, n_vertices, u,
+                                       neg, False, learning_rate)
+                count += 1
+            return (loss_sum, count)
+
+        stats = batch.map_partitions_with_context(
+            lambda task_ctx, it: [pair_task(task_ctx, it)]
+        ).collect()
+        total_loss = sum(s[0] for s in stats)
+        total_count = sum(s[1] for s in stats)
+        per_pair = total_loss / max(1, total_count) / (1 + n_negative)
+        result.record(ctx.elapsed(), per_pair)
+        result.iterations = iteration + 1
+
+    result.elapsed = ctx.elapsed()
+    result.extras["embeddings"] = embeddings
+    return result
+
+
+def train_deepwalk(ctx, walks, n_vertices, embedding_dim=32, n_iterations=3,
+                   batch_size=512, learning_rate=0.01, window=4,
+                   n_negative=5, seed=0, server_side=True, embeddings=None,
+                   system=None):
+    """Train DeepWalk embeddings from pre-sampled random *walks*.
+
+    Returns a :class:`TrainResult`; extras hold the embedding DCV list.
+    ``server_side`` switches between the PS2 (DCV ops) and PS (pull/push)
+    realizations of Figure 9(c,d).
+    """
+    pairs = skipgram_pairs(walks, window=window)
+    if not pairs:
+        raise ValueError("no skip-gram pairs; walks too short for the window")
+    if system is None:
+        system = "PS2-DeepWalk" if server_side else "PS-DeepWalk"
+    return train_embedding_pairs(
+        ctx, pairs, n_vertices, embedding_dim=embedding_dim,
+        n_iterations=n_iterations, batch_size=batch_size,
+        learning_rate=learning_rate, n_negative=n_negative, seed=seed,
+        server_side=server_side, embeddings=embeddings, system=system,
+        workload="deepwalk",
+    )
+
+
+def embedding_matrix(embeddings, n_vertices):
+    """Materialize the input embeddings as a ``V x K`` array (eval helper)."""
+    return np.stack([embeddings[u].materialize() for u in range(n_vertices)])

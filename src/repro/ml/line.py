@@ -1,0 +1,39 @@
+"""LINE: Large-scale Information Network Embedding on PS2.
+
+The paper lists LINE (Tang et al., WWW'15 — its reference [27]) with
+DeepWalk and node2vec as the graph-embedding workloads PS2 serves.  LINE's
+second-order proximity objective is exactly the skip-gram-with-negative-
+sampling update over (vertex, context-vertex) pairs — but sampled directly
+from the EDGES rather than from random walks, so it needs no walk corpus.
+
+Everything below delegates to the shared pair-training engine, so LINE
+inherits both realizations (PS2 server-side ops / PS pull-push) for free.
+"""
+
+from __future__ import annotations
+
+from repro.data.graphs import edge_pairs
+from repro.ml.deepwalk import train_embedding_pairs
+
+
+def train_line(ctx, adjacency, embedding_dim=32, n_iterations=3,
+               batch_size=512, learning_rate=0.01, n_negative=5, seed=0,
+               server_side=True, embeddings=None, system=None):
+    """Train LINE (second-order proximity) embeddings from a graph.
+
+    *adjacency* is the adjacency-list representation produced by
+    :func:`repro.data.graphs.preferential_attachment_graph`.  Returns a
+    :class:`~repro.ml.results.TrainResult` whose extras hold the 2V
+    embedding DCVs (input vectors at ``[0, V)``, context vectors at
+    ``[V, 2V)``), exactly as DeepWalk's.
+    """
+    pairs = edge_pairs(adjacency)
+    if system is None:
+        system = "PS2-LINE" if server_side else "PS-LINE"
+    return train_embedding_pairs(
+        ctx, pairs, len(adjacency), embedding_dim=embedding_dim,
+        n_iterations=n_iterations, batch_size=batch_size,
+        learning_rate=learning_rate, n_negative=n_negative, seed=seed,
+        server_side=server_side, embeddings=embeddings, system=system,
+        workload="line",
+    )

@@ -1,0 +1,40 @@
+"""Logistic regression on PS2 (Sections 3.3 and 5.2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.linear import train_linear_ps2
+from repro.ml.losses import log1p_exp
+
+
+def train_logistic_regression(ctx, rows, dim, optimizer=None, n_iterations=20,
+                              batch_fraction=0.1, seed=0, target_loss=None,
+                              checkpoint_every=None, system="PS2"):
+    """Train LR with a server-side optimizer (Adam by default, as Figure 3).
+
+    See :func:`repro.ml.linear.train_linear_ps2` for the execution flow.
+    """
+    return train_linear_ps2(
+        ctx, rows, dim, loss="logistic", optimizer=optimizer,
+        n_iterations=n_iterations, batch_fraction=batch_fraction, seed=seed,
+        target_loss=target_loss, checkpoint_every=checkpoint_every,
+        system=system,
+    )
+
+
+def evaluate_logistic_loss(rows, weights):
+    """Mean logistic loss of dense *weights* over *rows* (driver-side eval)."""
+    total = 0.0
+    for row in rows:
+        margin = row.dot_dense(weights)
+        total += float(log1p_exp(np.asarray(margin))) - row.label * margin
+    return total / max(1, len(rows))
+
+
+def accuracy(rows, weights):
+    """Classification accuracy of dense *weights* over *rows*."""
+    correct = sum(
+        1 for row in rows if (row.dot_dense(weights) > 0) == (row.label > 0.5)
+    )
+    return correct / max(1, len(rows))

@@ -1,0 +1,36 @@
+"""Server-side DCV optimizers: SGD, Adam, Adagrad, RMSProp, L-BFGS."""
+
+from repro.ml.optim.base import ServerSideOptimizer
+from repro.ml.optim.firstorder import SGD, Adagrad, Adam, RMSProp
+from repro.ml.optim.lbfgs import LBFGS
+
+OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "adagrad": Adagrad,
+    "rmsprop": RMSProp,
+    "lbfgs": LBFGS,
+}
+
+
+def make_optimizer(name, **kwargs):
+    """Construct an optimizer by registry name."""
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown optimizer %r (have: %s)" % (name, sorted(OPTIMIZERS))
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ServerSideOptimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "RMSProp",
+    "LBFGS",
+    "OPTIMIZERS",
+    "make_optimizer",
+]

@@ -1,0 +1,61 @@
+"""Server-side optimizers over DCVs.
+
+An optimizer owns the model's auxiliary vectors (momenta, squared-gradient
+accumulators, L-BFGS history), all allocated via ``derive`` so they are
+co-located with the weights, and applies its update as a fused ``zip``
+kernel — the server-side computation of Figure 3, lines 21-26.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+
+class ServerSideOptimizer:
+    """Base class: binds to a weight DCV and steps via a zip kernel."""
+
+    name = "base"
+
+    def __init__(self, learning_rate):
+        self.learning_rate = float(learning_rate)
+        self.weight = None
+        self._grad = None
+        self._step = 0
+
+    def bind(self, weight):
+        """Attach to *weight*, allocating co-located auxiliary DCVs.
+
+        Returns the gradient DCV workers should ``add`` into.
+        """
+        self.weight = weight
+        self._grad = weight.derive(name="%s.grad" % weight.name)
+        self._grad.zero()
+        self._allocate_aux()
+        return self._grad
+
+    def _allocate_aux(self):
+        """Subclasses allocate their aux vectors here (may be empty)."""
+
+    @property
+    def gradient(self):
+        if self._grad is None:
+            raise ReproError("optimizer not bound; call bind(weight) first")
+        return self._grad
+
+    @property
+    def step_count(self):
+        return self._step
+
+    def zero_grad(self):
+        """Reset the shared gradient accumulator (Figure 3, line 10)."""
+        self.gradient.zero()
+
+    def step(self):
+        """Apply one model update server-side; returns the kernel's fold."""
+        if self.weight is None:
+            raise ReproError("optimizer not bound; call bind(weight) first")
+        self._step += 1
+        return self._apply()
+
+    def _apply(self):
+        raise NotImplementedError

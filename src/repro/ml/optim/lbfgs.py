@@ -1,0 +1,75 @@
+"""L-BFGS implemented entirely with DCV operators.
+
+Section 5.2.4 lists L-BFGS among the optimizers PS2 implements.  The
+two-loop recursion is a showcase for DCVs: curvature pairs ``(s_i, y_i)``
+are derived (co-located) vectors, and every ``dot``/``axpy`` of the
+recursion runs server-side, so the history never leaves the servers — only
+the ``rho``/``alpha``/``beta`` scalars travel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.ml.optim.base import ServerSideOptimizer
+
+
+class LBFGS(ServerSideOptimizer):
+    """Limited-memory BFGS with *memory* curvature pairs on the servers."""
+
+    name = "lbfgs"
+
+    def __init__(self, learning_rate=0.5, memory=5):
+        super().__init__(learning_rate)
+        self.memory = int(memory)
+        self._pairs = deque()
+        self._prev_weight = None
+        self._prev_grad = None
+        self._scratch = None
+
+    def _allocate_aux(self):
+        self._prev_weight = self.weight.derive(name="lbfgs.prev_w")
+        self._prev_grad = self.weight.derive(name="lbfgs.prev_g")
+        self._scratch = self.weight.derive(name="lbfgs.q")
+
+    def _direction(self):
+        """Two-loop recursion into the scratch DCV; returns it (= -H*g ... sign
+        handled by the caller: the scratch holds H^{-1}-scaled gradient)."""
+        q = self.gradient.copy(out=self._scratch)
+        alphas = []
+        for s_vec, y_vec, rho in reversed(self._pairs):
+            alpha = rho * s_vec.dot(q)
+            q.iaxpy(y_vec, -alpha)
+            alphas.append(alpha)
+        alphas.reverse()
+        if self._pairs:
+            s_vec, y_vec, rho = self._pairs[-1]
+            ys = 1.0 / max(rho, 1e-12)
+            yy = y_vec.dot(y_vec)
+            if yy > 0:
+                q.scale(ys / yy)
+        for (s_vec, y_vec, rho), alpha in zip(self._pairs, alphas):
+            beta = rho * y_vec.dot(q)
+            q.iaxpy(s_vec, alpha - beta)
+        return q
+
+    def _apply(self):
+        if self._step > 1:
+            # Update curvature history: s = w - w_prev, y = g - g_prev.
+            s_vec = self.weight.sub(self._prev_weight)
+            y_vec = self.gradient.sub(self._prev_grad)
+            ys = y_vec.dot(s_vec)
+            if ys > 1e-10:
+                self._pairs.append((s_vec, y_vec, 1.0 / ys))
+                if len(self._pairs) > self.memory:
+                    old_s, old_y, _rho = self._pairs.popleft()
+                    old_s.free()
+                    old_y.free()
+            else:
+                s_vec.free()
+                y_vec.free()
+        self.weight.copy(out=self._prev_weight)
+        self.gradient.copy(out=self._prev_grad)
+        direction = self._direction()
+        self.weight.iaxpy(direction, -self.learning_rate)
+        return None

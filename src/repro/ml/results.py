@@ -1,0 +1,60 @@
+"""Training-run results shared by every trainer and benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run on the simulated cluster.
+
+    ``history`` is a list of ``(virtual_seconds, loss)`` pairs sampled once
+    per iteration (or per tree, for GBDT) — the loss-vs-time curves of the
+    paper's figures.  ``extras`` carries trainer-specific artifacts (final
+    weights, trees, per-step timing breakdowns).
+    """
+
+    system: str
+    workload: str
+    history: list = field(default_factory=list)
+    iterations: int = 0
+    elapsed: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def final_loss(self):
+        """Loss at the last recorded point (None for an empty history)."""
+        if not self.history:
+            return None
+        return self.history[-1][1]
+
+    def record(self, time, loss):
+        """Append one history point."""
+        self.history.append((float(time), float(loss)))
+
+    def time_to(self, target_loss):
+        """First virtual time at which loss reached *target_loss* (or None).
+
+        This is the paper's headline metric: "to achieve 0.3 training loss,
+        PS2-Adam requires 59 seconds while PS-Adam requires 277 seconds".
+        """
+        for time, loss in self.history:
+            if loss <= target_loss:
+                return time
+        return None
+
+    def best_loss(self):
+        """The minimum loss seen across the run."""
+        if not self.history:
+            return None
+        return min(loss for _time, loss in self.history)
+
+
+def speedup(baseline, contender, target_loss):
+    """``baseline_time / contender_time`` to a target loss (None if unmet)."""
+    t_base = baseline.time_to(target_loss)
+    t_cont = contender.time_to(target_loss)
+    if t_base is None or t_cont is None or t_cont == 0:
+        return None
+    return t_base / t_cont

@@ -1,0 +1,64 @@
+"""Checkpointing of server state to reliable external storage.
+
+Section 5.3: "PS2 periodically checkpoints the model parameters on each
+server to a reliable external storage.  When a server failure happens, the
+coordinator starts a new server and the new server recovers the latest model
+by loading from the checkpoints."  Reads and writes are charged at HDFS-like
+sequential throughput against the server's clock.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PSError
+
+#: Sequential throughput to/from the external store (bytes/second).
+STORAGE_BANDWIDTH = 200e6
+
+
+class CheckpointManager:
+    """Holds the latest durable snapshot per server."""
+
+    def __init__(self, cluster, storage_bandwidth=STORAGE_BANDWIDTH):
+        self.cluster = cluster
+        self.storage_bandwidth = float(storage_bandwidth)
+        self._snapshots = {}
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+
+    def checkpoint_server(self, server):
+        """Write *server*'s state to the store, charging the write time."""
+        nbytes = server.stored_bytes()
+        snapshot = server.snapshot()
+        self.cluster.charge_seconds(
+            server.node_id, nbytes / self.storage_bandwidth, tag="checkpoint"
+        )
+        self._snapshots[server.server_index] = {
+            "time": self.cluster.clock.now(server.node_id),
+            "bytes": nbytes,
+            "state": snapshot,
+        }
+        self.checkpoints_taken += 1
+        self.cluster.metrics.increment("checkpoints")
+
+    def checkpoint_all(self, servers):
+        """Checkpoint every server (the periodic sweep)."""
+        for server in servers:
+            self.checkpoint_server(server)
+
+    def has_checkpoint(self, server_index):
+        return server_index in self._snapshots
+
+    def recover_server(self, server):
+        """Load the latest snapshot into a replacement server."""
+        entry = self._snapshots.get(server.server_index)
+        if entry is None:
+            raise PSError(
+                "no checkpoint available for server %d" % server.server_index
+            )
+        self.cluster.charge_seconds(
+            server.node_id, entry["bytes"] / self.storage_bandwidth, tag="recovery"
+        )
+        server.restore(entry["state"])
+        self.recoveries += 1
+        self.cluster.metrics.increment("recoveries")
+        return entry["time"]

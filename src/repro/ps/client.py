@@ -1,0 +1,521 @@
+"""PS-client: the bridge between a worker (or the coordinator) and servers.
+
+Every executor hosts one client (Section 5.1).  The client resolves routing
+through the master's metadata, fans requests out to the owning servers, and
+waits for all responses — request/response traffic and server service time
+are charged to the shared cost model.  Sparse ("only the needed
+parameters") pulls and pushes are first-class, since the paper credits part
+of PS2's win over Petuum to exactly that.
+
+RPC timing model: a request occupies the client NIC, crosses the wire,
+queues behind earlier requests on the target server's CPU, is served, and
+(for ops with results) the response departs at *that request's* completion
+time.  Mutation-only ops (push, axpy, fills, update kernels) are
+fire-and-forget: the client never blocks on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import PSError, ServerDownError
+from repro.ps import messages
+from repro.ps.partitioner import ColumnLayout, RowLayout
+
+#: How many times an op is retried after a server recovery.
+MAX_SERVER_RETRIES = 3
+
+#: Client-side CPU cost of issuing one RPC (serialization, bookkeeping).
+RPC_CPU_SECONDS = 5e-6
+
+
+class PSClient:
+    """A worker-side handle for pull/push and server-side execution."""
+
+    def __init__(self, cluster, master, node_id):
+        self.cluster = cluster
+        self.master = master
+        self.node_id = node_id
+        self._known_matrices = set()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _layout(self, matrix_id):
+        """Resolve a matrix's layout, fetching the routing table once.
+
+        Section 5.1: the PS-master "provides some meta information,
+        including the locations and routing tables for PS-client to locate
+        parameters."  The first touch of each matrix costs one RPC to the
+        coordinator; afterwards the client routes from its cache.
+        """
+        layout = self.master.layout(matrix_id)
+        if matrix_id not in self._known_matrices:
+            from repro.cluster.cluster import DRIVER
+
+            if self.node_id != DRIVER:
+                network = self.cluster.network
+                arrival = network.transfer(
+                    self.node_id, DRIVER, messages.REQUEST_HEADER_BYTES,
+                    tag="routing:req", deliver=False,
+                )
+                # The master answers from its metadata cache; the response
+                # departs when THIS request was served, not when the
+                # driver's (unrelated) clock says.
+                response = network.transfer(
+                    DRIVER, self.node_id,
+                    messages.RESPONSE_HEADER_BYTES + 16 * layout.n_servers,
+                    tag="routing:resp", deliver=False,
+                    depart_at=arrival + RPC_CPU_SECONDS,
+                )
+                self.cluster.clock.set_at_least(self.node_id, response)
+            self._known_matrices.add(matrix_id)
+        return layout
+
+    def _charge_rpc(self, n_messages):
+        """Charge the client CPU for serializing *n_messages* requests."""
+        if n_messages:
+            self.cluster.charge_seconds(
+                self.node_id, RPC_CPU_SECONDS * n_messages, tag="rpc-cpu"
+            )
+
+    def _with_recovery(self, server, operation):
+        """Run *operation* against *server*, recovering it if it is down."""
+        for _ in range(MAX_SERVER_RETRIES + 1):
+            try:
+                return operation()
+            except ServerDownError:
+                self.master.recover(server.server_index)
+        raise PSError("server %s kept failing after recovery" % server.node_id)
+
+    def _request(self, server, request_bytes, operation, tag,
+                 response_bytes=None):
+        """One RPC against *server*; returns ``(value, response_arrival)``.
+
+        The request is transferred, queued on the server CPU (via
+        ``server.begin(arrival)``), and served.  With ``response_bytes``
+        set, a response is sent back departing at the request's completion
+        time and its arrival time is returned (the caller decides when to
+        block); otherwise the RPC is fire-and-forget and arrival is None.
+        """
+        network = self.cluster.network
+        arrival = network.transfer(
+            self.node_id, server.node_id, request_bytes,
+            tag=tag + ":req", deliver=False,
+        )
+
+        def serve():
+            server.begin(arrival)
+            return operation()
+
+        value = self._with_recovery(server, serve)
+        if response_bytes is None:
+            return value, None
+        response_arrival = network.transfer(
+            server.node_id, self.node_id, response_bytes,
+            tag=tag + ":resp", deliver=False,
+            depart_at=server.last_completion,
+        )
+        return value, response_arrival
+
+    def _await(self, arrivals):
+        """Block the client until the last outstanding response lands."""
+        arrivals = [a for a in arrivals if a is not None]
+        if arrivals:
+            self.cluster.clock.set_at_least(self.node_id, max(arrivals))
+
+    def _split_for_row(self, layout, row, indices):
+        """Map global *indices* to owning servers under *layout*."""
+        if isinstance(layout, ColumnLayout):
+            return layout.split_indices(indices)
+        if isinstance(layout, RowLayout):
+            return layout.split_indices_for_row(row, indices)
+        raise PSError("unsupported layout %r" % (layout,))
+
+    # -- row access: pull ----------------------------------------------------
+
+    def pull_row(self, matrix_id, row, indices=None):
+        """Pull one model row (dense) or selected columns of it (sparse).
+
+        Dense: returns the full row as a 1-D array of the matrix dimension.
+        Sparse: returns the values for *indices*, aligned with the input
+        order.  Requests fan out to every owning server in parallel; the
+        client resumes when the last response lands.
+        """
+        layout = self._layout(matrix_id)
+        if indices is None:
+            result = np.empty(layout.dim)
+            shards = layout.shards_for_row(row)
+            self._charge_rpc(len(shards))
+            arrivals = []
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                values, arrival = self._request(
+                    server,
+                    messages.dense_pull_request_bytes(),
+                    lambda s=server: s.read(matrix_id, row),
+                    tag="pull",
+                    response_bytes=messages.dense_pull_response_bytes(
+                        stop - start
+                    ),
+                )
+                result[start:stop] = values
+                arrivals.append(arrival)
+            self._await(arrivals)
+            return result
+
+        indices = np.asarray(indices, dtype=np.int64)
+        values_by_index = np.empty(indices.size)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        by_server = self._split_for_row(layout, row, sorted_indices)
+        self._charge_rpc(len(by_server))
+        arrivals = []
+        cursor = 0
+        for server_index in by_server:
+            server_indices = by_server[server_index]
+            server = self.master.server(server_index)
+            values, arrival = self._request(
+                server,
+                messages.sparse_pull_request_bytes(server_indices.size),
+                lambda s=server, gi=server_indices: s.read(matrix_id, row, gi),
+                tag="pull",
+                response_bytes=messages.sparse_pull_response_bytes(
+                    server_indices.size
+                ),
+            )
+            span = order[cursor : cursor + server_indices.size]
+            values_by_index[span] = values
+            cursor += server_indices.size
+            arrivals.append(arrival)
+        self._await(arrivals)
+        return values_by_index
+
+    # -- row access: push (fire-and-forget) ------------------------------------
+
+    def _push(self, matrix_id, row, values, indices, mode):
+        layout = self._layout(matrix_id)
+        values = np.asarray(values, dtype=float)
+        if indices is None:
+            if values.size != layout.dim:
+                raise PSError(
+                    "dense push of %d values into dim-%d matrix"
+                    % (values.size, layout.dim)
+                )
+            shards = layout.shards_for_row(row)
+            self._charge_rpc(len(shards))
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                block = values[start:stop]
+                self._request(
+                    server,
+                    messages.dense_push_bytes(block.size),
+                    self._push_op(server, matrix_id, row, block, None, mode),
+                    tag="push",
+                )
+            return
+
+        indices = np.asarray(indices, dtype=np.int64)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        sorted_values = values[order]
+        by_server = self._split_for_row(layout, row, sorted_indices)
+        self._charge_rpc(len(by_server))
+        cursor = 0
+        for server_index in by_server:
+            server_indices = by_server[server_index]
+            server = self.master.server(server_index)
+            block = sorted_values[cursor : cursor + server_indices.size]
+            cursor += server_indices.size
+            self._request(
+                server,
+                messages.sparse_push_bytes(server_indices.size),
+                self._push_op(server, matrix_id, row, block, server_indices,
+                              mode),
+                tag="push",
+            )
+
+    @staticmethod
+    def _push_op(server, matrix_id, row, block, indices, mode):
+        if mode == "add":
+            return lambda: server.add(matrix_id, row, block, indices)
+        if mode == "assign":
+            return lambda: server.assign(matrix_id, row, block, indices)
+        raise PSError("unknown push mode %r" % (mode,))
+
+    def push_add(self, matrix_id, row, values, indices=None):
+        """Accumulate a (dense or sparse) delta into a model row."""
+        self._push(matrix_id, row, values, indices, "add")
+
+    def push_assign(self, matrix_id, row, values, indices=None):
+        """Overwrite (all or selected columns of) a model row."""
+        self._push(matrix_id, row, values, indices, "assign")
+
+    # -- range access (contiguous column slices, dense-priced) -----------------
+
+    def _range_shards(self, layout, row, start, stop):
+        """Overlaps of ``[start, stop)`` with each server shard of *row*."""
+        overlaps = []
+        for server_index, s_start, s_stop in layout.shards_for_row(row):
+            lo = max(start, s_start)
+            hi = min(stop, s_stop)
+            if lo < hi:
+                overlaps.append((server_index, lo, hi))
+        return overlaps
+
+    def pull_range(self, matrix_id, row, start, stop):
+        """Pull the contiguous slice ``[start, stop)`` of a row.
+
+        Priced as a dense transfer (8 bytes/value): a range is described by
+        two integers, not per-index keys.  Used by pull/push-only baselines
+        whose workers each update a slice of the model.
+        """
+        layout = self._layout(matrix_id)
+        result = np.empty(int(stop) - int(start))
+        overlaps = self._range_shards(layout, row, int(start), int(stop))
+        self._charge_rpc(len(overlaps))
+        arrivals = []
+        for server_index, lo, hi in overlaps:
+            server = self.master.server(server_index)
+            span = np.arange(lo, hi, dtype=np.int64)
+            values, arrival = self._request(
+                server,
+                messages.dense_pull_request_bytes() + 2 * messages.INDEX_BYTES,
+                lambda s=server, gi=span: s.read(matrix_id, row, gi),
+                tag="pull",
+                response_bytes=messages.dense_pull_response_bytes(hi - lo),
+            )
+            result[lo - start : hi - start] = values
+            arrivals.append(arrival)
+        self._await(arrivals)
+        return result
+
+    def push_range(self, matrix_id, row, start, stop, values, mode="assign"):
+        """Write the contiguous slice ``[start, stop)`` (dense-priced)."""
+        layout = self._layout(matrix_id)
+        values = np.asarray(values, dtype=float)
+        overlaps = self._range_shards(layout, row, int(start), int(stop))
+        self._charge_rpc(len(overlaps))
+        for server_index, lo, hi in overlaps:
+            server = self.master.server(server_index)
+            block = values[lo - start : hi - start]
+            span = np.arange(lo, hi, dtype=np.int64)
+            self._request(
+                server,
+                messages.dense_push_bytes(block.size) + 2 * messages.INDEX_BYTES,
+                self._push_op(server, matrix_id, row, block, span, mode),
+                tag="push",
+            )
+
+    # -- block access (multi-row, shared indices) ------------------------------
+
+    def pull_block(self, matrix_id, rows, indices=None, value_bytes=None):
+        """Pull the same columns of several rows in one round trip per server.
+
+        Used by LDA to fetch the word-topic block for a worker's local
+        vocabulary: the column *indices* are shipped once, and each server
+        answers with a ``len(rows) x len(its indices)`` value block.
+        ``value_bytes`` overrides the per-value wire size (PS2's LDA ships
+        counts as 32-bit integers — the "message compression" of Section
+        6.3.3); it defaults to 8 (raw float64).
+
+        Returns a ``len(rows) x len(indices)`` array aligned with the input
+        index order (or ``len(rows) x dim`` for a dense pull).
+        """
+        layout = self._layout(matrix_id)
+        rows = list(rows)
+        if value_bytes is None:
+            value_bytes = messages.FLOAT_BYTES
+
+        def read_rows(server, global_indices):
+            return [
+                server.read(matrix_id, row, global_indices) for row in rows
+            ]
+
+        if indices is None:
+            block = np.empty((len(rows), layout.dim))
+            shards = layout.shards_for_row(rows[0])
+            self._charge_rpc(len(shards))
+            arrivals = []
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                values, arrival = self._request(
+                    server,
+                    messages.dense_pull_request_bytes(),
+                    lambda s=server: read_rows(s, None),
+                    tag="pull-block",
+                    response_bytes=messages.RESPONSE_HEADER_BYTES
+                    + len(rows) * (stop - start) * value_bytes,
+                )
+                for row_pos, row_values in enumerate(values):
+                    block[row_pos, start:stop] = row_values
+                arrivals.append(arrival)
+            self._await(arrivals)
+            return block
+
+        indices = np.asarray(indices, dtype=np.int64)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        by_server = self._split_for_row(layout, rows[0], sorted_indices)
+        self._charge_rpc(len(by_server))
+        block = np.empty((len(rows), indices.size))
+        arrivals = []
+        cursor = 0
+        for server_index in by_server:
+            server_indices = by_server[server_index]
+            server = self.master.server(server_index)
+            values, arrival = self._request(
+                server,
+                messages.sparse_pull_request_bytes(server_indices.size),
+                lambda s=server, gi=server_indices: read_rows(s, gi),
+                tag="pull-block",
+                response_bytes=messages.RESPONSE_HEADER_BYTES
+                + len(rows) * server_indices.size * value_bytes,
+            )
+            span = order[cursor : cursor + server_indices.size]
+            cursor += server_indices.size
+            for row_pos, row_values in enumerate(values):
+                block[row_pos, span] = row_values
+            arrivals.append(arrival)
+        self._await(arrivals)
+        return block
+
+    def push_block_add(self, matrix_id, rows, block, indices=None,
+                       value_bytes=None):
+        """Accumulate a multi-row delta block (fire-and-forget, like push)."""
+        layout = self._layout(matrix_id)
+        rows = list(rows)
+        block = np.asarray(block, dtype=float)
+        if value_bytes is None:
+            value_bytes = messages.FLOAT_BYTES
+
+        if indices is None:
+            shards = layout.shards_for_row(rows[0])
+            self._charge_rpc(len(shards))
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+
+                def add_rows(s=server, lo=start, hi=stop):
+                    for row_pos, row in enumerate(rows):
+                        s.add(matrix_id, row, block[row_pos, lo:hi])
+
+                self._request(
+                    server,
+                    messages.REQUEST_HEADER_BYTES
+                    + len(rows) * (stop - start) * value_bytes,
+                    add_rows,
+                    tag="push-block",
+                )
+            return
+
+        indices = np.asarray(indices, dtype=np.int64)
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        by_server = self._split_for_row(layout, rows[0], sorted_indices)
+        self._charge_rpc(len(by_server))
+        cursor = 0
+        for server_index in by_server:
+            server_indices = by_server[server_index]
+            server = self.master.server(server_index)
+            span = order[cursor : cursor + server_indices.size]
+            cursor += server_indices.size
+
+            def add_rows(s=server, gi=server_indices, sp=span):
+                for row_pos, row in enumerate(rows):
+                    s.add(matrix_id, row, block[row_pos, sp], gi)
+
+            self._request(
+                server,
+                messages.REQUEST_HEADER_BYTES
+                + server_indices.size * messages.INDEX_BYTES
+                + len(rows) * server_indices.size * value_bytes,
+                add_rows,
+                tag="push-block",
+            )
+
+    # -- aggregates and server-side execution --------------------------------
+
+    _COMBINE = {
+        "sum": sum,
+        "nnz": sum,
+        "sumsq": sum,
+        "max": max,
+        "min": min,
+    }
+
+    def aggregate_row(self, matrix_id, row, kind):
+        """A whole-row aggregate computed server-side; only scalars travel."""
+        if kind not in self._COMBINE:
+            raise PSError("unknown aggregate %r" % (kind,))
+        layout = self._layout(matrix_id)
+        shards = layout.shards_for_row(row)
+        self._charge_rpc(len(shards))
+        partials = []
+        arrivals = []
+        for server_index, _start, _stop in shards:
+            server = self.master.server(server_index)
+            partial, arrival = self._request(
+                server,
+                messages.scalar_op_request_bytes(),
+                lambda s=server: s.aggregate(matrix_id, row, kind),
+                tag="rowagg",
+                response_bytes=messages.scalar_response_bytes(),
+            )
+            partials.append(partial)
+            arrivals.append(arrival)
+        self._await(arrivals)
+        return float(self._COMBINE[kind](partials))
+
+    def execute(self, kernel, operands, args=None, n_response_scalars=1,
+                flops_per_server=None, wait_response=True):
+        """Run *kernel* server-side over co-located rows; gather partials.
+
+        ``operands`` is a list of ``(matrix_id, row)`` pairs sharing one
+        layout.  Only the op descriptor and the per-server scalar partials
+        cross the network — this is the DCV column-access fast path.
+        Returns the partial results in server-index order.
+
+        Pure-mutation kernels (axpy, elementwise updates) pass
+        ``wait_response=False``: like a push, the request is fire-and-forget
+        and the client does not block on acknowledgements.
+        """
+        if not operands:
+            raise PSError("execute needs at least one operand")
+        layout = self._layout(operands[0][0])
+        shards = layout.shards_for_row(operands[0][1])
+        self._charge_rpc(len(shards))
+        partials = []
+        arrivals = []
+        response_bytes = (
+            messages.scalar_response_bytes(n_response_scalars)
+            if wait_response else None
+        )
+        for server_index, _start, _stop in shards:
+            server = self.master.server(server_index)
+            partial, arrival = self._request(
+                server,
+                messages.scalar_op_request_bytes(len(operands)),
+                lambda s=server: s.execute_kernel(
+                    kernel, operands, args=args, flops=flops_per_server
+                ),
+                tag="kernel",
+                response_bytes=response_bytes,
+            )
+            partials.append(partial)
+            arrivals.append(arrival)
+        if wait_response:
+            self._await(arrivals)
+        return partials
+
+    def fill_row(self, matrix_id, row, value):
+        """Set every element of a row, server-side (fire-and-forget)."""
+        layout = self._layout(matrix_id)
+        shards = layout.shards_for_row(row)
+        self._charge_rpc(len(shards))
+        for server_index, _start, _stop in shards:
+            server = self.master.server(server_index)
+            self._request(
+                server,
+                messages.scalar_op_request_bytes(),
+                lambda s=server: s.fill(matrix_id, row, value),
+                tag="fill",
+            )

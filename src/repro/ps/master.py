@@ -1,0 +1,121 @@
+"""PS-master: matrix lifecycle, routing metadata and failure recovery.
+
+The master runs inside the coordinator (the Spark driver), as in Section 5.1:
+it "manages the lifetime of PS-servers, and provides some meta information,
+including the locations and routing tables for PS-client to locate
+parameters".
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import DRIVER
+from repro.common.errors import MatrixNotFoundError
+from repro.ps.checkpoint import CheckpointManager
+from repro.ps.messages import REQUEST_HEADER_BYTES
+from repro.ps.partitioner import ColumnLayout
+from repro.ps.server import PSServer
+
+
+class MatrixInfo:
+    """Metadata for one distributed model matrix."""
+
+    __slots__ = ("matrix_id", "dim", "n_rows", "layout", "name")
+
+    def __init__(self, matrix_id, dim, n_rows, layout, name):
+        self.matrix_id = matrix_id
+        self.dim = int(dim)
+        self.n_rows = int(n_rows)
+        self.layout = layout
+        self.name = name
+
+
+class PSMaster:
+    """Coordinator-resident manager of parameter servers and matrices."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.servers = [
+            PSServer(cluster, node_id, index)
+            for index, node_id in enumerate(cluster.servers)
+        ]
+        self.checkpoints = CheckpointManager(cluster)
+        self._matrices = {}
+        self._next_matrix_id = 0
+
+    @property
+    def n_servers(self):
+        return len(self.servers)
+
+    def server(self, index):
+        return self.servers[index]
+
+    # -- matrix lifecycle ---------------------------------------------------
+
+    def create_matrix(self, dim, n_rows=1, layout=None, init="zero", scale=0.01,
+                      name=None):
+        """Allocate an ``n_rows x dim`` model matrix across the servers.
+
+        Returns the matrix id.  Allocation sends one control message per
+        involved server; random initialization happens server-side with a
+        per-shard deterministic stream, so values do not depend on the number
+        of clients.
+        """
+        if layout is None:
+            layout = ColumnLayout(dim, self.n_servers)
+        matrix_id = self._next_matrix_id
+        self._next_matrix_id += 1
+        info = MatrixInfo(matrix_id, dim, n_rows, layout, name or "m%d" % matrix_id)
+        self._matrices[matrix_id] = info
+
+        involved = set()
+        for row in range(n_rows):
+            for server_index, start, stop in layout.shards_for_row(row):
+                involved.add(server_index)
+                rng = self.cluster.rng.get(
+                    "ps-init-%d-%d-%d" % (matrix_id, row, server_index)
+                )
+                self.servers[server_index].allocate_row(
+                    matrix_id, row, start, stop, init=init, rng=rng, scale=scale
+                )
+        for server_index in sorted(involved):
+            self.cluster.network.transfer(
+                DRIVER,
+                self.servers[server_index].node_id,
+                REQUEST_HEADER_BYTES,
+                tag="ps-allocate",
+            )
+        return matrix_id
+
+    def free_matrix(self, matrix_id):
+        """Release every shard of *matrix_id*."""
+        self._matrices.pop(matrix_id, None)
+        for server in self.servers:
+            server.drop_matrix(matrix_id)
+
+    def info(self, matrix_id):
+        try:
+            return self._matrices[matrix_id]
+        except KeyError:
+            raise MatrixNotFoundError("unknown matrix %r" % (matrix_id,)) from None
+
+    def layout(self, matrix_id):
+        return self.info(matrix_id).layout
+
+    # -- fault handling -----------------------------------------------------
+
+    def checkpoint_all(self):
+        """Periodic checkpoint sweep over all servers."""
+        self.checkpoints.checkpoint_all(self.servers)
+
+    def recover(self, server_index):
+        """Replace a failed server and reload its latest checkpoint.
+
+        Model updates since the last checkpoint are lost, exactly as in the
+        paper's recovery story; SGD-style training absorbs the regression.
+        """
+        server = self.servers[server_index]
+        server.revive()
+        self.checkpoints.recover_server(server)
+        self.cluster.network.transfer(
+            DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-recover"
+        )

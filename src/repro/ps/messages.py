@@ -1,0 +1,56 @@
+"""Wire-size accounting for PS protocol messages.
+
+The simulator does not serialize real bytes; it charges the sizes a compact
+binary protocol (PS2 uses Netty + Protobuf) would put on the wire.  Keeping
+the formulas in one place makes the communication model auditable.
+"""
+
+from __future__ import annotations
+
+from repro.common.sizeof import FLOAT_BYTES, INDEX_BYTES
+
+#: Matrix id + row id + op code + range descriptor.
+REQUEST_HEADER_BYTES = 48
+
+#: Status + matrix id + row id.
+RESPONSE_HEADER_BYTES = 32
+
+
+def dense_pull_request_bytes():
+    """Pull of a full row shard: just the header (range implied by routing)."""
+    return REQUEST_HEADER_BYTES
+
+
+def sparse_pull_request_bytes(n_indices):
+    """Pull of selected columns: header + one 64-bit key per column."""
+    return REQUEST_HEADER_BYTES + int(n_indices) * INDEX_BYTES
+
+
+def dense_pull_response_bytes(n_values):
+    """Response carrying a dense value block."""
+    return RESPONSE_HEADER_BYTES + int(n_values) * FLOAT_BYTES
+
+
+def sparse_pull_response_bytes(n_values):
+    """Response carrying values only (client re-associates with its keys)."""
+    return RESPONSE_HEADER_BYTES + int(n_values) * FLOAT_BYTES
+
+
+def dense_push_bytes(n_values):
+    """Push of a dense delta block."""
+    return REQUEST_HEADER_BYTES + int(n_values) * FLOAT_BYTES
+
+
+def sparse_push_bytes(n_indices):
+    """Push of a sparse delta: key + value per entry."""
+    return REQUEST_HEADER_BYTES + int(n_indices) * (INDEX_BYTES + FLOAT_BYTES)
+
+
+def scalar_op_request_bytes(n_operands=1):
+    """Server-side op descriptor: header + operand matrix/row references."""
+    return REQUEST_HEADER_BYTES + int(n_operands) * INDEX_BYTES
+
+
+def scalar_response_bytes(n_scalars=1):
+    """Response carrying aggregate scalars (dot partials, norms, gains)."""
+    return RESPONSE_HEADER_BYTES + int(n_scalars) * FLOAT_BYTES

@@ -1,0 +1,163 @@
+"""Model-matrix placement strategies.
+
+The paper contrasts two placements:
+
+- **Column layout** (PS2 / DCV, Section 4.3): every row of the model matrix
+  is range-partitioned over all servers, so row access parallelizes across
+  servers and same-index slices of sibling rows are co-located.
+- **Row layout** (Petuum-style): each row (one whole model vector) lives on a
+  single server, so accessing one vector is a single-server operation — the
+  "single-point problem" the paper attributes to row partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class ColumnLayout:
+    """Contiguous range partitioning of ``[0, dim)`` over *n_servers*.
+
+    The range at position *p* (near-equal sizes, differing by at most one)
+    is owned by server ``(p + rotation) % n_servers``.  The *rotation* models
+    the placement randomization real parameter servers apply for load
+    balancing: two matrices allocated independently land on different
+    rotations, so their equal column ranges live on **different** servers —
+    which is exactly why the paper's ``derive`` operator (same pool, same
+    rotation) is needed for co-location (Figure 4).
+    """
+
+    kind = "column"
+
+    def __init__(self, dim, n_servers, rotation=0, block=1):
+        if dim <= 0:
+            raise ConfigError("dim must be positive, got %r" % (dim,))
+        if n_servers <= 0:
+            raise ConfigError("n_servers must be positive, got %r" % (n_servers,))
+        if block <= 0:
+            raise ConfigError("block must be positive, got %r" % (block,))
+        self.dim = int(dim)
+        self.n_servers = int(n_servers)
+        self.rotation = int(rotation) % self.n_servers
+        self.block = int(block)
+        # Partition boundaries fall on multiples of `block`, so logically
+        # indivisible groups of columns (e.g. one feature's histogram bins
+        # in GBDT) never straddle two servers.
+        n_blocks = -(-self.dim // self.block)
+        base, extra = divmod(n_blocks, self.n_servers)
+        block_sizes = [
+            base + (1 if p < extra else 0) for p in range(self.n_servers)
+        ]
+        bounds = np.cumsum([0] + block_sizes) * self.block
+        self.bounds = np.minimum(bounds, self.dim)
+
+    def _server_at_position(self, position):
+        return (position + self.rotation) % self.n_servers
+
+    def range_of_position(self, position):
+        """Column range ``(start, stop)`` at partition *position*."""
+        return int(self.bounds[position]), int(self.bounds[position + 1])
+
+    def server_of(self, column):
+        """The server owning *column*."""
+        if not 0 <= column < self.dim:
+            raise ConfigError("column %r out of range [0, %d)" % (column, self.dim))
+        position = int(np.searchsorted(self.bounds, column, side="right") - 1)
+        return self._server_at_position(position)
+
+    def shards_for_row(self, row):
+        """All ``(server_index, start, stop)`` shards of any row."""
+        return [
+            (self._server_at_position(p),) + self.range_of_position(p)
+            for p in range(self.n_servers)
+            if self.bounds[p + 1] > self.bounds[p]
+        ]
+
+    def split_indices(self, indices):
+        """Group *indices* by owning server.
+
+        Returns ``{server_index: global_indices_array}`` with empty servers
+        omitted.  Input need not be sorted; output arrays are sorted, and
+        the dict's iteration order follows ascending COLUMN ranges (clients
+        rely on this: walking the groups in order re-assembles the sorted
+        index sequence, rotation or not).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return {}
+        indices = np.sort(indices)
+        positions = np.searchsorted(self.bounds, indices, side="right") - 1
+        result = {}
+        for position in np.unique(positions):
+            server_index = self._server_at_position(int(position))
+            result[server_index] = indices[positions == position]
+        return result
+
+    def same_layout(self, other):
+        """Whether *other* places columns identically (co-location test)."""
+        return (
+            isinstance(other, ColumnLayout)
+            and self.dim == other.dim
+            and self.n_servers == other.n_servers
+            and self.rotation == other.rotation
+            and self.block == other.block
+        )
+
+    def __eq__(self, other):
+        return self.same_layout(other)
+
+    def __hash__(self):
+        return hash(
+            (self.kind, self.dim, self.n_servers, self.rotation, self.block)
+        )
+
+    def __repr__(self):
+        return "ColumnLayout(dim=%d, n_servers=%d, rotation=%d, block=%d)" % (
+            self.dim,
+            self.n_servers,
+            self.rotation,
+            self.block,
+        )
+
+
+class RowLayout:
+    """One whole row per server (Petuum-style row partitioning).
+
+    Row *r* of the matrix lives, in full, on server ``r % n_servers``.
+    """
+
+    kind = "row"
+
+    def __init__(self, dim, n_servers):
+        if dim <= 0:
+            raise ConfigError("dim must be positive, got %r" % (dim,))
+        if n_servers <= 0:
+            raise ConfigError("n_servers must be positive, got %r" % (n_servers,))
+        self.dim = int(dim)
+        self.n_servers = int(n_servers)
+
+    def shards_for_row(self, row):
+        return [(int(row) % self.n_servers, 0, self.dim)]
+
+    def split_indices_for_row(self, row, indices):
+        """All of *indices* map to row's single owning server."""
+        indices = np.sort(np.asarray(indices, dtype=np.int64))
+        return {int(row) % self.n_servers: indices}
+
+    def same_layout(self, other):
+        return (
+            isinstance(other, RowLayout)
+            and self.dim == other.dim
+            and self.n_servers == other.n_servers
+        )
+
+    def __eq__(self, other):
+        return self.same_layout(other)
+
+    def __hash__(self):
+        return hash((self.kind, self.dim, self.n_servers))
+
+    def __repr__(self):
+        return "RowLayout(dim=%d, n_servers=%d)" % (self.dim, self.n_servers)

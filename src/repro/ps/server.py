@@ -1,0 +1,267 @@
+"""Parameter server: shard storage plus server-side compute kernels.
+
+Each :class:`PSServer` owns one simulated machine and stores, per model
+matrix, the row shards assigned to it by the matrix layout.  All mutations
+and kernel executions charge compute time to the server's virtual clock, so
+server-side computation is not free — it is merely local.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resource import TimelineResource
+from repro.common.errors import MatrixNotFoundError, PSError, ServerDownError
+
+#: Flops charged per element for simple elementwise mutations.
+ELEMENTWISE_FLOPS = 2.0
+
+#: Flops charged per element per operand for zip kernels (default estimate).
+KERNEL_FLOPS_PER_ELEMENT = 3.0
+
+
+class RowShard:
+    """The slice ``[start, stop)`` of one model row held by one server."""
+
+    __slots__ = ("start", "stop", "values")
+
+    def __init__(self, start, stop, values):
+        self.start = int(start)
+        self.stop = int(stop)
+        self.values = values
+
+    def local(self, global_indices):
+        """Convert global column indices into this shard's local offsets."""
+        return np.asarray(global_indices, dtype=np.int64) - self.start
+
+    def __len__(self):
+        return self.stop - self.start
+
+
+class PSServer:
+    """One parameter server process."""
+
+    def __init__(self, cluster, node_id, server_index):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.server_index = int(server_index)
+        self.alive = True
+        self._store = {}
+        self.cpu = TimelineResource()
+        self.last_completion = 0.0
+        self._arrival = None
+
+    # -- request service model ----------------------------------------------
+
+    def begin(self, arrival):
+        """Mark the arrival time of the request about to be served.
+
+        Clients call this between delivering a request and invoking the
+        operation, so service time queues on this server's CPU from the
+        request's arrival instead of being welded to an unrelated global
+        clock.
+        """
+        self._arrival = float(arrival)
+
+    def _service(self, flops, tag):
+        """Book *flops* of work on the server CPU; returns completion time.
+
+        CPU capacity uses the same order-insensitive interval reservation
+        as NICs, so concurrent clients' requests serialize by genuine
+        overlap, not by simulation processing order.  Several operations
+        serving ONE request (e.g. the per-row reads of a block pull) chain:
+        each starts no earlier than the previous one's completion, all
+        anchored at the request's arrival — never at the global server
+        clock, which other clients' unrelated requests inflate.
+        """
+        arrival = self._arrival
+        if arrival is None:
+            arrival = self.cluster.clock.now(self.node_id)
+        seconds = self.cluster.node(self.node_id).compute_seconds(flops)
+        start = self.cpu.reserve(arrival, seconds)
+        self.last_completion = start + seconds
+        self._arrival = self.last_completion
+        self.cluster.metrics.record_compute(self.node_id, seconds, tag=tag)
+        self.cluster.clock.set_at_least(self.node_id, self.last_completion)
+        return self.last_completion
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _check_alive(self):
+        """Apply any scheduled crash, then verify the server is up."""
+        if self.alive:
+            now = self.cluster.clock.now(self.node_id)
+            if self.cluster.failures.due_server_failures(self.node_id, now):
+                self.crash()
+        if not self.alive:
+            raise ServerDownError("server %s is down" % self.node_id)
+
+    def crash(self):
+        """Lose all state (a fraction of the model), as in Section 5.3."""
+        self.alive = False
+        self._store.clear()
+        self.cluster.metrics.increment("server-crashes")
+
+    def revive(self):
+        """Bring the (replacement) server up with empty state."""
+        self.alive = True
+
+    # -- storage ----------------------------------------------------------
+
+    def allocate_row(self, matrix_id, row, start, stop, init="zero", rng=None,
+                     scale=1.0):
+        """Create the local shard of (*matrix_id*, *row*)."""
+        self._check_alive()
+        length = int(stop) - int(start)
+        if init == "zero":
+            values = np.zeros(length)
+        elif init == "random":
+            if rng is None:
+                raise PSError("random init requires an rng")
+            values = rng.standard_normal(length) * float(scale)
+        elif init == "uniform":
+            if rng is None:
+                raise PSError("uniform init requires an rng")
+            values = (rng.random(length) - 0.5) * 2.0 * float(scale)
+        else:
+            raise PSError("unknown init %r" % (init,))
+        rows = self._store.setdefault(matrix_id, {})
+        rows[int(row)] = RowShard(start, stop, values)
+
+    def drop_matrix(self, matrix_id):
+        """Free every shard of *matrix_id* (idempotent)."""
+        self._store.pop(matrix_id, None)
+
+    def shard(self, matrix_id, row):
+        """The local shard of (*matrix_id*, *row*); raises if absent."""
+        self._check_alive()
+        try:
+            return self._store[matrix_id][int(row)]
+        except KeyError:
+            raise MatrixNotFoundError(
+                "server %s has no shard for matrix %r row %r"
+                % (self.node_id, matrix_id, row)
+            ) from None
+
+    def has_shard(self, matrix_id, row):
+        return matrix_id in self._store and int(row) in self._store[matrix_id]
+
+    def stored_bytes(self):
+        """Bytes of model state held (used for checkpoint cost)."""
+        return sum(
+            shard.values.nbytes
+            for rows in self._store.values()
+            for shard in rows.values()
+        )
+
+    # -- row access (pull/push side) ---------------------------------------
+
+    def read(self, matrix_id, row, global_indices=None):
+        """Return a copy of the shard (or of selected global indices)."""
+        shard = self.shard(matrix_id, row)
+        if global_indices is None:
+            values = shard.values.copy()
+        else:
+            values = shard.values[shard.local(global_indices)]
+        self._service(max(1.0, values.size), "ps-read")
+        return values
+
+    def add(self, matrix_id, row, values, global_indices=None):
+        """Accumulate *values* into the shard (the PS ``add``/push-add)."""
+        shard = self.shard(matrix_id, row)
+        if global_indices is None:
+            shard.values += values
+            n = shard.values.size
+        else:
+            np.add.at(shard.values, shard.local(global_indices), values)
+            n = len(values)
+        self._service(ELEMENTWISE_FLOPS * max(1, n), "ps-add")
+
+    def assign(self, matrix_id, row, values, global_indices=None):
+        """Overwrite the shard (or selected indices) with *values*."""
+        shard = self.shard(matrix_id, row)
+        if global_indices is None:
+            shard.values[:] = values
+            n = shard.values.size
+        else:
+            shard.values[shard.local(global_indices)] = values
+            n = len(values)
+        self._service(max(1, n), "ps-assign")
+
+    def fill(self, matrix_id, row, value):
+        """Set every element of the local shard to *value*."""
+        shard = self.shard(matrix_id, row)
+        shard.values.fill(float(value))
+        self._service(max(1, shard.values.size), "ps-fill")
+
+    # -- server-side aggregates --------------------------------------------
+
+    def aggregate(self, matrix_id, row, kind):
+        """Local partial of a row aggregate: sum / nnz / sumsq / max / min."""
+        shard = self.shard(matrix_id, row)
+        values = shard.values
+        self._service(ELEMENTWISE_FLOPS * max(1, values.size), "ps-agg")
+        if kind == "sum":
+            return float(values.sum())
+        if kind == "nnz":
+            return float(np.count_nonzero(values))
+        if kind == "sumsq":
+            return float(np.dot(values, values))
+        if kind == "max":
+            return float(values.max()) if values.size else -np.inf
+        if kind == "min":
+            return float(values.min()) if values.size else np.inf
+        raise PSError("unknown aggregate %r" % (kind,))
+
+    # -- server-side kernels (the DCV column ops) ---------------------------
+
+    def execute_kernel(self, kernel, operands, args=None, flops=None):
+        """Run *kernel* over co-located shard value arrays.
+
+        ``operands`` is a list of ``(matrix_id, row)`` pairs; every shard
+        must cover the same column range (guaranteed by DCV co-location).
+        The kernel receives the list of 1-D arrays **by reference** — it may
+        mutate them in place — plus ``args``, and returns a (small) partial
+        result that the caller ships back as scalars.
+        """
+        shards = [self.shard(matrix_id, row) for matrix_id, row in operands]
+        ranges = {(shard.start, shard.stop) for shard in shards}
+        if len(ranges) > 1:
+            raise PSError(
+                "kernel operands are not aligned on server %s: %r"
+                % (self.node_id, sorted(ranges))
+            )
+        arrays = [shard.values for shard in shards]
+        if flops is None:
+            width = arrays[0].size if arrays else 0
+            flops = KERNEL_FLOPS_PER_ELEMENT * max(1, width) * max(1, len(arrays))
+        self._service(flops, "ps-kernel")
+        kwargs = dict(args or {})
+        if getattr(kernel, "_wants_range", False):
+            kwargs["start"] = shards[0].start
+            kwargs["stop"] = shards[0].stop
+        return kernel(arrays, **kwargs)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self):
+        """Deep copy of all shard state (for the checkpoint manager)."""
+        self._check_alive()
+        return {
+            matrix_id: {
+                row: RowShard(shard.start, shard.stop, shard.values.copy())
+                for row, shard in rows.items()
+            }
+            for matrix_id, rows in self._store.items()
+        }
+
+    def restore(self, snapshot):
+        """Replace all state with *snapshot* (deep-copied in)."""
+        self._store = {
+            matrix_id: {
+                row: RowShard(shard.start, shard.stop, shard.values.copy())
+                for row, shard in rows.items()
+            }
+            for matrix_id, rows in snapshot.items()
+        }
+        self.alive = True

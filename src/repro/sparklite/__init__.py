@@ -1,0 +1,34 @@
+"""sparklite: a miniature Spark (driver, executors, RDDs) over the simulator."""
+
+from repro.sparklite.broadcast import Broadcast
+from repro.sparklite.context import SparkContext
+from repro.sparklite.rdd import (
+    CachedRDD,
+    MapPartitionsRDD,
+    ParallelizedRDD,
+    RDD,
+    RECORD_FLOPS,
+    SampledRDD,
+)
+from repro.sparklite.scheduler import (
+    Scheduler,
+    TASK_DESCRIPTION_BYTES,
+    TASK_OVERHEAD_SECONDS,
+)
+from repro.sparklite.task import TaskContext, with_context
+
+__all__ = [
+    "Broadcast",
+    "SparkContext",
+    "CachedRDD",
+    "MapPartitionsRDD",
+    "ParallelizedRDD",
+    "RDD",
+    "RECORD_FLOPS",
+    "SampledRDD",
+    "Scheduler",
+    "TASK_DESCRIPTION_BYTES",
+    "TASK_OVERHEAD_SECONDS",
+    "TaskContext",
+    "with_context",
+]

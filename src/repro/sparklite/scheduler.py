@@ -1,0 +1,181 @@
+"""Stage/task scheduler over the simulated cluster.
+
+One action = one stage = one task per partition.  Tasks are assigned to
+executors round-robin, launched with a small driver->executor control
+message, retried on injected failures (discarding any deferred PS effects,
+which is the exactly-once push guarantee), and their results are shipped to
+the driver through the shared network model — so driver incast is charged
+exactly as the paper measures it.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import DRIVER
+from repro.common.errors import JobAbortedError, TaskError
+from repro.common.sizeof import sizeof
+from repro.sparklite.task import TaskContext
+
+#: Control-plane message carrying a serialized task closure.
+TASK_DESCRIPTION_BYTES = 512
+
+#: Fixed per-task launch overhead on the executor (deserialization, setup).
+TASK_OVERHEAD_SECONDS = 1e-3
+
+
+class Scheduler:
+    """Runs stages of tasks over the cluster's executors."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._next_stage_id = 0
+        self.tasks_launched = 0
+        self.tasks_failed = 0
+        self._placements = {}
+
+    def executor_for(self, partition_id):
+        """Deterministic partition -> executor placement over live executors.
+
+        When an executor dies its partitions redistribute over the
+        survivors; the first task touching a moved partition is charged the
+        input reload (Section 5.3's executor-failure recovery).
+        """
+        executors = self.cluster.alive_executors
+        if not executors:
+            raise JobAbortedError("no live executors remain")
+        return executors[partition_id % len(executors)]
+
+    def run_stage(self, rdd, action, tag="stage", gather_results=True):
+        """Execute ``action(ctx, iterator)`` once per partition.
+
+        Returns the per-partition results (gathered at the driver) or, with
+        ``gather_results=False``, a list of ``(executor_id, result)`` pairs
+        left in place on the executors.
+        """
+        stage_id = self._next_stage_id
+        self._next_stage_id += 1
+        results = []
+        arrivals = []
+        committed = []
+        network = self.cluster.network
+        failures = self.cluster.failures
+        stage_start = self.cluster.clock.now(DRIVER)
+
+        for partition_id in range(rdd.get_num_partitions()):
+            executor = self.executor_for(partition_id)
+            # Executors run their queued tasks after the driver submitted the
+            # stage, but in parallel with each other.
+            self.cluster.clock.set_at_least(executor, stage_start)
+            previous = self._placements.get(partition_id)
+            if previous is not None and previous != executor:
+                # The partition moved (executor failure): reload its input.
+                nbytes = rdd.base_partition_nbytes(partition_id) or 0
+                network.transfer(
+                    DRIVER, executor, nbytes, tag="executor-recovery"
+                )
+                self.cluster.metrics.increment("partition-reloads")
+            self._placements[partition_id] = executor
+            attempt = 0
+            while True:
+                self.tasks_launched += 1
+                network.transfer(
+                    DRIVER, executor, TASK_DESCRIPTION_BYTES, tag="task-launch"
+                )
+                self.cluster.charge_seconds(
+                    executor, TASK_OVERHEAD_SECONDS, tag="task-overhead"
+                )
+                ctx = TaskContext(
+                    self.cluster, executor, stage_id, partition_id, attempt
+                )
+                try:
+                    result = action(ctx, rdd.compute(ctx, partition_id))
+                except TaskError:
+                    raise
+                except Exception as exc:
+                    ctx.abandon()
+                    raise TaskError(
+                        "task failed on %s: %r" % (executor, exc),
+                        stage_id=stage_id,
+                        partition_id=partition_id,
+                        attempt=attempt,
+                    ) from exc
+                if failures.should_fail_task():
+                    # The attempt's compute and pull traffic was already
+                    # charged (it really happened); its deferred pushes are
+                    # dropped so a retry can never double-apply them.
+                    ctx.abandon()
+                    self.tasks_failed += 1
+                    self.cluster.metrics.increment("task-retries")
+                    attempt += 1
+                    if attempt > failures.max_task_retries:
+                        raise JobAbortedError(
+                            "partition %d of stage %d exhausted %d retries"
+                            % (partition_id, stage_id, failures.max_task_retries)
+                        )
+                    continue
+                committed.append(ctx)
+                break
+            if gather_results:
+                arrivals.append(
+                    network.transfer(
+                        executor, DRIVER, sizeof(result),
+                        tag=tag + ":result", deliver=False,
+                    )
+                )
+                results.append(result)
+            else:
+                results.append((executor, result))
+
+        # Apply deferred side effects (PS pushes) only now, after every
+        # task of the stage has computed.  Tasks of one stage must never
+        # observe each other's pushes — that is exactly what Spark's stage
+        # barrier guarantees, and what keeps the sequentially-simulated
+        # tasks statistically identical to truly concurrent ones.
+        for ctx in committed:
+            ctx.commit()
+
+        # Stage barrier: the driver proceeds only once every result landed.
+        # (Results are gathered with deliver=False so that tasks run in
+        # parallel; syncing per-result would serialize the stage.)
+        if arrivals:
+            self.cluster.clock.set_at_least(DRIVER, max(arrivals))
+        return results
+
+    def tree_combine(self, placed_results, zero_value, comb_op, depth=2):
+        """Pairwise executor-side combining before the driver merge.
+
+        ``placed_results`` is the ``(executor, result)`` list produced by
+        ``run_stage(..., gather_results=False)``.  Each round halves the
+        number of live partials by shipping odd-indexed partials to their
+        even-indexed neighbor, charging the transfer and a combine cost on
+        the receiving executor.
+        """
+        survivors = list(placed_results)
+        network = self.cluster.network
+        for _ in range(max(0, depth)):
+            if len(survivors) <= 1:
+                break
+            merged = []
+            for i in range(0, len(survivors), 2):
+                if i + 1 >= len(survivors):
+                    merged.append(survivors[i])
+                    continue
+                dst_exec, dst_val = survivors[i]
+                src_exec, src_val = survivors[i + 1]
+                network.transfer(
+                    src_exec, dst_exec, sizeof(src_val), tag="tree-combine"
+                )
+                combined = comb_op(dst_val, src_val)
+                self.cluster.charge_flops(
+                    dst_exec, max(1.0, sizeof(src_val) / 8.0), tag="tree-combine"
+                )
+                merged.append((dst_exec, combined))
+            survivors = merged
+
+        result = zero_value
+        from repro.sparklite.rdd import _copy_zero
+
+        result = _copy_zero(zero_value)
+        for executor, value in survivors:
+            network.transfer(executor, DRIVER, sizeof(value), tag="tree-combine")
+            result = comb_op(result, value)
+        return result

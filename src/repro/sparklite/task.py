@@ -1,0 +1,63 @@
+"""Task-side context handed to every partition function.
+
+The context lets user code charge compute cost to the executor's virtual
+clock and defer side effects (parameter-server pushes) until the task
+commits.  Deferral is what gives PS2 its exactly-once push semantics under
+task retry (Section 5.3 of the paper): the push is the last action of a
+task, so a retried task never double-pushes.
+"""
+
+from __future__ import annotations
+
+
+class TaskContext:
+    """Per-attempt state visible to partition functions."""
+
+    def __init__(self, cluster, executor, stage_id, partition_id, attempt):
+        self.cluster = cluster
+        self.executor = executor
+        self.stage_id = stage_id
+        self.partition_id = partition_id
+        self.attempt = attempt
+        self._deferred = []
+
+    def charge_flops(self, flops, tag="task"):
+        """Charge *flops* of compute to this task's executor."""
+        self.cluster.charge_flops(self.executor, flops, tag=tag)
+
+    def charge_seconds(self, seconds, tag="task"):
+        """Charge an explicit duration to this task's executor."""
+        self.cluster.charge_seconds(self.executor, seconds, tag=tag)
+
+    def defer(self, effect):
+        """Register a zero-argument callable to run iff the task commits."""
+        self._deferred.append(effect)
+
+    def commit(self):
+        """Run the deferred effects (called by the scheduler on success)."""
+        for effect in self._deferred:
+            effect()
+        self._deferred = []
+
+    def abandon(self):
+        """Drop the deferred effects (called by the scheduler on failure)."""
+        self._deferred = []
+
+
+def call_partition_function(func, ctx, iterator):
+    """Invoke *func* with or without the TaskContext, by arity convention.
+
+    Partition functions may be written as ``f(iterator)`` (Spark style) or
+    ``f(ctx, iterator)`` when they need cost charging / deferred effects.
+    The two-argument form is detected via a function attribute set by
+    :func:`with_context`, avoiding fragile signature inspection of lambdas.
+    """
+    if getattr(func, "_wants_task_context", False):
+        return func(ctx, iterator)
+    return func(iterator)
+
+
+def with_context(func):
+    """Mark *func* as taking ``(ctx, iterator)`` instead of ``(iterator)``."""
+    func._wants_task_context = True
+    return func

@@ -1,0 +1,175 @@
+"""Baseline-system tests: MLlib breakdowns, Petuum, DistML, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ring_allreduce,
+    train_lda_glint,
+    train_lda_mllib,
+    train_lda_petuum,
+    train_lr_distml,
+    train_lr_mllib,
+    train_lr_petuum,
+    train_lr_ps_pushpull,
+)
+from repro.data import sparse_classification, synthetic_corpus
+from repro.ml import train_lda, train_logistic_regression
+
+
+@pytest.fixture(scope="module")
+def lr_data():
+    rows, _ = sparse_classification(300, 4000, 15, seed=33)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def lda_data():
+    docs, _ = synthetic_corpus(60, 120, n_topics=4, doc_length=25, seed=33)
+    return docs
+
+
+def test_mllib_breakdown_covers_iteration(make_ps2, lr_data):
+    result = train_lr_mllib(make_ps2(), lr_data, 4000, n_iterations=4,
+                            batch_fraction=0.3, seed=33)
+    breakdown = result.extras["breakdown"]
+    assert set(breakdown) == {"broadcast", "gradient", "aggregation", "update"}
+    assert all(v >= 0 for v in breakdown.values())
+    assert sum(breakdown.values()) <= result.elapsed + 1e-9
+
+
+def test_mllib_aggregation_dominates_at_high_dim(make_ps2):
+    """Figure 1(b): the driver-side communication dominates big models."""
+    rows, _ = sparse_classification(200, 60000, 10, seed=1)
+    result = train_lr_mllib(make_ps2(n_executors=8), rows, 60000,
+                            n_iterations=3, batch_fraction=0.3, seed=1)
+    b = result.extras["breakdown"]
+    comm = b["broadcast"] + b["aggregation"]
+    assert comm > b["gradient"] + b["update"]
+
+
+def test_mllib_loss_matches_ps2(make_ps2, lr_data):
+    """Same SGD on both architectures: identical loss trajectories."""
+    kwargs = dict(n_iterations=4, batch_fraction=0.3, seed=33)
+    a = train_logistic_regression(make_ps2(), lr_data, 4000, optimizer="sgd",
+                                  **kwargs)
+    b = train_lr_mllib(make_ps2(), lr_data, 4000, optimizer="sgd", **kwargs)
+    for (_ta, la), (_tb, lb) in zip(a.history, b.history):
+        assert la == pytest.approx(lb, rel=1e-9)
+
+
+def test_mllib_unknown_optimizer(make_ps2, lr_data):
+    from repro.common.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        train_lr_mllib(make_ps2(), lr_data, 4000, optimizer="ftrl")
+
+
+def test_mllib_target_loss_stops(make_ps2, lr_data):
+    result = train_lr_mllib(make_ps2(), lr_data, 4000, n_iterations=60,
+                            batch_fraction=0.5, seed=33, target_loss=0.6,
+                            learning_rate=1.0)
+    assert result.iterations < 60
+
+
+def test_petuum_converges_but_pulls_dense(make_ps2, lr_data):
+    ctx = make_ps2()
+    result = train_lr_petuum(ctx, lr_data, 4000, n_iterations=6,
+                             batch_fraction=0.3, seed=33, learning_rate=1.0)
+    assert result.final_loss < result.history[0][1] + 1e-9
+    # Dense pulls: ~dim float64 values per worker per iteration.
+    pulled = ctx.metrics.bytes_for_tag("pull:resp")
+    assert pulled > 6 * 4 * 4000 * 8  # iters * workers * dim * 8
+
+
+def test_ps2_pulls_less_than_petuum(make_ps2, lr_data):
+    kwargs = dict(n_iterations=5, batch_fraction=0.1, seed=33)
+    ctx_a = make_ps2()
+    train_logistic_regression(ctx_a, lr_data, 4000, optimizer="sgd", **kwargs)
+    ctx_b = make_ps2()
+    train_lr_petuum(ctx_b, lr_data, 4000, **kwargs)
+    assert ctx_a.metrics.bytes_for_tag("pull:resp") < \
+        ctx_b.metrics.bytes_for_tag("pull:resp")
+
+
+def test_distml_stays_flat_where_ps2_converges(make_ps2, lr_data):
+    """Figure 10(a): DistML's loss hovers at its starting value while the
+    synchronized systems descend."""
+    kwargs = dict(n_iterations=12, batch_fraction=0.3, seed=33)
+    sane = train_logistic_regression(make_ps2(), lr_data, 4000,
+                                     optimizer="sgd", **kwargs)
+    broken = train_lr_distml(make_ps2(), lr_data, 4000,
+                             learning_rate=0.618, **kwargs)
+    assert sane.final_loss < 0.95 * np.log(2)
+    # DistML never makes sustained progress: every recorded loss stays in
+    # a band around log(2).
+    distml_losses = [l for _t, l in broken.history]
+    assert min(distml_losses) > 0.8 * np.log(2)
+
+
+def test_pushpull_sgd_variant(make_ps2, lr_data):
+    result = train_lr_ps_pushpull(make_ps2(), lr_data, 4000, optimizer="sgd",
+                                  n_iterations=3, batch_fraction=0.3, seed=33)
+    assert result.system == "PS-SGD"
+    assert len(result.history) == 3
+
+
+def test_pushpull_rejects_unknown_optimizer(make_ps2, lr_data):
+    from repro.common.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        train_lr_ps_pushpull(make_ps2(), lr_data, 4000, optimizer="lbfgs")
+
+
+def test_lda_mllib_matches_ps2_statistics(make_ps2, lda_data):
+    a = train_lda(make_ps2(), lda_data, 120, n_topics=4, n_iterations=3,
+                  seed=33)
+    b = train_lda_mllib(make_ps2(), lda_data, 120, n_topics=4,
+                        n_iterations=3, seed=33)
+    for (_ta, la), (_tb, lb) in zip(a.history, b.history):
+        assert la == pytest.approx(lb, rel=1e-9)
+
+
+def test_lda_mllib_slower_than_ps2(make_ps2):
+    """With a model wide enough that bytes dominate round-trip latency,
+    broadcasting the full word-topic matrix loses to sparse PS pulls."""
+    docs, _ = synthetic_corpus(60, 3000, n_topics=6, doc_length=25, seed=33)
+    a = train_lda(make_ps2(), docs, 3000, n_topics=32, n_iterations=3,
+                  seed=33)
+    b = train_lda_mllib(make_ps2(), docs, 3000, n_topics=32,
+                        n_iterations=3, seed=33)
+    assert b.elapsed > a.elapsed
+
+
+def test_lda_wrappers_label_systems(make_ps2, lda_data):
+    glint = train_lda_glint(make_ps2(), lda_data, 120, n_topics=4,
+                            n_iterations=2, seed=1)
+    petuum = train_lda_petuum(make_ps2(), lda_data, 120, n_topics=4,
+                              n_iterations=2, seed=1)
+    assert glint.system == "Glint-LDA"
+    assert petuum.system == "Petuum-LDA"
+
+
+# -- ring allreduce --------------------------------------------------------------
+
+def test_ring_allreduce_synchronizes(cluster):
+    executors = cluster.executors
+    cluster.clock.advance(executors[0], 1.0)
+    end = ring_allreduce(cluster, executors, nbytes=1000)
+    for node in executors:
+        assert cluster.clock.now(node) == pytest.approx(end)
+    assert end > 1.0
+
+
+def test_ring_allreduce_scales_with_bytes(cluster):
+    executors = cluster.executors
+    t0 = ring_allreduce(cluster, executors, nbytes=10**6)
+    small = t0
+    t1 = ring_allreduce(cluster, executors, nbytes=10**8)
+    assert t1 - small > small  # the big one costs much more
+
+
+def test_ring_allreduce_single_node(cluster):
+    node = cluster.executors[0]
+    assert ring_allreduce(cluster, [node], nbytes=100) == \
+        cluster.clock.now(node)

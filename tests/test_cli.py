@@ -1,0 +1,60 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_quickcheck_passes(capsys):
+    assert main(["quickcheck"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("PASS") == 5
+    assert "FAIL" not in out
+
+
+def test_dataset_command(capsys):
+    assert main(["dataset", "graph1", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "DeepWalk" in out
+    assert "254 vertices" in out
+
+
+def test_dataset_unknown(capsys):
+    assert main(["dataset", "imagenet"]) == 1
+    assert "unknown dataset" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("workload",
+                         ["lr", "svm", "fm", "gbdt", "lda", "line"])
+def test_train_commands(capsys, workload):
+    code = main([
+        "train", workload, "--iterations", "2",
+        "--executors", "4", "--servers", "3", "--seed", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loss=" in out
+    assert "virtual time" in out
+
+
+def test_train_deepwalk(capsys):
+    assert main(["train", "deepwalk", "--iterations", "1",
+                 "--executors", "4", "--servers", "2"]) == 0
+    assert "deepwalk" in capsys.readouterr().out
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "bench_fig10_lr_end2end.py" in out
+    assert "pytest benchmarks/ --benchmark-only" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train", "resnet"])

@@ -1,0 +1,163 @@
+"""Property-based tests: DCVs must behave exactly like numpy vectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ClusterConfig
+from repro.core.context import PS2Context
+
+
+def fresh_ps2(n_servers=3):
+    return PS2Context(
+        config=ClusterConfig(n_executors=2, n_servers=n_servers, seed=1)
+    )
+
+
+vectors = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(x=vectors, y=st.data())
+@settings(max_examples=40, deadline=None)
+def test_dot_matches_numpy(x, y):
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y.draw(st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+        min_size=len(x), max_size=len(x))), dtype=float)
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size, rows=4)
+    b = a.derive()
+    a.push(x)
+    b.push(y)
+    assert np.isclose(a.dot(b), float(np.dot(x, y)), atol=1e-8)
+
+
+@given(x=vectors, alpha=st.floats(min_value=-10, max_value=10,
+                                  allow_nan=False, width=32))
+@settings(max_examples=40, deadline=None)
+def test_axpy_matches_numpy(x, alpha):
+    x = np.asarray(x, dtype=float)
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size, rows=4)
+    b = a.derive()
+    a.push(x)
+    b.push(x[::-1].copy())
+    a.iaxpy(b, alpha)
+    assert np.allclose(a.pull(), x + alpha * x[::-1], atol=1e-8)
+
+
+@given(x=vectors)
+@settings(max_examples=40, deadline=None)
+def test_aggregates_match_numpy(x):
+    x = np.asarray(x, dtype=float)
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size)
+    a.push(x)
+    assert np.isclose(a.sum(), x.sum(), atol=1e-8)
+    assert a.nnz() == int(np.count_nonzero(x))
+    assert np.isclose(a.norm2(), float(np.linalg.norm(x)), atol=1e-8)
+
+
+@given(x=vectors, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_sparse_pull_matches_fancy_indexing(x, data):
+    x = np.asarray(x, dtype=float)
+    indices = data.draw(st.lists(
+        st.integers(min_value=0, max_value=x.size - 1),
+        min_size=1, max_size=15, unique=True,
+    ))
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size)
+    a.push(x)
+    got = a.pull(indices=np.array(indices, dtype=np.int64))
+    assert np.allclose(got, x[indices], atol=1e-12)
+
+
+@given(x=vectors, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_sparse_add_matches_numpy_scatter(x, data):
+    x = np.asarray(x, dtype=float)
+    indices = data.draw(st.lists(
+        st.integers(min_value=0, max_value=x.size - 1),
+        min_size=1, max_size=10, unique=True,
+    ))
+    deltas = data.draw(st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False, width=32),
+        min_size=len(indices), max_size=len(indices),
+    ))
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size)
+    a.push(x)
+    a.add(np.asarray(deltas), indices=np.array(indices, dtype=np.int64))
+    expected = x.copy()
+    np.add.at(expected, indices, deltas)
+    assert np.allclose(a.pull(), expected, atol=1e-10)
+
+
+@given(x=vectors, n_servers=st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_values_independent_of_server_count(x, n_servers):
+    """The same program gives the same numbers on any deployment shape."""
+    x = np.asarray(x, dtype=float)
+    ps2 = fresh_ps2(n_servers=n_servers)
+    a = ps2.dense(x.size, rows=4)
+    b = a.derive()
+    a.push(x)
+    b.push(np.abs(x) + 1.0)
+    a.imul(b)
+    assert np.allclose(a.pull(), x * (np.abs(x) + 1.0), atol=1e-8)
+
+
+@given(x=vectors)
+@settings(max_examples=30, deadline=None)
+def test_realigned_dot_equals_colocated_dot(x):
+    """Figure 4: both spellings give the same value; only cost differs."""
+    x = np.asarray(x, dtype=float)
+    ps2 = fresh_ps2()
+    a = ps2.dense(x.size, rows=4)
+    sibling = a.derive()
+    stranger = ps2.dense(x.size)
+    a.push(x)
+    sibling.push(x * 2)
+    stranger.push(x * 2)
+    assert np.isclose(a.dot(sibling), a.dot(stranger), atol=1e-8)
+
+
+@given(ops=st.lists(
+    st.sampled_from(["iadd", "isub", "imul", "scale", "axpy"]),
+    min_size=1, max_size=8,
+))
+@settings(max_examples=30, deadline=None)
+def test_random_op_sequences_track_numpy_mirror(ops):
+    """Any sequence of column ops stays bit-comparable with a local mirror."""
+    rng = np.random.default_rng(7)
+    dim = 17
+    x = rng.standard_normal(dim)
+    y = rng.standard_normal(dim) + 2.0
+    ps2 = fresh_ps2()
+    a = ps2.dense(dim, rows=4)
+    b = a.derive()
+    a.push(x)
+    b.push(y)
+    mirror = x.copy()
+    for op in ops:
+        if op == "iadd":
+            a.iadd(b)
+            mirror = mirror + y
+        elif op == "isub":
+            a.isub(b)
+            mirror = mirror - y
+        elif op == "imul":
+            a.imul(b)
+            mirror = mirror * y
+        elif op == "scale":
+            a.scale(0.5)
+            mirror = mirror * 0.5
+        elif op == "axpy":
+            a.iaxpy(b, 0.25)
+            mirror = mirror + 0.25 * y
+    assert np.allclose(a.pull(), mirror, atol=1e-6)

@@ -1,0 +1,105 @@
+"""DeepWalk trainer tests (PS2 vs pull/push realizations)."""
+
+import numpy as np
+import pytest
+
+from repro.data import preferential_attachment_graph, random_walks
+from repro.ml.deepwalk import build_embeddings, embedding_matrix, \
+    train_deepwalk
+
+
+@pytest.fixture(scope="module")
+def graph():
+    adjacency = preferential_attachment_graph(40, out_degree=3, seed=13)
+    walks = random_walks(adjacency, 60, walk_length=8, seed=13)
+    return adjacency, walks
+
+
+def test_build_embeddings_all_colocated(make_ps2):
+    ps2 = make_ps2()
+    embeddings = build_embeddings(ps2, 10, 8)
+    assert len(embeddings) == 20
+    assert all(embeddings[0].is_colocated_with(e) for e in embeddings[1:])
+
+
+def test_build_embeddings_initialized_nonzero(make_ps2):
+    ps2 = make_ps2()
+    embeddings = build_embeddings(ps2, 5, 8)
+    assert all(np.any(e.materialize() != 0) for e in embeddings)
+
+
+def test_training_decreases_loss(make_ps2, graph):
+    _adj, walks = graph
+    result = train_deepwalk(
+        make_ps2(), walks, 40, embedding_dim=8, n_iterations=5,
+        batch_size=150, learning_rate=0.3, seed=13,
+    )
+    assert result.final_loss < result.history[0][1]
+    assert result.iterations == 5
+
+
+def test_embeddings_change_during_training(make_ps2, graph):
+    _adj, walks = graph
+    ps2 = make_ps2()
+    embeddings = build_embeddings(ps2, 40, 8)
+    before = embedding_matrix(embeddings, 40)
+    train_deepwalk(ps2, walks, 40, embedding_dim=8, n_iterations=2,
+                   batch_size=100, learning_rate=0.3, seed=13,
+                   embeddings=embeddings)
+    after = embedding_matrix(embeddings, 40)
+    assert not np.allclose(before, after)
+
+
+def test_both_realizations_learn_identically(make_ps2, graph):
+    """PS- and PS2-DeepWalk are the same algorithm; same losses."""
+    _adj, walks = graph
+    kwargs = dict(embedding_dim=8, n_iterations=3, batch_size=120,
+                  learning_rate=0.2, seed=13)
+    ps2_run = train_deepwalk(make_ps2(), walks, 40, server_side=True, **kwargs)
+    ps_run = train_deepwalk(make_ps2(), walks, 40, server_side=False, **kwargs)
+    for (_ta, la), (_tb, lb) in zip(ps2_run.history, ps_run.history):
+        assert la == pytest.approx(lb, rel=1e-9)
+
+
+def test_ps2_faster_than_pushpull(make_ps2, graph):
+    """Figure 9(c): server-side computation wins on few servers."""
+    _adj, walks = graph
+    kwargs = dict(embedding_dim=32, n_iterations=2, batch_size=120,
+                  learning_rate=0.2, seed=13)
+    ps2_run = train_deepwalk(make_ps2(n_servers=2), walks, 40,
+                             server_side=True, **kwargs)
+    ps_run = train_deepwalk(make_ps2(n_servers=2), walks, 40,
+                            server_side=False, **kwargs)
+    assert ps_run.elapsed > ps2_run.elapsed
+
+
+def test_speedup_shrinks_with_more_servers(make_ps2, graph):
+    """Figure 9(d): the DCV win erodes as servers multiply."""
+    _adj, walks = graph
+    kwargs = dict(embedding_dim=32, n_iterations=2, batch_size=120,
+                  learning_rate=0.2, seed=13)
+
+    def ratio(n_servers):
+        ps2_run = train_deepwalk(make_ps2(n_servers=n_servers), walks, 40,
+                                 server_side=True, **kwargs)
+        ps_run = train_deepwalk(make_ps2(n_servers=n_servers), walks, 40,
+                                server_side=False, **kwargs)
+        return ps_run.elapsed / ps2_run.elapsed
+
+    assert ratio(2) > ratio(8)
+
+
+def test_ps2_moves_fewer_bytes(make_ps2, graph):
+    _adj, walks = graph
+    kwargs = dict(embedding_dim=32, n_iterations=2, batch_size=100,
+                  learning_rate=0.2, seed=13)
+    ctx_a = make_ps2(n_servers=2)
+    train_deepwalk(ctx_a, walks, 40, server_side=True, **kwargs)
+    ctx_b = make_ps2(n_servers=2)
+    train_deepwalk(ctx_b, walks, 40, server_side=False, **kwargs)
+    assert ctx_a.metrics.total_bytes() < ctx_b.metrics.total_bytes()
+
+
+def test_rejects_empty_pairs(make_ps2):
+    with pytest.raises(ValueError):
+        train_deepwalk(make_ps2(), [np.array([1])], 5, window=4)

@@ -1,0 +1,146 @@
+"""Edge-case coverage: pool growth, realignment corners, recovery limits."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PoolExhaustedError, PSError
+from repro.core.pool import DCVPool
+from repro.ps.partitioner import ColumnLayout
+
+
+def test_pool_grows_by_whole_segments(ps2):
+    w = ps2.dense(10, rows=3, name="seggy")
+    pool = w.pool
+    assert len(pool.segments) == 1
+    for _ in range(3):
+        w.derive()
+    # 4 rows needed > 3 per segment: a second co-located segment appeared.
+    assert len(pool.segments) == 2
+    assert pool.rows_per_segment == 3
+
+
+def test_pool_segments_share_layout(ps2):
+    w = ps2.dense(10, rows=2)
+    derived = [w.derive() for _ in range(4)]
+    assert len({id(d.layout) for d in [w] + derived}) == 1
+    matrix_ids = {d.matrix_id for d in derived}
+    assert len(matrix_ids) >= 2  # spans segments
+    assert all(w.is_colocated_with(d) for d in derived)
+
+
+def test_pool_requires_at_least_one_row(ps2):
+    with pytest.raises(PoolExhaustedError):
+        DCVPool(ps2, 10, 0, ColumnLayout(10, 3), "empty")
+
+
+def test_pool_free_and_reacquire_round_robin(ps2):
+    w = ps2.dense(10, rows=2, allow_growth=False)
+    slot_a = w.derive()
+    operand = slot_a.operand()
+    slot_a.free()
+    slot_b = w.derive()
+    assert slot_b.operand() == operand
+
+
+def test_realign_between_different_server_counts_is_rejected(make_ps2):
+    """Realign only works within one deployment; mixing contexts fails."""
+    ps2_a = make_ps2(n_servers=2)
+    ps2_b = make_ps2(n_servers=3)
+    a = ps2_a.dense(10).fill(1.0)
+    b = ps2_b.dense(10).fill(1.0)
+    with pytest.raises(Exception):
+        a.dot(b)  # different clusters; server lookups cannot line up
+
+
+def test_realign_when_ranges_partially_overlap(ps2):
+    """Rotation shifts whole ranges; realign must copy every overlap."""
+    src = ps2.dense(17)
+    ps2.dense(3)  # bump rotation
+    dst_anchor = ps2.dense(17, rows=2)
+    src.push(np.arange(17.0))
+    ps2.realign(src, dst_anchor)
+    assert np.allclose(dst_anchor.pull(), np.arange(17.0))
+
+
+def test_realign_single_server_is_local(make_ps2):
+    ps2 = make_ps2(n_servers=1)
+    a = ps2.dense(10).fill(2.0)
+    b = ps2.dense(10)
+    before = ps2.metrics.bytes_for_tag("realign")
+    ps2.realign(a, b)
+    # One server: every "overlap" is server-local, zero realign bytes.
+    assert ps2.metrics.bytes_for_tag("realign") == before
+    assert np.allclose(b.pull(), 2.0)
+
+
+def test_client_recovery_gives_up_eventually(ps2, monkeypatch):
+    """If recovery cannot actually revive the server, the client stops
+    retrying and surfaces a PSError instead of looping forever."""
+    w = ps2.dense(10)
+    server = ps2.master.server(0)
+    server.crash()
+    monkeypatch.setattr(ps2.master, "recover", lambda index: None)
+    with pytest.raises(PSError):
+        w.pull()
+
+
+def test_checkpoint_then_recover_preserves_all_matrices(ps2):
+    a = ps2.dense(12).fill(3.0)
+    b = ps2.dense(20)
+    b.push(np.arange(20.0))
+    ps2.checkpoint()
+    ps2.master.server(1).crash()
+    assert np.allclose(a.pull(), 3.0)
+    assert np.allclose(b.pull(), np.arange(20.0))
+
+
+def test_updates_after_checkpoint_are_lost_on_crash(ps2):
+    w = ps2.dense(12).fill(1.0)
+    ps2.checkpoint()
+    w.fill(9.0)
+    ps2.master.server(0).crash()
+    pulled = w.pull()
+    # The crashed server's shard reverted to the checkpoint; others kept
+    # their post-checkpoint values.
+    layout = w.layout
+    for server_index, start, stop in layout.shards_for_row(w.row):
+        expected = 1.0 if server_index == 0 else 9.0
+        assert np.all(pulled[start:stop] == expected)
+
+
+def test_sparse_dcv_via_table1_creation_op(ps2):
+    from repro.core.dcv import DCV
+
+    v = DCV.sparse(ps2, 30)
+    assert v.is_sparse
+    v.add(np.array([1.0, 2.0]), indices=np.array([4, 29]))
+    assert v.nnz() == 2
+
+
+def test_block_layout_never_splits_blocks(ps2):
+    w = ps2.dense(100, block=8)
+    for _srv, start, stop in w.layout.shards_for_row(0):
+        assert start % 8 == 0
+        assert stop % 8 == 0 or stop == 100
+
+
+def test_zero_length_shards_are_omitted(make_ps2):
+    ps2 = make_ps2(n_servers=8)
+    w = ps2.dense(3)  # fewer columns than servers
+    shards = w.layout.shards_for_row(0)
+    assert len(shards) == 3
+    assert all(stop > start for _s, start, stop in shards)
+    w.push(np.array([1.0, 2.0, 3.0]))
+    assert np.allclose(w.pull(), [1, 2, 3])
+
+
+def test_many_rows_pool_deepwalk_scale(make_ps2):
+    """A 2V-row pool (Figure 6's allocation) stays consistent."""
+    ps2 = make_ps2(n_servers=2)
+    first = ps2.dense(8, rows=40, allow_growth=False, init="uniform",
+                      scale=0.1)
+    vectors = [first] + [first.derive() for _ in range(39)]
+    with pytest.raises(PoolExhaustedError):
+        first.derive()
+    total = sum(v.sum() for v in vectors)
+    assert np.isfinite(total)

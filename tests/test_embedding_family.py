@@ -1,0 +1,118 @@
+"""node2vec walks and LINE — the rest of the paper's embedding family."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    edge_pairs,
+    node2vec_walks,
+    preferential_attachment_graph,
+    random_walks,
+)
+from repro.ml import train_deepwalk, train_embedding_pairs, train_line
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(40, out_degree=3, seed=19)
+
+
+# -- node2vec walks ----------------------------------------------------------
+
+def test_node2vec_walks_are_valid(graph):
+    walks = node2vec_walks(graph, 30, walk_length=8, p=0.5, q=2.0, seed=19)
+    assert len(walks) == 30
+    for walk in walks:
+        for a, b in zip(walk, walk[1:]):
+            assert int(b) in graph[int(a)]
+
+
+def test_node2vec_deterministic(graph):
+    a = node2vec_walks(graph, 10, p=0.5, q=2.0, seed=3)
+    b = node2vec_walks(graph, 10, p=0.5, q=2.0, seed=3)
+    assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def test_node2vec_low_p_returns_more_often(graph):
+    """p << 1 makes the walk bounce back to its previous vertex."""
+
+    def return_rate(p):
+        walks = node2vec_walks(graph, 200, walk_length=10, p=p, q=1.0,
+                               seed=7)
+        returns = total = 0
+        for walk in walks:
+            for i in range(2, walk.size):
+                total += 1
+                returns += int(walk[i] == walk[i - 2])
+        return returns / max(1, total)
+
+    assert return_rate(0.05) > 2 * return_rate(20.0)
+
+
+def test_node2vec_p_q_one_statistics_like_deepwalk(graph):
+    """p = q = 1 reduces to uniform walks (same distribution family)."""
+    biased = node2vec_walks(graph, 100, p=1.0, q=1.0, seed=5)
+    uniform = random_walks(graph, 100, seed=5)
+    # Same start-vertex discipline and lengths.
+    assert [int(w[0]) for w in biased] == [int(w[0]) for w in uniform]
+    assert {w.size for w in biased} == {w.size for w in uniform}
+
+
+def test_node2vec_feeds_deepwalk_trainer(graph, make_ps2):
+    walks = node2vec_walks(graph, 40, p=0.25, q=4.0, seed=19)
+    result = train_deepwalk(make_ps2(), walks, 40, embedding_dim=8,
+                            n_iterations=2, batch_size=80,
+                            learning_rate=0.3, seed=19)
+    assert result.iterations == 2
+
+
+# -- LINE ----------------------------------------------------------------------
+
+def test_edge_pairs_cover_all_edges(graph):
+    pairs = edge_pairs(graph)
+    n_edges = sum(a.size for a in graph)
+    assert len(pairs) == n_edges
+    for u, v in pairs[:50]:
+        assert v in graph[u]
+
+
+def test_line_loss_decreases(graph, make_ps2):
+    result = train_line(make_ps2(), graph, embedding_dim=8, n_iterations=4,
+                        batch_size=150, learning_rate=0.05, seed=19)
+    assert result.system == "PS2-LINE"
+    assert result.final_loss < result.history[0][1]
+
+
+def test_line_both_realizations_identical(graph, make_ps2):
+    kwargs = dict(embedding_dim=8, n_iterations=2, batch_size=100,
+                  learning_rate=0.2, seed=19)
+    ps2_run = train_line(make_ps2(), graph, server_side=True, **kwargs)
+    ps_run = train_line(make_ps2(), graph, server_side=False, **kwargs)
+    assert ps_run.system == "PS-LINE"
+    for (_ta, la), (_tb, lb) in zip(ps2_run.history, ps_run.history):
+        assert la == pytest.approx(lb, rel=1e-9)
+
+
+def test_line_embeds_edges_closer_than_random(graph, make_ps2):
+    from repro.common.rng import RngRegistry
+    from repro.ml import embedding_matrix
+
+    result = train_line(make_ps2(), graph, embedding_dim=12, n_iterations=10,
+                        batch_size=300, learning_rate=0.05, seed=19)
+    vectors = embedding_matrix(result.extras["embeddings"], 40)
+    rng = RngRegistry(19).get("line-eval")
+    edge_scores = [
+        float(np.dot(vectors[u], vectors[int(v)]))
+        for u, adj in enumerate(graph) for v in adj
+    ]
+    random_scores = [
+        float(np.dot(vectors[int(rng.integers(40))],
+                     vectors[int(rng.integers(40))]))
+        for _ in range(200)
+    ]
+    assert np.mean(edge_scores) > np.mean(random_scores)
+
+
+def test_train_embedding_pairs_rejects_empty(make_ps2):
+    with pytest.raises(ValueError):
+        train_embedding_pairs(make_ps2(), [], 10)

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    saved_argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "co-located with velocity: True" in out
+    assert "independent dense() co-located? False" in out
+    assert "loss=" in out
+
+
+def test_user_profiling(capsys):
+    out = run_example("user_profiling.py", capsys)
+    assert "PS2-Adam" in out and "Spark-Adam" in out
+    # PS2 is the 1.0x baseline and the others are slower.
+    assert "1.0x" in out
+
+
+def test_graph_embedding(capsys):
+    out = run_example("graph_embedding.py", capsys)
+    assert "mean score" in out
+    # Connected vertices score higher than random pairs.
+    import re
+
+    match = re.search(r"edges: ([-\d.]+)\s+random pairs: ([-\d.]+)", out)
+    assert match is not None
+    assert float(match.group(1)) > float(match.group(2))
+
+
+def test_topic_modeling(capsys):
+    out = run_example("topic_modeling.py", capsys)
+    assert "top words per learned topic" in out
+    assert "topic 5" in out
+
+
+def test_fault_tolerance(capsys):
+    out = run_example("fault_tolerance.py", capsys)
+    assert "server-0 crashed" in out
+    assert "recoveries performed: 1" in out
+
+
+@pytest.mark.slow
+def test_factorization_machine(capsys):
+    out = run_example("factorization_machine.py", capsys)
+    assert "FM (k=8, on PS2)" in out
+
+
+def test_paper_listings(capsys):
+    out = run_example("paper_listings.py", capsys)
+    assert "Figure 3: Adam for LR" in out
+    assert "only scalars crossed" in out
+    assert "found server-side" in out

@@ -1,0 +1,99 @@
+"""Tests for the experiment harness: Table 3 registry and reporting."""
+
+import pytest
+
+from repro.experiments import (
+    SUPPORT_MATRIX,
+    TRAINER_INDEX,
+    WORKLOADS,
+    curve_summary,
+    format_seconds,
+    format_speedup,
+    format_table,
+    make_context,
+    support_rows,
+    supports,
+)
+from repro.ml.results import TrainResult
+
+
+def test_support_matrix_matches_paper_table3():
+    # Spot-check every row against the paper's check marks.
+    assert supports("PS2", "DeepWalk")
+    assert not supports("Spark MLlib", "DeepWalk")
+    assert supports("Spark MLlib", "GBDT")
+    assert not supports("Glint", "LR")
+    assert supports("Glint", "LDA")
+    assert supports("XGboost", "GBDT")
+    assert not supports("XGboost", "LDA")
+    assert not supports("Petuum", "GBDT")
+    assert supports("DistML", "LR")
+    assert all(supports("PS2", w) for w in WORKLOADS)
+
+
+def test_only_ps2_covers_everything():
+    full = [s for s, row in SUPPORT_MATRIX.items() if all(row.values())]
+    assert full == ["PS2"]
+
+
+def test_every_supported_cell_has_a_trainer():
+    for system, row in support_rows():
+        for workload, supported in row.items():
+            if supported:
+                assert (system, workload) in TRAINER_INDEX
+
+
+def test_trainer_index_paths_resolve():
+    import importlib
+
+    for target in TRAINER_INDEX.values():
+        module_path, attr = target.split(" ")[0].rsplit(".", 1)
+        module = importlib.import_module(module_path)
+        assert hasattr(module, attr)
+
+
+def test_make_context_shapes():
+    ctx = make_context(n_executors=3, n_servers=5, seed=9)
+    assert len(ctx.cluster.executors) == 3
+    assert len(ctx.cluster.servers) == 5
+
+
+def test_make_context_failure_prob():
+    ctx = make_context(task_failure_prob=0.5)
+    assert ctx.cluster.failures.task_failure_prob == 0.5
+
+
+# -- report formatting -------------------------------------------------------------
+
+def test_format_table_aligns():
+    out = format_table(["sys", "time"], [("PS2", "1s"), ("MLlibXX", "20s")])
+    lines = out.splitlines()
+    assert len({len(line) for line in lines if line.strip()}) <= 2
+    assert "PS2" in out and "MLlibXX" in out
+
+
+def test_format_table_title():
+    out = format_table(["a"], [("x",)], title="My Table")
+    assert out.startswith("My Table")
+
+
+def test_format_speedup():
+    assert format_speedup(3.456) == "3.46x"
+    assert format_speedup(None) == "n/a"
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(None) == "n/a"
+    assert format_seconds(250.0) == "250 s"
+    assert format_seconds(2.5) == "2.50 s"
+    assert format_seconds(0.003) == "0.0030 s"
+
+
+def test_curve_summary():
+    r = TrainResult(system="s", workload="w")
+    assert curve_summary(r) == "(no history)"
+    for i in range(10):
+        r.record(i, 1.0 / (i + 1))
+    text = curve_summary(r, points=4)
+    assert text.count("(") == 4
+    assert "0.1000" in text  # the final point is always included

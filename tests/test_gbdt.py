@@ -1,0 +1,116 @@
+"""GBDT tests: model quality, method equivalence, binning, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.data import dense_tabular
+from repro.ml.gbdt import GBDTModel, quantile_bin_edges, train_gbdt
+
+
+@pytest.fixture(scope="module")
+def tabular():
+    return dense_tabular(500, 10, seed=17, noise=0.05)
+
+
+def test_quantile_bin_edges_shapes():
+    rng = np.random.default_rng(0)
+    features = rng.random((100, 4))
+    edges = quantile_bin_edges(features, 8)
+    assert len(edges) == 4
+    assert all(e.size <= 7 for e in edges)
+    assert all(np.all(np.diff(e) > 0) for e in edges)
+
+
+def test_bin_features_in_range():
+    rng = np.random.default_rng(0)
+    features = rng.random((50, 3))
+    model = GBDTModel(quantile_bin_edges(features, 6), 0.1)
+    binned = model.bin_features(features)
+    assert binned.min() >= 0
+    assert binned.max() <= 5
+
+
+def test_training_loss_decreases(make_ps2, tabular):
+    X, y = tabular
+    result = train_gbdt(make_ps2(), X, y, n_trees=6, max_depth=3, n_bins=8)
+    losses = [l for _t, l in result.history]
+    assert losses[-1] < losses[0]
+    assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+
+def test_model_fits_generating_function(make_ps2, tabular):
+    X, y = tabular
+    result = train_gbdt(make_ps2(), X, y, n_trees=12, max_depth=3, n_bins=16)
+    model = result.extras["model"]
+    predictions = model.predict_proba(X) > 0.5
+    acc = float(np.mean(predictions == (y > 0.5)))
+    assert acc > 0.85
+
+
+def test_predict_margin_shape(make_ps2, tabular):
+    X, y = tabular
+    result = train_gbdt(make_ps2(), X, y, n_trees=2, max_depth=2, n_bins=8)
+    model = result.extras["model"]
+    assert model.predict_margin(X[:7]).shape == (7,)
+    probs = model.predict_proba(X[:7])
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_all_methods_build_identical_trees(make_ps2, tabular):
+    """PS2, AllReduce and driver split finding are the same algorithm."""
+    X, y = tabular
+    kwargs = dict(n_trees=3, max_depth=3, n_bins=8, seed=3)
+    runs = {
+        method: train_gbdt(make_ps2(), X, y, method=method, **kwargs)
+        for method in ("ps2", "allreduce", "driver")
+    }
+    losses = {m: [l for _t, l in r.history] for m, r in runs.items()}
+    assert losses["ps2"] == pytest.approx(losses["allreduce"])
+    assert losses["ps2"] == pytest.approx(losses["driver"])
+
+
+def test_ps2_faster_than_allreduce(make_ps2, tabular):
+    """Figure 11's shape: PS2 beats the AllReduce exchange."""
+    X, y = tabular
+    kwargs = dict(n_trees=3, max_depth=3, n_bins=32)
+    ps2_run = train_gbdt(make_ps2(n_executors=8, n_servers=8), X, y,
+                         method="ps2", **kwargs)
+    xgb_run = train_gbdt(make_ps2(n_executors=8, n_servers=8), X, y,
+                         method="allreduce", **kwargs)
+    assert xgb_run.elapsed > ps2_run.elapsed
+
+
+def test_unknown_method_rejected(make_ps2, tabular):
+    X, y = tabular
+    with pytest.raises(ConfigError):
+        train_gbdt(make_ps2(), X, y, method="mpi")
+
+
+def test_system_labels(make_ps2, tabular):
+    X, y = tabular
+    r = train_gbdt(make_ps2(), X, y, n_trees=1, max_depth=2, n_bins=4,
+                   method="allreduce")
+    assert r.system == "XGBoost-GBDT"
+
+
+def test_learning_rate_shrinks_leaf_values(make_ps2, tabular):
+    X, y = tabular
+    big = train_gbdt(make_ps2(), X, y, n_trees=1, max_depth=2, n_bins=8,
+                     learning_rate=1.0)
+    small = train_gbdt(make_ps2(), X, y, n_trees=1, max_depth=2, n_bins=8,
+                       learning_rate=0.1)
+
+    def max_leaf(result):
+        tree = result.extras["model"].trees[0]
+        return max(abs(n.leaf_value) for n in tree.values() if n.is_leaf)
+
+    assert max_leaf(small) < max_leaf(big)
+
+
+def test_depth_zero_edge_case(make_ps2, tabular):
+    X, y = tabular
+    result = train_gbdt(make_ps2(), X, y, n_trees=1, max_depth=0, n_bins=8)
+    tree = result.extras["model"].trees[0]
+    assert len(tree) == 1
+    assert tree[0].is_leaf

@@ -1,0 +1,190 @@
+"""Unit tests for server-side kernels against plain-numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+
+
+def test_dot_kernel():
+    x = np.arange(5.0)
+    y = np.full(5, 2.0)
+    assert kernels.dot_kernel([x, y]) == pytest.approx(20.0)
+
+
+def test_axpy_kernel_mutates_first_operand():
+    y = np.ones(4)
+    x = np.full(4, 3.0)
+    kernels.axpy_kernel([y, x], alpha=2.0)
+    assert np.allclose(y, 7.0)
+    assert np.allclose(x, 3.0)
+
+
+def test_copy_kernel():
+    dst = np.zeros(3)
+    src = np.arange(3.0)
+    kernels.copy_kernel([dst, src])
+    assert np.allclose(dst, src)
+
+
+def test_scale_shift_kernels():
+    x = np.full(4, 2.0)
+    kernels.scale_kernel([x], alpha=1.5)
+    assert np.allclose(x, 3.0)
+    kernels.shift_kernel([x], delta=-1.0)
+    assert np.allclose(x, 2.0)
+
+
+@pytest.mark.parametrize("op,expected", [
+    ("add", 5.0), ("sub", 1.0), ("mul", 6.0), ("div", 1.5),
+])
+def test_binary_kernel(op, expected):
+    out = np.zeros(3)
+    kernels.binary_kernel([out, np.full(3, 3.0), np.full(3, 2.0)], op=op)
+    assert np.allclose(out, expected)
+
+
+def test_binary_kernel_unknown_op():
+    with pytest.raises(ValueError):
+        kernels.binary_kernel([np.zeros(1)] * 3, op="pow")
+
+
+def test_inplace_binary_kernel():
+    x = np.full(3, 6.0)
+    kernels.inplace_binary_kernel([x, np.full(3, 2.0)], op="div")
+    assert np.allclose(x, 3.0)
+
+
+def _reference_adam(w, v, s, g, lr, beta1, beta2, eps, step):
+    """Standard Adam (see the kernel's note on the paper's Eq. 1 typo)."""
+    s = beta2 * s + (1 - beta2) * g * g
+    v = beta1 * v + (1 - beta1) * g
+    s_hat = s / (1 - beta2**step)
+    v_hat = v / (1 - beta1**step)
+    w = w - lr * v_hat / (np.sqrt(s_hat) + eps)
+    return w, v, s
+
+
+def test_adam_kernel_matches_reference():
+    rng = np.random.default_rng(3)
+    w = rng.standard_normal(20)
+    v = rng.standard_normal(20) * 0.1
+    s = np.abs(rng.standard_normal(20)) * 0.1
+    g = rng.standard_normal(20)
+    args = dict(lr=0.618, beta1=0.9, beta2=0.999, eps=1e-8, step=3)
+    ref_w, ref_v, ref_s = _reference_adam(
+        w.copy(), v.copy(), s.copy(), g, **args
+    )
+    w2, v2, s2, g2 = w.copy(), v.copy(), s.copy(), g.copy()
+    kernels.adam_update_kernel([w2, v2, s2, g2], **args)
+    assert np.allclose(w2, ref_w)
+    assert np.allclose(v2, ref_v)
+    assert np.allclose(s2, ref_s)
+    assert np.allclose(g2, g)  # gradient is read-only
+
+
+def test_adam_kernel_returns_grad_norm():
+    g = np.array([3.0, 4.0])
+    out = kernels.adam_update_kernel(
+        [np.zeros(2), np.zeros(2), np.zeros(2), g],
+        lr=0.1, beta1=0.9, beta2=0.999, eps=1e-8, step=1,
+    )
+    assert out == pytest.approx(25.0)
+
+
+def test_sgd_kernel():
+    w = np.ones(3)
+    kernels.sgd_update_kernel([w, np.full(3, 2.0)], lr=0.25)
+    assert np.allclose(w, 0.5)
+
+
+def test_adagrad_kernel():
+    w = np.zeros(2)
+    h = np.zeros(2)
+    g = np.array([2.0, -2.0])
+    kernels.adagrad_update_kernel([w, h, g], lr=1.0, eps=0.0)
+    assert np.allclose(h, 4.0)
+    assert np.allclose(w, [-1.0, 1.0])
+
+
+def test_rmsprop_kernel():
+    w = np.zeros(1)
+    h = np.zeros(1)
+    g = np.array([3.0])
+    kernels.rmsprop_update_kernel([w, h, g], lr=1.0, decay=0.0, eps=0.0)
+    assert h[0] == pytest.approx(9.0)
+    assert w[0] == pytest.approx(-1.0)
+
+
+# -- GBDT split finding ---------------------------------------------------------
+
+def _brute_force_best_split(grad, hess, n_bins, pg, ph, lam, mcw):
+    """Enumerate every (feature, cut) directly."""
+    n_features = grad.size // n_bins
+    parent = pg**2 / (ph + lam)
+    best = (-np.inf, -1, -1, 0.0, 0.0)
+    for f in range(n_features):
+        g = grad[f * n_bins:(f + 1) * n_bins]
+        h = hess[f * n_bins:(f + 1) * n_bins]
+        for cut in range(n_bins - 1):
+            gl = g[:cut + 1].sum()
+            hl = h[:cut + 1].sum()
+            gr, hr = pg - gl, ph - hl
+            if hl < mcw or hr < mcw:
+                continue
+            gain = gl**2 / (hl + lam) + gr**2 / (hr + lam) - parent
+            if gain > best[0]:
+                best = (gain, f, cut, gl, hl)
+    return best
+
+
+def test_split_gain_kernel_matches_brute_force():
+    rng = np.random.default_rng(11)
+    n_bins, n_features = 6, 5
+    grad = rng.standard_normal(n_bins * n_features)
+    hess = np.abs(rng.standard_normal(n_bins * n_features)) + 0.1
+    pg, ph = float(grad.sum()), float(hess.sum())
+    got = kernels.split_gain_kernel(
+        [grad, hess], start=0, stop=grad.size, n_bins=n_bins,
+        parent_grad=pg, parent_hess=ph, reg_lambda=1.0,
+        min_child_weight=1e-6,
+    )
+    want = _brute_force_best_split(grad, hess, n_bins, pg, ph, 1.0, 1e-6)
+    assert got[0] == pytest.approx(want[0])
+    assert got[1] == want[1]
+    assert got[2] == want[2]
+    assert got[3] == pytest.approx(want[3])
+    assert got[4] == pytest.approx(want[4])
+
+
+def test_split_gain_kernel_skips_partial_features():
+    """A shard covering half a feature's bins evaluates no cut in it."""
+    n_bins = 4
+    grad = np.ones(2)  # covers global positions [2, 4): half of feature 0
+    hess = np.ones(2)
+    got = kernels.split_gain_kernel(
+        [grad, hess], start=2, stop=4, n_bins=n_bins,
+        parent_grad=4.0, parent_hess=4.0, reg_lambda=1.0,
+        min_child_weight=1e-6,
+    )
+    assert got[0] == -np.inf
+
+
+def test_split_gain_kernel_respects_min_child_weight():
+    grad = np.array([10.0, 0.0, 0.0, -10.0])
+    hess = np.array([0.01, 0.01, 0.01, 0.01])
+    got = kernels.split_gain_kernel(
+        [grad, hess], start=0, stop=4, n_bins=4,
+        parent_grad=0.0, parent_hess=0.04, reg_lambda=1.0,
+        min_child_weight=1.0,
+    )
+    assert got[0] == -np.inf
+
+
+def test_with_range_marker():
+    def k(arrays, start, stop):
+        return None
+
+    assert not getattr(k, "_wants_range", False)
+    kernels.with_range(k)
+    assert k._wants_range

@@ -1,0 +1,94 @@
+"""LDA tests: convergence, comm-mode parity, traffic ordering."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.data import synthetic_corpus
+from repro.ml.lda import train_lda
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    docs, _truth = synthetic_corpus(80, 150, n_topics=5, doc_length=30,
+                                    seed=23)
+    return docs
+
+
+def test_likelihood_improves(make_ps2, corpus):
+    result = train_lda(make_ps2(), corpus, 150, n_topics=6, n_iterations=6,
+                       seed=23)
+    losses = [l for _t, l in result.history]
+    assert losses[-1] < losses[0]
+    assert result.iterations == 6
+
+
+def test_comm_modes_statistically_identical(make_ps2, corpus):
+    """ps2/petuum/glint differ only in communication, never in math."""
+    histories = {}
+    for comm in ("ps2", "petuum", "glint"):
+        result = train_lda(make_ps2(), corpus, 150, n_topics=5,
+                           n_iterations=3, seed=23, comm=comm)
+        histories[comm] = [l for _t, l in result.history]
+    assert histories["ps2"] == pytest.approx(histories["petuum"])
+    assert histories["ps2"] == pytest.approx(histories["glint"])
+
+
+def test_traffic_ordering_ps2_petuum_glint(make_ps2, corpus):
+    """Sparse+compressed < dense < dense-twice (the Figure 12(a) mechanism)."""
+    totals = {}
+    for comm in ("ps2", "petuum", "glint"):
+        ctx = make_ps2()
+        train_lda(ctx, corpus, 150, n_topics=5, n_iterations=3, seed=23,
+                  comm=comm)
+        totals[comm] = ctx.metrics.total_bytes()
+    assert totals["ps2"] < totals["petuum"] < totals["glint"]
+
+
+def test_time_ordering_matches_traffic(make_ps2, corpus):
+    times = {}
+    for comm in ("ps2", "glint"):
+        ctx = make_ps2()
+        result = train_lda(ctx, corpus, 150, n_topics=5, n_iterations=3,
+                           seed=23, comm=comm)
+        times[comm] = result.elapsed
+    assert times["ps2"] < times["glint"]
+
+
+def test_word_topic_counts_consistent(make_ps2, corpus):
+    """Server-held counts equal the number of tokens, topic by construction."""
+    ctx = make_ps2()
+    result = train_lda(ctx, corpus, 150, n_topics=5, n_iterations=2, seed=23)
+    matrix_id = result.extras["matrix_id"]
+    block = ctx.coordinator_client.pull_block(matrix_id, list(range(5)))
+    total_tokens = sum(len(d) for d in corpus)
+    assert block.sum() == pytest.approx(total_tokens)
+    assert block.min() >= -1e-9  # counts never go negative
+
+
+def test_unknown_comm_mode(make_ps2, corpus):
+    with pytest.raises(ConfigError):
+        train_lda(make_ps2(), corpus, 150, comm="smoke-signals")
+
+
+def test_deterministic_across_runs(make_ps2, corpus):
+    a = train_lda(make_ps2(), corpus, 150, n_topics=4, n_iterations=2, seed=9)
+    b = train_lda(make_ps2(), corpus, 150, n_topics=4, n_iterations=2, seed=9)
+    assert a.history == b.history
+
+
+def test_recovers_topic_structure(make_ps2):
+    """On a sharply-separated corpus, learned topics align with truth."""
+    docs, truth = synthetic_corpus(120, 60, n_topics=3, doc_length=40,
+                                   alpha=0.1, beta=0.01, seed=31)
+    ctx = make_ps2()
+    result = train_lda(ctx, docs, 60, n_topics=3, n_iterations=15,
+                       alpha=0.1, seed=31)
+    block = ctx.coordinator_client.pull_block(
+        result.extras["matrix_id"], list(range(3))
+    )
+    learned = block / block.sum(axis=1, keepdims=True)
+    # Each true topic should be close to SOME learned topic (in L1).
+    for true_row in truth:
+        distances = np.abs(learned - true_row).sum(axis=1)
+        assert distances.min() < 0.8  # max possible L1 distance is 2.0

@@ -1,0 +1,59 @@
+"""Unit tests for the metrics registry."""
+
+from repro.cluster.metrics import MetricsRegistry
+
+
+def test_record_transfer_accounts_both_sides():
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 100, tag="x")
+    assert m.bytes_sent["a"] == 100
+    assert m.bytes_received["b"] == 100
+    assert m.bytes_for_tag("x") == 100
+    assert m.messages_by_tag["x"] == 1
+
+
+def test_totals():
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 100, tag="x")
+    m.record_transfer("b", "a", 50, tag="y")
+    assert m.total_bytes() == 150
+    assert m.total_messages() == 2
+
+
+def test_unknown_tag_is_zero():
+    assert MetricsRegistry().bytes_for_tag("never") == 0.0
+
+
+def test_record_compute():
+    m = MetricsRegistry()
+    m.record_compute("n", 0.5, tag="work")
+    m.record_compute("n", 0.25, tag="work")
+    assert m.compute_seconds["n"] == 0.75
+    assert m.counters["compute:work"] == 2
+
+
+def test_increment():
+    m = MetricsRegistry()
+    m.increment("retries")
+    m.increment("retries", 4)
+    assert m.counters["retries"] == 5
+
+
+def test_snapshot_is_detached():
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 10, tag="t")
+    snap = m.snapshot()
+    m.record_transfer("a", "b", 10, tag="t")
+    assert snap["bytes_by_tag"]["t"] == 10
+    assert m.bytes_for_tag("t") == 20
+
+
+def test_reset():
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 10)
+    m.record_compute("a", 1.0)
+    m.increment("x")
+    m.reset()
+    assert m.total_bytes() == 0
+    assert not m.compute_seconds
+    assert not m.counters

@@ -1,0 +1,111 @@
+"""Unit tests for the NIC-serialized network model."""
+
+import pytest
+
+from repro.cluster.metrics import MetricsRegistry
+from repro.cluster.network import NetworkModel
+from repro.cluster.simclock import SimClock
+from repro.common.errors import UnknownNodeError
+from repro.common.sizeof import MESSAGE_OVERHEAD_BYTES
+
+
+@pytest.fixture
+def net():
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    model = NetworkModel(clock, metrics, latency=1e-3, default_bandwidth=1e6)
+    for node in ("a", "b", "c"):
+        clock.register(node)
+        model.register(node)
+    return model
+
+
+def test_transfer_time_is_latency_plus_bytes(net):
+    nbytes = 1000 - MESSAGE_OVERHEAD_BYTES
+    done = net.transfer("a", "b", nbytes)
+    # send 1ms + latency 1ms + receive 1ms
+    assert done == pytest.approx(0.003)
+
+
+def test_deliver_advances_receiver_clock(net):
+    done = net.transfer("a", "b", 0)
+    assert net.clock.now("b") == pytest.approx(done)
+
+
+def test_no_deliver_leaves_receiver_clock(net):
+    net.transfer("a", "b", 10**6, deliver=False)
+    assert net.clock.now("b") == 0.0
+
+
+def test_self_transfer_is_free(net):
+    done = net.transfer("a", "a", 10**9)
+    assert done == 0.0
+    assert net.metrics.total_messages() == 1
+
+
+def test_incast_serializes_at_receiver(net):
+    """Two senders to one receiver: the receiver NIC is the bottleneck."""
+    nbytes = 10**6 - MESSAGE_OVERHEAD_BYTES  # 1 second on the wire
+    first = net.transfer("a", "c", nbytes, deliver=False)
+    second = net.transfer("b", "c", nbytes, deliver=False)
+    # Both arrive at c around t=2.001; receives serialize: ~2s and ~3s.
+    assert second >= first + 0.9
+
+
+def test_sender_nic_serializes_fanout(net):
+    nbytes = 10**6 - MESSAGE_OVERHEAD_BYTES
+    net.transfer("a", "b", nbytes, deliver=False)
+    done = net.transfer("a", "c", nbytes, deliver=False)
+    # Second send departs only after the first finished sending (~1s).
+    assert done >= 2.0
+
+
+def test_depart_at_overrides_sender_clock(net):
+    net.clock.advance("a", 5.0)
+    done = net.transfer("a", "b", 0, depart_at=0.0, deliver=False)
+    assert done < 1.0
+
+
+def test_unknown_node_raises(net):
+    with pytest.raises(UnknownNodeError):
+        net.transfer("a", "zzz", 10)
+
+
+def test_metrics_account_envelope(net):
+    net.transfer("a", "b", 100, tag="t")
+    assert net.metrics.bytes_for_tag("t") == 100 + MESSAGE_OVERHEAD_BYTES
+
+
+def test_request_response_round_trip(net):
+    done = net.request_response("a", "b", 0, 0, tag="rpc")
+    assert net.clock.now("a") == pytest.approx(done)
+    assert done >= 2e-3  # two latencies
+
+
+def test_per_node_bandwidth():
+    clock = SimClock()
+    model = NetworkModel(clock, MetricsRegistry(), latency=0.0,
+                         default_bandwidth=1e6)
+    clock.register("slow")
+    clock.register("fast")
+    model.register("slow", bandwidth=1e3)
+    model.register("fast", bandwidth=1e9)
+    assert model.bandwidth_of("slow") == 1e3
+    nbytes = 1000 - MESSAGE_OVERHEAD_BYTES
+    done = model.transfer("fast", "slow", nbytes, deliver=False)
+    assert done == pytest.approx(1000 / 1e9 + 1.0)
+
+
+def test_reset_clears_nic_queues(net):
+    net.transfer("a", "b", 10**6)
+    net.reset()
+    send_busy, recv_busy = net.nic_utilization("a")
+    assert send_busy == 0.0 and recv_busy == 0.0
+
+
+def test_utilization_tracking(net):
+    net.transfer("a", "b", 10**6 - MESSAGE_OVERHEAD_BYTES)
+    send_busy, _ = net.nic_utilization("a")
+    _, recv_busy = net.nic_utilization("b")
+    assert send_busy == pytest.approx(1.0)
+    assert recv_busy == pytest.approx(1.0)

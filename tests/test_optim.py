@@ -1,0 +1,152 @@
+"""Server-side optimizer tests: correctness against numpy and convergence."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.ml.optim import (
+    Adagrad,
+    Adam,
+    LBFGS,
+    OPTIMIZERS,
+    RMSProp,
+    SGD,
+    make_optimizer,
+)
+
+
+def test_registry_contains_all_paper_optimizers():
+    # Section 5.2.4: "Adagrad, RMSProp and L-BFGS" plus SGD and Adam.
+    assert set(OPTIMIZERS) == {"sgd", "adam", "adagrad", "rmsprop", "lbfgs"}
+
+
+def test_make_optimizer_by_name():
+    opt = make_optimizer("adam", learning_rate=0.1)
+    assert isinstance(opt, Adam)
+    assert opt.learning_rate == 0.1
+
+
+def test_make_optimizer_unknown():
+    with pytest.raises(ValueError):
+        make_optimizer("sgdm")
+
+
+def test_step_before_bind_rejected():
+    with pytest.raises(ReproError):
+        SGD().step()
+    with pytest.raises(ReproError):
+        _ = SGD().gradient
+
+
+def test_bind_allocates_colocated_state(ps2):
+    w = ps2.dense(10, rows=8)
+    opt = Adam()
+    grad = opt.bind(w)
+    assert w.is_colocated_with(grad)
+    assert w.is_colocated_with(opt.velocity)
+    assert w.is_colocated_with(opt.square)
+
+
+def test_sgd_step_matches_numpy(ps2):
+    w = ps2.dense(10, rows=4)
+    opt = SGD(learning_rate=0.5)
+    grad = opt.bind(w)
+    w.push(np.arange(10.0))
+    grad.push(np.ones(10))
+    opt.step()
+    assert np.allclose(w.pull(), np.arange(10.0) - 0.5)
+
+
+def test_adam_steps_match_driver_reference(ps2):
+    """Two Adam steps on DCVs equal the plain-numpy recursion."""
+    dim = 12
+    rng = np.random.default_rng(5)
+    g1, g2 = rng.standard_normal(dim), rng.standard_normal(dim)
+
+    w = ps2.dense(dim, rows=8)
+    opt = Adam(learning_rate=0.3)
+    grad = opt.bind(w)
+    for g in (g1, g2):
+        grad.push(g)
+        opt.step()
+
+    # Reference
+    wr = np.zeros(dim)
+    s = np.zeros(dim)
+    v = np.zeros(dim)
+    for step, g in enumerate((g1, g2), start=1):
+        s = 0.999 * s + 0.001 * g * g
+        v = 0.9 * v + 0.1 * g
+        s_hat = s / (1 - 0.999**step)
+        v_hat = v / (1 - 0.9**step)
+        wr -= 0.3 * v_hat / (np.sqrt(s_hat) + 1e-8)
+    assert np.allclose(w.pull(), wr)
+
+
+def test_zero_grad_resets(ps2):
+    w = ps2.dense(6, rows=4)
+    opt = SGD()
+    grad = opt.bind(w)
+    grad.push(np.ones(6))
+    opt.zero_grad()
+    assert grad.nnz() == 0
+
+
+def _minimize_quadratic(ps2, optimizer, steps, target):
+    """Minimize 0.5*||w - t||^2 with exact gradients; loss must shrink."""
+    dim = target.size
+    w = ps2.dense(dim, rows=16)
+    grad = optimizer.bind(w)
+    losses = []
+    for _ in range(steps):
+        current = w.pull()
+        g = current - target
+        optimizer.zero_grad()
+        grad.push(g)
+        optimizer.step()
+        losses.append(float(0.5 * np.dot(g, g)))
+    return losses
+
+
+@pytest.mark.parametrize("opt,steps", [
+    (SGD(learning_rate=0.3), 25),
+    (Adam(learning_rate=0.1), 60),
+    (Adagrad(learning_rate=1.0), 40),
+    (RMSProp(learning_rate=0.1), 60),
+    (LBFGS(learning_rate=0.5, memory=4), 25),
+])
+def test_optimizers_minimize_quadratic(make_ps2, opt, steps):
+    ps2 = make_ps2()
+    target = np.linspace(-1, 1, 8)
+    losses = _minimize_quadratic(ps2, opt, steps, target)
+    # Adaptive optimizers hover near the optimum; judge by the best point.
+    assert min(losses) < 0.05 * losses[0]
+
+
+def test_lbfgs_history_capped(make_ps2):
+    ps2 = make_ps2()
+    opt = LBFGS(learning_rate=0.5, memory=3)
+    target = np.linspace(0, 1, 6)
+    _minimize_quadratic(ps2, opt, 15, target)
+    assert len(opt._pairs) <= 3
+
+
+def test_lbfgs_history_lives_on_servers(make_ps2):
+    """The curvature pairs are DCVs co-located with the weight."""
+    ps2 = make_ps2()
+    opt = LBFGS(learning_rate=0.5, memory=2)
+    target = np.ones(5)
+    _minimize_quadratic(ps2, opt, 6, target)
+    s_vec, y_vec, _rho = opt._pairs[-1]
+    assert opt.weight.is_colocated_with(s_vec)
+    assert opt.weight.is_colocated_with(y_vec)
+
+
+def test_step_counts(ps2):
+    w = ps2.dense(4, rows=4)
+    opt = SGD()
+    grad = opt.bind(w)
+    grad.push(np.ones(4))
+    opt.step()
+    opt.step()
+    assert opt.step_count == 2

@@ -1,0 +1,200 @@
+"""Unit tests for the PS client: pulls, pushes, blocks, ranges, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PSError
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+from repro.ps.partitioner import RowLayout
+
+
+@pytest.fixture
+def setup(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    matrix_id = master.create_matrix(20, n_rows=3)
+    return cluster, master, client, matrix_id
+
+
+def test_dense_pull_round_trip(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    assert np.allclose(client.pull_row(m, 0), np.arange(20.0))
+
+
+def test_sparse_pull_preserves_input_order(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    got = client.pull_row(m, 0, indices=np.array([13, 2, 7, 19, 0]))
+    assert np.allclose(got, [13, 2, 7, 19, 0])
+
+
+def test_sparse_pull_empty_indices(setup):
+    _cluster, _master, client, m = setup
+    assert client.pull_row(m, 0, indices=np.array([], dtype=np.int64)).size == 0
+
+
+def test_push_add_accumulates(setup):
+    _cluster, _master, client, m = setup
+    client.push_add(m, 0, np.ones(20))
+    client.push_add(m, 0, np.array([4.0, 5.0]), indices=np.array([3, 15]))
+    got = client.pull_row(m, 0)
+    assert got[3] == 5.0 and got[15] == 6.0 and got[0] == 1.0
+
+
+def test_push_assign_sparse(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.array([9.0]), indices=np.array([11]))
+    assert client.pull_row(m, 0)[11] == 9.0
+
+
+def test_dense_push_wrong_size_rejected(setup):
+    _cluster, _master, client, m = setup
+    with pytest.raises(PSError):
+        client.push_assign(m, 0, np.ones(7))
+
+
+def test_pull_range(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    assert np.allclose(client.pull_range(m, 0, 5, 15), np.arange(5.0, 15.0))
+
+
+def test_push_range(setup):
+    _cluster, _master, client, m = setup
+    client.push_range(m, 0, 5, 10, np.full(5, 7.0))
+    got = client.pull_row(m, 0)
+    assert np.all(got[5:10] == 7.0)
+    assert got[4] == 0.0 and got[10] == 0.0
+
+
+def test_push_range_add_mode(setup):
+    _cluster, _master, client, m = setup
+    client.push_range(m, 0, 0, 20, np.ones(20), mode="add")
+    client.push_range(m, 0, 0, 20, np.ones(20), mode="add")
+    assert np.all(client.pull_row(m, 0) == 2.0)
+
+
+def test_aggregate_row_combines_servers(setup):
+    _cluster, _master, client, m = setup
+    values = np.zeros(20)
+    values[[1, 8, 17]] = [3.0, -2.0, 5.0]
+    client.push_assign(m, 0, values)
+    assert client.aggregate_row(m, 0, "sum") == pytest.approx(6.0)
+    assert client.aggregate_row(m, 0, "nnz") == 3
+    assert client.aggregate_row(m, 0, "max") == 5.0
+    assert client.aggregate_row(m, 0, "min") == -2.0
+    assert client.aggregate_row(m, 0, "sumsq") == pytest.approx(9 + 4 + 25)
+
+
+def test_aggregate_unknown_kind(setup):
+    _cluster, _master, client, m = setup
+    with pytest.raises(PSError):
+        client.aggregate_row(m, 0, "mode")
+
+
+def test_execute_gathers_per_server_partials(setup):
+    cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.ones(20))
+    partials = client.execute(
+        lambda arrays: float(arrays[0].sum()), [(m, 0)]
+    )
+    assert len(partials) == len(cluster.servers)
+    assert sum(partials) == pytest.approx(20.0)
+
+
+def test_execute_requires_operands(setup):
+    _cluster, _master, client, m = setup
+    with pytest.raises(PSError):
+        client.execute(lambda a: None, [])
+
+
+def test_execute_fire_and_forget_does_not_block(setup):
+    cluster, _master, client, m = setup
+    client.pull_row(m, 0)  # warm the routing cache
+    t0 = cluster.clock.now(client.node_id)
+    client.execute(lambda arrays: None, [(m, 0)], wait_response=False)
+    # Only the client-side RPC CPU charge lands on the client clock.
+    assert cluster.clock.now(client.node_id) - t0 < 1e-4
+
+
+def test_fill_row(setup):
+    _cluster, _master, client, m = setup
+    client.fill_row(m, 0, 3.5)
+    assert np.all(client.pull_row(m, 0) == 3.5)
+
+
+def test_pull_block_dense(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    client.push_assign(m, 1, np.arange(20.0) * 2)
+    block = client.pull_block(m, [0, 1])
+    assert block.shape == (2, 20)
+    assert np.allclose(block[1], np.arange(20.0) * 2)
+
+
+def test_pull_block_sparse_input_order(setup):
+    _cluster, _master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    client.push_assign(m, 2, np.arange(20.0) + 100)
+    block = client.pull_block(m, [0, 2], indices=np.array([15, 3]))
+    assert np.allclose(block[0], [15, 3])
+    assert np.allclose(block[1], [115, 103])
+
+
+def test_push_block_add(setup):
+    _cluster, _master, client, m = setup
+    delta = np.stack([np.full(3, 1.0), np.full(3, 2.0)])
+    client.push_block_add(m, [0, 1], delta, indices=np.array([0, 10, 19]))
+    assert client.pull_row(m, 0)[10] == 1.0
+    assert client.pull_row(m, 1)[19] == 2.0
+
+
+def test_push_block_add_dense(setup):
+    _cluster, _master, client, m = setup
+    delta = np.stack([np.ones(20), np.full(20, 3.0)])
+    client.push_block_add(m, [0, 1], delta)
+    assert np.all(client.pull_row(m, 1) == 3.0)
+
+
+def test_block_compression_reduces_bytes(setup):
+    cluster, _master, client, m = setup
+    before = cluster.metrics.bytes_for_tag("pull-block:resp")
+    client.pull_block(m, [0, 1, 2], value_bytes=8)
+    full = cluster.metrics.bytes_for_tag("pull-block:resp") - before
+    before = cluster.metrics.bytes_for_tag("pull-block:resp")
+    client.pull_block(m, [0, 1, 2], value_bytes=4)
+    compressed = cluster.metrics.bytes_for_tag("pull-block:resp") - before
+    assert compressed < full
+
+
+def test_recovery_after_server_crash(setup):
+    _cluster, master, client, m = setup
+    client.push_assign(m, 0, np.arange(20.0))
+    master.checkpoint_all()
+    master.server(1).crash()
+    got = client.pull_row(m, 0)  # triggers transparent recovery
+    assert np.allclose(got, np.arange(20.0))
+    assert master.checkpoints.recoveries == 1
+
+
+def test_row_layout_routing(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(16, n_rows=4, layout=RowLayout(16, 3))
+    client.push_assign(m, 2, np.arange(16.0))
+    assert np.allclose(client.pull_row(m, 2), np.arange(16.0))
+    got = client.pull_row(m, 2, indices=np.array([9, 4]))
+    assert np.allclose(got, [9, 4])
+
+
+def test_sparse_cheaper_than_dense_pull(setup):
+    cluster, _master, client, m = setup
+    before = cluster.metrics.bytes_for_tag("pull:resp")
+    client.pull_row(m, 0)
+    dense_bytes = cluster.metrics.bytes_for_tag("pull:resp") - before
+    before = cluster.metrics.bytes_for_tag("pull:resp")
+    client.pull_row(m, 0, indices=np.array([0]))
+    sparse_bytes = cluster.metrics.bytes_for_tag("pull:resp") - before
+    assert sparse_bytes < dense_bytes

@@ -1,0 +1,120 @@
+"""Unit tests for the PS master and checkpoint manager."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MatrixNotFoundError, PSError
+from repro.ps.checkpoint import CheckpointManager
+from repro.ps.master import PSMaster
+from repro.ps.partitioner import ColumnLayout, RowLayout
+
+
+@pytest.fixture
+def master(cluster):
+    return PSMaster(cluster)
+
+
+def test_create_matrix_default_layout(master):
+    m = master.create_matrix(30, n_rows=2)
+    info = master.info(m)
+    assert info.dim == 30 and info.n_rows == 2
+    assert isinstance(info.layout, ColumnLayout)
+    for server in master.servers:
+        assert server.has_shard(m, 0)
+        assert server.has_shard(m, 1)
+
+
+def test_create_matrix_row_layout(master):
+    m = master.create_matrix(30, n_rows=3, layout=RowLayout(30, 3))
+    assert master.server(0).has_shard(m, 0)
+    assert not master.server(0).has_shard(m, 1)
+    assert master.server(1).has_shard(m, 1)
+
+
+def test_matrix_ids_are_unique(master):
+    a = master.create_matrix(10)
+    b = master.create_matrix(10)
+    assert a != b
+
+
+def test_unknown_matrix(master):
+    with pytest.raises(MatrixNotFoundError):
+        master.info(999)
+
+
+def test_free_matrix(master):
+    m = master.create_matrix(10)
+    master.free_matrix(m)
+    assert not master.server(0).has_shard(m, 0)
+    with pytest.raises(MatrixNotFoundError):
+        master.layout(m)
+
+
+def test_allocation_charges_control_messages(cluster):
+    master = PSMaster(cluster)
+    before = cluster.metrics.messages_by_tag.get("ps-allocate", 0)
+    master.create_matrix(30)
+    after = cluster.metrics.messages_by_tag["ps-allocate"]
+    assert after - before == len(cluster.servers)
+
+
+def test_random_init_independent_of_client_count(cluster):
+    master = PSMaster(cluster)
+    m = master.create_matrix(12, init="random", scale=1.0)
+    values = np.concatenate(
+        [master.server(i).shard(m, 0).values for i in range(3)]
+    )
+    assert np.any(values != 0)
+
+
+def test_recover_without_checkpoint_fails(master):
+    master.create_matrix(10)
+    master.server(0).crash()
+    with pytest.raises(PSError):
+        master.recover(0)
+
+
+def test_recover_restores_latest_checkpoint(master):
+    m = master.create_matrix(12)
+    server = master.server(0)
+    shard = server.shard(m, 0)
+    shard.values[:] = 5.0
+    master.checkpoint_all()
+    shard.values[:] = 9.0  # updates after the checkpoint are lost
+    server.crash()
+    master.recover(0)
+    assert np.all(master.server(0).shard(m, 0).values == 5.0)
+
+
+def test_checkpoint_costs_time(cluster):
+    master = PSMaster(cluster)
+    master.create_matrix(100000)
+    t0 = cluster.clock.now(master.server(0).node_id)
+    master.checkpoint_all()
+    assert cluster.clock.now(master.server(0).node_id) > t0
+    assert master.checkpoints.checkpoints_taken == len(master.servers)
+
+
+def test_checkpoint_manager_has_checkpoint(cluster):
+    master = PSMaster(cluster)
+    manager = master.checkpoints
+    assert not manager.has_checkpoint(0)
+    master.create_matrix(10)
+    manager.checkpoint_server(master.server(0))
+    assert manager.has_checkpoint(0)
+    assert not manager.has_checkpoint(1)
+
+
+def test_checkpoint_storage_bandwidth_scaling(cluster):
+    master = PSMaster(cluster)
+    master.create_matrix(300000)
+    slow = CheckpointManager(cluster, storage_bandwidth=1e6)
+    fast = CheckpointManager(cluster, storage_bandwidth=1e9)
+    server = master.server(0)
+    t0 = cluster.clock.now(server.node_id)
+    slow.checkpoint_server(server)
+    slow_cost = cluster.clock.now(server.node_id) - t0
+    t0 = cluster.clock.now(server.node_id)
+    fast.checkpoint_server(server)
+    fast_cost = cluster.clock.now(server.node_id) - t0
+    assert slow_cost > fast_cost

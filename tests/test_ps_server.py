@@ -1,0 +1,213 @@
+"""Unit tests for the parameter-server storage and kernels."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MatrixNotFoundError, PSError, ServerDownError
+from repro.ps.server import PSServer
+
+
+@pytest.fixture
+def server(cluster):
+    s = PSServer(cluster, cluster.servers[0], 0)
+    s.allocate_row("m", 0, 10, 20, init="zero")
+    return s
+
+
+def test_allocate_zero(server):
+    shard = server.shard("m", 0)
+    assert shard.start == 10 and shard.stop == 20
+    assert np.all(shard.values == 0)
+    assert len(shard) == 10
+
+
+def test_allocate_random_deterministic(cluster):
+    from repro.common.rng import RngRegistry
+
+    s = PSServer(cluster, cluster.servers[0], 0)
+    s.allocate_row("m", 0, 0, 10, init="random",
+                   rng=RngRegistry(5).get("x"), scale=0.5)
+    t = PSServer(cluster, cluster.servers[1], 1)
+    t.allocate_row("m", 0, 0, 10, init="random",
+                   rng=RngRegistry(5).get("x"), scale=0.5)
+    assert np.allclose(s.shard("m", 0).values, t.shard("m", 0).values)
+
+
+def test_allocate_uniform_bounded(cluster):
+    from repro.common.rng import RngRegistry
+
+    s = PSServer(cluster, cluster.servers[0], 0)
+    s.allocate_row("m", 0, 0, 100, init="uniform",
+                   rng=RngRegistry(1).get("x"), scale=0.2)
+    values = s.shard("m", 0).values
+    assert np.all(np.abs(values) <= 0.2)
+    assert np.any(values != 0)
+
+
+def test_allocate_random_requires_rng(cluster):
+    s = PSServer(cluster, cluster.servers[0], 0)
+    with pytest.raises(PSError):
+        s.allocate_row("m", 0, 0, 4, init="random")
+
+
+def test_allocate_unknown_init(cluster):
+    s = PSServer(cluster, cluster.servers[0], 0)
+    with pytest.raises(PSError):
+        s.allocate_row("m", 0, 0, 4, init="fnord")
+
+
+def test_missing_shard_raises(server):
+    with pytest.raises(MatrixNotFoundError):
+        server.shard("m", 1)
+    with pytest.raises(MatrixNotFoundError):
+        server.shard("other", 0)
+
+
+def test_has_shard(server):
+    assert server.has_shard("m", 0)
+    assert not server.has_shard("m", 3)
+
+
+def test_read_full_and_indexed(server):
+    server.assign("m", 0, np.arange(10.0))
+    assert np.allclose(server.read("m", 0), np.arange(10.0))
+    # Global indices 12, 17 are local offsets 2, 7.
+    assert np.allclose(server.read("m", 0, np.array([12, 17])), [2.0, 7.0])
+
+
+def test_read_returns_copy(server):
+    values = server.read("m", 0)
+    values[:] = 99
+    assert server.read("m", 0)[0] == 0.0
+
+
+def test_add_dense_and_sparse(server):
+    server.add("m", 0, np.ones(10))
+    server.add("m", 0, np.array([5.0]), np.array([13]))
+    got = server.read("m", 0)
+    assert got[3] == 6.0
+    assert got[0] == 1.0
+
+
+def test_add_duplicate_indices_accumulate(server):
+    server.add("m", 0, np.array([1.0, 2.0]), np.array([10, 10]))
+    assert server.read("m", 0)[0] == 3.0
+
+
+def test_assign_sparse(server):
+    server.assign("m", 0, np.array([7.0]), np.array([19]))
+    assert server.read("m", 0)[9] == 7.0
+
+
+def test_fill(server):
+    server.fill("m", 0, 2.5)
+    assert np.all(server.read("m", 0) == 2.5)
+
+
+def test_aggregates(server):
+    server.assign("m", 0, np.array([0, 1, 2, 3, 0, 0, 0, 0, -1, 4.0]))
+    assert server.aggregate("m", 0, "sum") == pytest.approx(9.0)
+    assert server.aggregate("m", 0, "nnz") == 5
+    assert server.aggregate("m", 0, "sumsq") == pytest.approx(1 + 4 + 9 + 1 + 16)
+    assert server.aggregate("m", 0, "max") == 4.0
+    assert server.aggregate("m", 0, "min") == -1.0
+
+
+def test_aggregate_unknown_kind(server):
+    with pytest.raises(PSError):
+        server.aggregate("m", 0, "median")
+
+
+def test_execute_kernel_aligned(server):
+    server.allocate_row("m", 1, 10, 20, init="zero")
+    server.assign("m", 0, np.full(10, 2.0))
+    server.assign("m", 1, np.full(10, 3.0))
+
+    def dot(arrays):
+        return float(np.dot(arrays[0], arrays[1]))
+
+    assert server.execute_kernel(dot, [("m", 0), ("m", 1)]) == 60.0
+
+
+def test_execute_kernel_mutates_in_place(server):
+    server.assign("m", 0, np.ones(10))
+
+    def double(arrays):
+        arrays[0] *= 2
+
+    server.execute_kernel(double, [("m", 0)])
+    assert np.all(server.read("m", 0) == 2.0)
+
+
+def test_execute_kernel_misaligned_rejected(server):
+    server.allocate_row("n", 0, 0, 10, init="zero")
+    with pytest.raises(PSError):
+        server.execute_kernel(lambda a: None, [("m", 0), ("n", 0)])
+
+
+def test_execute_kernel_injects_range(server):
+    from repro.core.kernels import with_range
+
+    @with_range
+    def probe(arrays, start, stop):
+        return (start, stop)
+
+    assert server.execute_kernel(probe, [("m", 0)]) == (10, 20)
+
+
+def test_drop_matrix(server):
+    server.drop_matrix("m")
+    assert not server.has_shard("m", 0)
+    server.drop_matrix("m")  # idempotent
+
+
+def test_stored_bytes(server):
+    assert server.stored_bytes() == 80
+    server.allocate_row("m", 1, 0, 5, init="zero")
+    assert server.stored_bytes() == 120
+
+
+def test_crash_loses_state_and_rejects_ops(server):
+    server.crash()
+    assert not server.alive
+    with pytest.raises(ServerDownError):
+        server.read("m", 0)
+
+
+def test_snapshot_restore_round_trip(server):
+    server.assign("m", 0, np.arange(10.0))
+    snapshot = server.snapshot()
+    server.crash()
+    server.restore(snapshot)
+    assert server.alive
+    assert np.allclose(server.read("m", 0), np.arange(10.0))
+
+
+def test_snapshot_is_deep_copy(server):
+    snapshot = server.snapshot()
+    server.assign("m", 0, np.full(10, 9.0))
+    assert np.all(snapshot["m"][0].values == 0)
+
+
+def test_scheduled_failure_fires_on_access(cluster):
+    s = PSServer(cluster, cluster.servers[0], 0)
+    s.allocate_row("m", 0, 0, 4, init="zero")
+    cluster.failures.schedule_server_failure(s.node_id, at_time=0.5)
+    cluster.clock.advance(s.node_id, 1.0)
+    with pytest.raises(ServerDownError):
+        s.read("m", 0)
+    assert not s.alive
+
+
+def test_service_queues_by_arrival_not_call_order(server):
+    """Requests arriving at disjoint times do not queue behind each other
+    regardless of the order the simulator processes them in."""
+    big_flops = server.cluster.config.node.flops  # 1 virtual second
+    server.begin(10.0)
+    server._service(big_flops, "x")
+    late = server.last_completion
+    server.begin(0.0)
+    server._service(big_flops, "x")
+    early = server.last_completion
+    assert late == pytest.approx(11.0)
+    assert early == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Unit + property tests for the order-insensitive TimelineResource."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.resource import TimelineResource
+
+
+def test_first_reservation_starts_at_earliest():
+    r = TimelineResource()
+    assert r.reserve(2.0, 1.0) == 2.0
+
+
+def test_zero_duration_is_free():
+    r = TimelineResource()
+    assert r.reserve(5.0, 0.0) == 5.0
+    assert len(r) == 0
+
+
+def test_second_overlapping_reservation_queues():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    assert r.reserve(0.5, 1.0) == 1.0
+
+
+def test_disjoint_reservations_do_not_queue():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    assert r.reserve(10.0, 1.0) == 10.0
+
+
+def test_late_processed_early_arrival_uses_idle_gap():
+    """The fix for sequential simulation of concurrent actors: a job that
+    arrives earlier (but is processed later) slots into the idle past."""
+    r = TimelineResource()
+    r.reserve(10.0, 1.0)
+    assert r.reserve(0.0, 1.0) == 0.0
+
+
+def test_gap_too_small_is_skipped():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(1.5, 1.0)
+    # Gap [1.0, 1.5) cannot fit 0.8 seconds.
+    assert r.reserve(0.9, 0.8) == 2.5
+
+
+def test_gap_exactly_fits():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(2.0, 1.0)
+    assert r.reserve(0.0, 1.0) == 1.0
+
+
+def test_busy_seconds_accumulates():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(5.0, 2.5)
+    assert abs(r.busy_seconds() - 3.5) < 1e-12
+
+
+def test_horizon():
+    r = TimelineResource()
+    assert r.horizon() == 0.0
+    r.reserve(1.0, 2.0)
+    assert r.horizon() == 3.0
+
+
+def test_reset():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reset()
+    assert r.horizon() == 0.0
+    assert len(r) == 0
+
+
+def test_adjacent_intervals_merge():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(1.0, 1.0)
+    assert len(r) == 1
+    assert r.horizon() == 2.0
+
+
+jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0.001, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(jobs_strategy)
+@settings(max_examples=100, deadline=None)
+def test_property_no_overbooking(jobs):
+    """Booked intervals never overlap: total busy == sum of durations."""
+    r = TimelineResource()
+    for earliest, duration in jobs:
+        start = r.reserve(earliest, duration)
+        assert start >= earliest - 1e-9
+    expected = sum(d for _e, d in jobs)
+    assert abs(r.busy_seconds() - expected) < 1e-6
+
+
+@given(jobs_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_total_busy_is_order_insensitive(jobs):
+    """Capacity consumed does not depend on processing order."""
+    totals = set()
+    horizons = []
+    orders = [jobs, list(reversed(jobs))]
+    if len(jobs) > 2:
+        orders.append(jobs[1:] + jobs[:1])
+    for order in orders:
+        r = TimelineResource()
+        for earliest, duration in order:
+            r.reserve(earliest, duration)
+        totals.add(round(r.busy_seconds(), 6))
+        horizons.append(r.horizon())
+    assert len(totals) == 1
+
+
+def test_exhaustive_order_insensitive_small_case():
+    jobs = [(0.0, 1.0), (0.5, 1.0), (3.0, 0.5)]
+    results = set()
+    for perm in itertools.permutations(jobs):
+        r = TimelineResource()
+        for earliest, duration in perm:
+            r.reserve(earliest, duration)
+        results.add(round(r.busy_seconds(), 9))
+    assert len(results) == 1
