@@ -28,3 +28,35 @@ def emit(name, text):
 def run_once(benchmark, fn):
     """Execute *fn* exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def emit_observability(name, clusters, trace_out=None):
+    """Export traced *clusters* of one benchmark: chrome trace + breakdown.
+
+    Called by the ``--trace`` autouse fixture in ``benchmarks/conftest.py``
+    after a benchmark finishes.  Writes one merged chrome-trace JSON (one
+    process block per traced context) and one ``<name>_obs.txt`` report
+    next to the benchmark's regular results.
+    """
+    import json
+
+    from repro.obs import render_report, to_chrome_trace
+
+    if not clusters:
+        return None
+    labeled = [("ctx%d" % i, c.tracer) for i, c in enumerate(clusters)]
+    document = to_chrome_trace(labeled)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trace_path = trace_out or os.path.join(
+        RESULTS_DIR, "%s.trace.json" % name
+    )
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+
+    reports = [
+        render_report(cluster, title="%s / ctx%d" % (name, index))
+        for index, cluster in enumerate(clusters)
+    ]
+    emit(name + "_obs", "\n\n".join(reports)
+         + "\nchrome trace: %s" % trace_path)
+    return trace_path

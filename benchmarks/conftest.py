@@ -1,0 +1,54 @@
+"""Benchmark-runner options: ``--obs-trace`` / ``--obs-trace-out``.
+
+``pytest benchmarks/... --obs-trace`` enables span tracing for every simulated
+cluster a benchmark constructs.  After each benchmark, the traced contexts
+are exported as one merged chrome-trace JSON plus an ``*_obs.txt``
+breakdown (latency percentiles, server utilization, hot shards) next to
+the benchmark's regular results under ``benchmarks/results/``.
+
+Tracing never perturbs the cost model (spans only read the virtual
+clocks), so traced and untraced benchmark numbers are identical.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from benchmarks import _common
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro observability")
+    group.addoption(
+        "--obs-trace", action="store_true", default=False,
+        help="record spans in every simulated cluster and export chrome "
+             "traces + observability reports next to benchmark results",
+    )
+    group.addoption(
+        "--obs-trace-out", default=None,
+        help="explicit chrome-trace output path (default: "
+             "benchmarks/results/<benchmark>.trace.json)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _obs_trace(request):
+    """Enable construction-time tracing around each benchmark under --obs-trace."""
+    from repro import obs
+
+    if not request.config.getoption("--obs-trace"):
+        yield
+        return
+    obs.set_default_tracing(True)
+    obs.drain_traced_clusters()
+    try:
+        yield
+    finally:
+        obs.set_default_tracing(False)
+        clusters = obs.drain_traced_clusters()
+        name = re.sub(r"\W+", "_", request.node.name).strip("_")
+        _common.emit_observability(
+            name, clusters, trace_out=request.config.getoption("--obs-trace-out")
+        )

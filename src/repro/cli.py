@@ -7,6 +7,9 @@ Usage (``python -m repro <command>``):
 - ``dataset <name>`` — generate a Table-2 analogue and print its statistics;
 - ``train <workload>`` — train one of the paper's workloads on its default
   analogue and print the loss curve;
+- ``trace <workload>`` — same run with tracing enabled: writes a
+  ``chrome://tracing``-compatible JSON and prints the observability report
+  (latency percentiles, server utilization, hot shards);
 - ``experiments`` — list every table/figure benchmark and how to run it.
 """
 
@@ -80,62 +83,66 @@ def _cmd_dataset(args):
 _WORKLOADS = ("lr", "svm", "fm", "deepwalk", "line", "gbdt", "lda")
 
 
-def _cmd_train(args):
+def _run_workload(ctx, workload, iterations, seed):
+    """Train *workload* on its default analogue over *ctx*; returns result."""
     from repro.data import dataset, spec
+
+    if workload == "lr":
+        from repro.ml import train_logistic_regression
+
+        rows = dataset("kddb", seed=seed)
+        return train_logistic_regression(
+            ctx, rows, spec("kddb").params["dim"], optimizer="adam",
+            n_iterations=iterations, batch_fraction=0.1, seed=seed)
+    if workload == "svm":
+        from repro.ml import train_svm
+
+        rows = dataset("kddb", seed=seed)
+        return train_svm(ctx, rows, spec("kddb").params["dim"],
+                         n_iterations=iterations,
+                         batch_fraction=0.1, seed=seed)
+    if workload == "fm":
+        from repro.data import sparse_classification
+        from repro.ml import train_fm
+
+        rows, _ = sparse_classification(600, 2000, 12, seed=seed)
+        return train_fm(ctx, rows, 2000, n_factors=8,
+                        n_iterations=iterations,
+                        batch_fraction=0.5, seed=seed)
+    if workload == "deepwalk":
+        from repro.ml import train_deepwalk
+
+        _adjacency, walks = dataset("graph1", seed=seed)
+        n_vertices = max(int(w.max()) for w in walks) + 1
+        return train_deepwalk(ctx, walks, n_vertices, embedding_dim=32,
+                              n_iterations=iterations, seed=seed)
+    if workload == "line":
+        from repro.ml import train_line
+
+        adjacency, _walks = dataset("graph1", seed=seed)
+        return train_line(ctx, adjacency, embedding_dim=32,
+                          learning_rate=0.05,
+                          n_iterations=iterations, seed=seed)
+    if workload == "gbdt":
+        from repro.ml import train_gbdt
+
+        features, labels = dataset("gender", seed=seed)
+        return train_gbdt(ctx, features, labels,
+                          n_trees=iterations, max_depth=4, n_bins=16,
+                          seed=seed)
+    from repro.ml import train_lda
+
+    docs = dataset("pubmed", seed=seed)
+    return train_lda(ctx, docs, spec("pubmed").params["vocab"],
+                     n_topics=24, n_iterations=iterations, seed=seed)
+
+
+def _cmd_train(args):
     from repro.experiments import make_context
 
     ctx = make_context(n_executors=args.executors, n_servers=args.servers,
                        seed=args.seed)
-    if args.workload == "lr":
-        from repro.ml import train_logistic_regression
-
-        rows = dataset("kddb", seed=args.seed)
-        result = train_logistic_regression(
-            ctx, rows, spec("kddb").params["dim"], optimizer="adam",
-            n_iterations=args.iterations, batch_fraction=0.1, seed=args.seed)
-    elif args.workload == "svm":
-        from repro.ml import train_svm
-
-        rows = dataset("kddb", seed=args.seed)
-        result = train_svm(ctx, rows, spec("kddb").params["dim"],
-                           n_iterations=args.iterations,
-                           batch_fraction=0.1, seed=args.seed)
-    elif args.workload == "fm":
-        from repro.data import sparse_classification
-        from repro.ml import train_fm
-
-        rows, _ = sparse_classification(600, 2000, 12, seed=args.seed)
-        result = train_fm(ctx, rows, 2000, n_factors=8,
-                          n_iterations=args.iterations,
-                          batch_fraction=0.5, seed=args.seed)
-    elif args.workload == "deepwalk":
-        from repro.ml import train_deepwalk
-
-        _adjacency, walks = dataset("graph1", seed=args.seed)
-        n_vertices = max(int(w.max()) for w in walks) + 1
-        result = train_deepwalk(ctx, walks, n_vertices, embedding_dim=32,
-                                n_iterations=args.iterations, seed=args.seed)
-    elif args.workload == "line":
-        from repro.ml import train_line
-
-        adjacency, _walks = dataset("graph1", seed=args.seed)
-        result = train_line(ctx, adjacency, embedding_dim=32,
-                            learning_rate=0.05,
-                            n_iterations=args.iterations, seed=args.seed)
-    elif args.workload == "gbdt":
-        from repro.ml import train_gbdt
-
-        features, labels = dataset("gender", seed=args.seed)
-        result = train_gbdt(ctx, features, labels,
-                            n_trees=args.iterations, max_depth=4, n_bins=16,
-                            seed=args.seed)
-    else:
-        from repro.ml import train_lda
-
-        docs = dataset("pubmed", seed=args.seed)
-        result = train_lda(ctx, docs, spec("pubmed").params["vocab"],
-                           n_topics=24, n_iterations=args.iterations,
-                           seed=args.seed)
+    result = _run_workload(ctx, args.workload, args.iterations, args.seed)
 
     print("system:   %s" % result.system)
     print("workload: %s" % result.workload)
@@ -143,6 +150,29 @@ def _cmd_train(args):
         print("  t=%9.4fs  loss=%.6f" % (t, loss))
     print("virtual time: %.4f s   (wall time is much smaller; see DESIGN.md)"
           % result.elapsed)
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.experiments import make_context
+    from repro.obs import render_report, write_chrome_trace
+
+    ctx = make_context(n_executors=args.executors, n_servers=args.servers,
+                       seed=args.seed)
+    ctx.cluster.tracer.enable()
+    result = _run_workload(ctx, args.workload, args.iterations, args.seed)
+
+    path = write_chrome_trace(ctx.cluster.tracer, args.out)
+    print(render_report(
+        ctx.cluster,
+        title="%s on %s (%d iterations)"
+        % (result.system, result.workload, args.iterations),
+    ))
+    print()
+    print("final loss:   %.6f" % result.final_loss)
+    print("virtual time: %.4f s" % result.elapsed)
+    print("chrome trace: %s  (open in chrome://tracing or ui.perfetto.dev)"
+          % path)
     return 0
 
 
@@ -190,6 +220,17 @@ def build_parser():
     p_train.add_argument("--servers", type=int, default=8)
     p_train.add_argument("--seed", type=int, default=0)
 
+    p_trace = sub.add_parser(
+        "trace", help="train one workload with tracing; write a chrome trace"
+    )
+    p_trace.add_argument("workload", choices=_WORKLOADS)
+    p_trace.add_argument("--iterations", type=int, default=5)
+    p_trace.add_argument("--executors", type=int, default=8)
+    p_trace.add_argument("--servers", type=int, default=8)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="chrome-trace JSON output path")
+
     sub.add_parser("experiments", help="list the table/figure benchmarks")
     return parser
 
@@ -200,6 +241,7 @@ def main(argv=None):
         "quickcheck": _cmd_quickcheck,
         "dataset": _cmd_dataset,
         "train": _cmd_train,
+        "trace": _cmd_trace,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

@@ -17,6 +17,8 @@ from repro.cluster.simclock import SimClock
 from repro.common.errors import ClusterError, UnknownNodeError
 from repro.common.rng import RngRegistry
 from repro.config import ClusterConfig
+from repro.obs import default_tracing, register_traced_cluster
+from repro.obs.tracer import Tracer
 
 #: Reserved node id for the driver/coordinator.
 DRIVER = "driver"
@@ -39,11 +41,15 @@ class Cluster:
         self.config = config or ClusterConfig()
         self.clock = SimClock()
         self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.clock, enabled=default_tracing())
+        if self.tracer.enabled:
+            register_traced_cluster(self)
         self.network = NetworkModel(
             self.clock,
             self.metrics,
             latency=self.config.network.latency,
             default_bandwidth=self.config.network.bandwidth,
+            tracer=self.tracer,
         )
         self.rng = RngRegistry(self.config.seed)
         self.failures = FailureInjector(

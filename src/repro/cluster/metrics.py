@@ -1,17 +1,25 @@
-"""Traffic and work accounting for the simulated cluster.
+"""Traffic, work and latency accounting for the simulated cluster.
 
-The registry is append-cheap (plain counters) and queried by benchmarks to
-report *why* one system beats another: bytes moved per node, messages per
-operation tag, and virtual seconds of compute charged per node.
+The registry is append-cheap (plain counters plus O(1) streaming
+histograms) and queried by benchmarks to report *why* one system beats
+another: bytes moved per node, messages per operation tag, virtual seconds
+of compute charged per node, latency percentiles per op, and per-shard
+access counts that expose hot parameters and server load imbalance.
+
+Everything here is passive bookkeeping: recording never touches a clock or
+a resource timeline, so metrics (like tracing) cannot perturb the cost
+model.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.obs.histogram import StreamingHistogram
+
 
 class MetricsRegistry:
-    """Counters for bytes, messages and compute time, grouped by node and tag."""
+    """Counters for bytes, messages, compute, latency and shard load."""
 
     def __init__(self):
         self.bytes_sent = defaultdict(float)
@@ -20,6 +28,17 @@ class MetricsRegistry:
         self.messages_by_tag = defaultdict(int)
         self.compute_seconds = defaultdict(float)
         self.counters = defaultdict(int)
+        # Compute-op counts get their own namespace: ``record_compute`` used
+        # to write "compute:<tag>" into ``counters``, colliding with any
+        # free-form ``increment`` name starting with that prefix.
+        self.compute_counts = defaultdict(int)
+        self.requests_by_server = defaultdict(int)
+        self.requests_by_server_tag = defaultdict(int)
+        self.shard_requests = defaultdict(int)
+        self.shard_values = defaultdict(float)
+        self.latency = {}
+
+    # -- recording ---------------------------------------------------------
 
     def record_transfer(self, src, dst, nbytes, tag="transfer"):
         """Account one *src* -> *dst* message of *nbytes* under *tag*."""
@@ -31,11 +50,32 @@ class MetricsRegistry:
     def record_compute(self, node_id, seconds, tag="compute"):
         """Account *seconds* of virtual compute on *node_id*."""
         self.compute_seconds[node_id] += seconds
-        self.counters["compute:" + tag] += 1
+        self.compute_counts[tag] += 1
 
     def increment(self, name, amount=1):
         """Bump a free-form counter (task retries, checkpoints, ...)."""
         self.counters[name] += amount
+
+    def record_request(self, node_id, tag="request"):
+        """Count one request served by *node_id* (server load accounting)."""
+        self.requests_by_server[node_id] += 1
+        self.requests_by_server_tag[(node_id, tag)] += 1
+
+    def record_shard_access(self, matrix_id, server_index, n_values,
+                            n_requests=1):
+        """Count an access of *n_values* parameters on one matrix shard."""
+        key = (matrix_id, int(server_index))
+        self.shard_requests[key] += n_requests
+        self.shard_values[key] += float(n_values)
+
+    def observe(self, tag, seconds):
+        """Feed one latency/duration observation into *tag*'s histogram."""
+        hist = self.latency.get(tag)
+        if hist is None:
+            hist = self.latency[tag] = StreamingHistogram()
+        hist.record(seconds)
+
+    # -- totals ------------------------------------------------------------
 
     def total_bytes(self):
         """Total bytes that crossed the network."""
@@ -49,8 +89,65 @@ class MetricsRegistry:
         """Bytes accounted under *tag* (0 if the tag never occurred)."""
         return self.bytes_by_tag.get(tag, 0.0)
 
+    # -- latency / load queries --------------------------------------------
+
+    def latency_summary(self):
+        """``{tag: {count, mean, min, max, p50, p95, p99}}`` per op tag."""
+        return {tag: hist.summary() for tag, hist in self.latency.items()}
+
+    def percentile(self, tag, q):
+        """The *q*-th latency percentile of *tag* (0.0 if never observed)."""
+        hist = self.latency.get(tag)
+        return hist.percentile(q) if hist is not None else 0.0
+
+    def hot_shards(self, factor=2.0):
+        """Shards whose request count exceeds *factor* x their matrix mean.
+
+        Returns ``[(matrix_id, server_index, requests, values, ratio)]``
+        sorted by descending ratio — the NuPS-style skew signal: under a
+        uniform workload every shard of a matrix sees ~the same traffic, so
+        a shard far above its matrix's mean marks hot parameters.
+        """
+        by_matrix = defaultdict(list)
+        for (matrix_id, server_index), requests in self.shard_requests.items():
+            by_matrix[matrix_id].append((server_index, requests))
+        hot = []
+        for matrix_id, shards in by_matrix.items():
+            mean = sum(n for _s, n in shards) / len(shards)
+            if mean <= 0:
+                continue
+            for server_index, requests in shards:
+                ratio = requests / mean
+                if ratio >= factor:
+                    hot.append((
+                        matrix_id, server_index, requests,
+                        self.shard_values[(matrix_id, server_index)], ratio,
+                    ))
+        hot.sort(key=lambda item: item[4], reverse=True)
+        return hot
+
+    def load_imbalance(self):
+        """``(max, mean, max/mean)`` of per-server request counts.
+
+        ``(0, 0, 1.0)`` when no server requests were recorded; a ratio near
+        1.0 means balanced load, far above 1.0 means one server is the
+        bottleneck (the paper's Figure 4 realignment pathology).
+        """
+        if not self.requests_by_server:
+            return 0, 0.0, 1.0
+        counts = list(self.requests_by_server.values())
+        peak = max(counts)
+        mean = sum(counts) / len(counts)
+        return peak, mean, (peak / mean if mean else 1.0)
+
+    # -- snapshots ----------------------------------------------------------
+
     def snapshot(self):
-        """A plain-dict copy suitable for diffing before/after a phase."""
+        """A plain-dict copy suitable for diffing before/after a phase.
+
+        Latency histograms are summarized (not raw buckets): snapshots are
+        for phase accounting, and the summaries are what reports consume.
+        """
         return {
             "bytes_sent": dict(self.bytes_sent),
             "bytes_received": dict(self.bytes_received),
@@ -58,13 +155,51 @@ class MetricsRegistry:
             "messages_by_tag": dict(self.messages_by_tag),
             "compute_seconds": dict(self.compute_seconds),
             "counters": dict(self.counters),
+            "compute_counts": dict(self.compute_counts),
+            "requests_by_server": dict(self.requests_by_server),
+            "shard_requests": dict(self.shard_requests),
+            "shard_values": dict(self.shard_values),
         }
 
+    @staticmethod
+    def diff(before, after):
+        """Per-key ``after - before`` over two :meth:`snapshot` dicts.
+
+        Keys whose delta is zero are dropped, so the result reads as "what
+        this phase did".  Sections missing from either snapshot are treated
+        as empty.
+        """
+        out = {}
+        for section in set(before) | set(after):
+            b = before.get(section, {})
+            a = after.get(section, {})
+            delta = {}
+            for key in set(b) | set(a):
+                d = a.get(key, 0) - b.get(key, 0)
+                if d:
+                    delta[key] = d
+            if delta:
+                out[section] = delta
+        return out
+
     def reset(self):
-        """Zero every counter."""
+        """Zero every counter; returns the pre-reset :meth:`snapshot`.
+
+        Returning the snapshot makes phase-scoped accounting one call:
+        ``phase_metrics = registry.reset()`` closes a phase and opens the
+        next.
+        """
+        snap = self.snapshot()
         self.bytes_sent.clear()
         self.bytes_received.clear()
         self.bytes_by_tag.clear()
         self.messages_by_tag.clear()
         self.compute_seconds.clear()
         self.counters.clear()
+        self.compute_counts.clear()
+        self.requests_by_server.clear()
+        self.requests_by_server_tag.clear()
+        self.shard_requests.clear()
+        self.shard_values.clear()
+        self.latency = {}
+        return snap

@@ -33,9 +33,11 @@ from repro.common.sizeof import MESSAGE_OVERHEAD_BYTES
 class NetworkModel:
     """Shared network fabric with per-node NIC queues."""
 
-    def __init__(self, clock, metrics, latency, default_bandwidth):
+    def __init__(self, clock, metrics, latency, default_bandwidth,
+                 tracer=None):
         self.clock = clock
         self.metrics = metrics
+        self.tracer = tracer
         self.latency = float(latency)
         self.default_bandwidth = float(default_bandwidth)
         self._bandwidth = {}
@@ -97,6 +99,11 @@ class NetworkModel:
         recv_done = recv_start + recv_seconds
 
         self.metrics.record_transfer(src, dst, total, tag=tag)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(src, "net:" + tag, depart, send_done,
+                               cat="nic-send", dst=dst, nbytes=total)
+            self.tracer.record(dst, "net:" + tag, recv_start, recv_done,
+                               cat="nic-recv", src=src, nbytes=total)
         if deliver:
             self.clock.set_at_least(dst, recv_done)
         return recv_done

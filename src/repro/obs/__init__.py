@@ -1,0 +1,79 @@
+"""Observability for the PS2 simulator: tracing, histograms, reports.
+
+The subsystem has three layers:
+
+- :mod:`repro.obs.tracer` — structured spans over the virtual clocks,
+  recorded by instrumentation in the PS client/server, the network model
+  and the sparklite scheduler.  Disabled by default; enabling it never
+  changes simulation results (spans only *read* clocks).
+- :mod:`repro.obs.histogram` — streaming log-bucketed latency histograms,
+  always on inside :class:`~repro.cluster.metrics.MetricsRegistry`.
+- :mod:`repro.obs.chrometrace` / :mod:`repro.obs.report` — exporters: a
+  ``chrome://tracing``-compatible JSON document and a plain-text breakdown
+  (latency percentiles, server utilization, hot shards).
+
+``set_default_tracing(True)`` makes every *subsequently built* cluster
+start with its tracer enabled — the hook the benchmark runner's
+``--trace`` flag uses, since benchmarks construct their own contexts.
+"""
+
+from __future__ import annotations
+
+from repro.obs.chrometrace import to_chrome_trace, trace_events, \
+    write_chrome_trace
+from repro.obs.histogram import StreamingHistogram
+from repro.obs.report import hot_shard_table, latency_table, render_report, \
+    server_table
+from repro.obs.tracer import Span, Tracer
+
+#: Whether clusters built from now on start with tracing enabled.
+_DEFAULT_TRACING = False
+
+#: Clusters constructed with tracing on while the default was enabled —
+#: drained by the benchmark runner to export every traced context at once.
+_TRACED_CLUSTERS = []
+
+
+def set_default_tracing(enabled):
+    """Enable/disable tracing for clusters constructed after this call."""
+    global _DEFAULT_TRACING
+    _DEFAULT_TRACING = bool(enabled)
+
+
+def default_tracing():
+    """The current construction-time default for cluster tracers."""
+    return _DEFAULT_TRACING
+
+
+def register_traced_cluster(cluster):
+    """Track *cluster* for batch export (called by ``Cluster.__init__``).
+
+    Only clusters born with tracing enabled are registered, so normal runs
+    never accumulate references here.
+    """
+    _TRACED_CLUSTERS.append(cluster)
+
+
+def drain_traced_clusters():
+    """Return and clear the traced-cluster registry."""
+    global _TRACED_CLUSTERS
+    drained, _TRACED_CLUSTERS = _TRACED_CLUSTERS, []
+    return drained
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "StreamingHistogram",
+    "trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "latency_table",
+    "server_table",
+    "hot_shard_table",
+    "render_report",
+    "set_default_tracing",
+    "default_tracing",
+    "register_traced_cluster",
+    "drain_traced_clusters",
+]

@@ -1,0 +1,109 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of recorded spans.
+
+The exporter maps the simulation onto the trace-event JSON format:
+
+- every simulated **node** becomes a *process* (``pid``), named via ``M``
+  metadata events;
+- every span **category** on that node becomes a *thread* (``tid``): client
+  ops, server CPU, NIC send, NIC receive, tasks, stages — so a node's
+  timeline shows its resources as parallel tracks;
+- every :class:`~repro.obs.tracer.Span` becomes a complete (``"ph": "X"``)
+  event with ``ts``/``dur`` in microseconds of **virtual** time (the trace
+  viewer's clock *is* the simulated clock; wall time never appears).
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Trace-viewer thread ordering: one track per span category.
+_CATEGORY_TIDS = {
+    "stage": 0,
+    "task": 1,
+    "op": 2,
+    "cpu": 3,
+    "nic-send": 4,
+    "nic-recv": 5,
+}
+
+
+def _tid(cat):
+    return _CATEGORY_TIDS.get(cat, len(_CATEGORY_TIDS))
+
+
+def trace_events(tracer, pid_offset=0, process_prefix=""):
+    """The ``traceEvents`` list for one tracer's spans.
+
+    ``pid_offset`` / ``process_prefix`` let several tracers (one per
+    simulated cluster) coexist in a single trace file without pid clashes.
+    """
+    events = []
+    pids = {}
+    for span in tracer.spans:
+        if span.node not in pids:
+            pid = pid_offset + len(pids)
+            pids[span.node] = pid
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_prefix + str(span.node)},
+            })
+        args = {"node": span.node, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.args)
+        events.append({
+            "name": span.op,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pids[span.node],
+            "tid": _tid(span.cat),
+            "args": args,
+        })
+    for cat, tid in _CATEGORY_TIDS.items():
+        for pid in pids.values():
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": cat},
+            })
+    return events
+
+
+def to_chrome_trace(tracers):
+    """A chrome-trace document for one tracer or several ``(name, tracer)``.
+
+    Accepts either a single tracer or an iterable of ``(name, tracer)``
+    pairs (e.g. one per system under comparison); each pair gets its own
+    pid block with the name as a process prefix.
+    """
+    if hasattr(tracers, "spans"):
+        events = trace_events(tracers)
+    else:
+        events = []
+        offset = 0
+        for name, tracer in tracers:
+            prefix = "%s/" % name if name else ""
+            block = trace_events(tracer, pid_offset=offset,
+                                 process_prefix=prefix)
+            events.extend(block)
+            offset += len({e["pid"] for e in block})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracers, path):
+    """Serialize :func:`to_chrome_trace` to *path*; returns the path."""
+    document = to_chrome_trace(tracers)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+    return path

@@ -1,0 +1,127 @@
+"""Plain-text observability report: where did the virtual time go?
+
+Renders, for one simulated cluster, the three tables the paper's analysis
+sections revolve around: per-op latency percentiles (Figure 10-style "why
+is one system slower"), per-server utilization (Figure 4's single-point
+bottleneck), and hot-shard / load-imbalance telemetry (NuPS-style skew
+detection).
+"""
+
+from __future__ import annotations
+
+
+def _format_rows(headers, rows):
+    """A fixed-width table (no external deps, stable under tests)."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _seconds(value):
+    return "%.6f" % value
+
+
+def latency_table(metrics):
+    """Per-op latency percentiles observed by clients (virtual seconds)."""
+    summary = metrics.latency_summary()
+    if not summary:
+        return "(no latency observations)"
+    rows = [
+        (tag, s["count"], _seconds(s["p50"]), _seconds(s["p95"]),
+         _seconds(s["p99"]), _seconds(s["max"]))
+        for tag, s in sorted(summary.items())
+    ]
+    return _format_rows(
+        ["op", "count", "p50_s", "p95_s", "p99_s", "max_s"], rows
+    )
+
+
+def server_table(cluster):
+    """Per-server request counts and busy-time utilization."""
+    metrics = cluster.metrics
+    makespan = cluster.elapsed()
+    rows = []
+    for node_id in cluster.servers:
+        busy = metrics.compute_seconds.get(node_id, 0.0)
+        send_busy, recv_busy = cluster.network.nic_utilization(node_id)
+        utilization = busy / makespan if makespan > 0 else 0.0
+        rows.append((
+            node_id,
+            metrics.requests_by_server.get(node_id, 0),
+            _seconds(busy),
+            "%.1f%%" % (100.0 * utilization),
+            _seconds(send_busy),
+            _seconds(recv_busy),
+        ))
+    if not rows:
+        return "(no servers)"
+    return _format_rows(
+        ["server", "requests", "cpu_busy_s", "cpu_util", "nic_send_s",
+         "nic_recv_s"],
+        rows,
+    )
+
+
+def hot_shard_table(metrics, factor=1.5):
+    """Shards whose traffic exceeds *factor* x their matrix's mean."""
+    hot = metrics.hot_shards(factor=factor)
+    peak, mean, ratio = metrics.load_imbalance()
+    if hot:
+        table = _format_rows(
+            ["matrix", "server", "requests", "values", "x_mean"],
+            [
+                (matrix_id, server_index, requests, "%.0f" % values,
+                 "%.2f" % shard_ratio)
+                for matrix_id, server_index, requests, values, shard_ratio
+                in hot
+            ],
+        )
+    else:
+        table = "(no shard exceeds %.2fx its matrix mean)" % factor
+    footer = (
+        "server load imbalance: max=%d mean=%.1f max/mean=%.2f"
+        % (peak, mean, ratio)
+    )
+    return table + "\n" + footer
+
+
+def render_report(cluster, title="observability report"):
+    """The full text report for one cluster."""
+    tracer = getattr(cluster, "tracer", None)
+    sections = [
+        "== %s ==" % title,
+        "virtual makespan: %s s" % _seconds(cluster.elapsed()),
+        "",
+        "-- per-op latency (client-observed, virtual seconds) --",
+        latency_table(cluster.metrics),
+        "",
+        "-- per-server load --",
+        server_table(cluster),
+        "",
+        "-- hot shards --",
+        hot_shard_table(cluster.metrics),
+    ]
+    if tracer is not None and tracer.enabled:
+        by_cat = {}
+        for span in tracer.spans:
+            by_cat[span.cat] = by_cat.get(span.cat, 0) + 1
+        sections += [
+            "",
+            "-- trace --",
+            "%d spans recorded (%s)" % (
+                len(tracer.spans),
+                ", ".join(
+                    "%s=%d" % (cat, n) for cat, n in sorted(by_cat.items())
+                ) or "none",
+            ),
+        ]
+    return "\n".join(sections)

@@ -16,6 +16,8 @@ fire-and-forget: the client never blocks on them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.common.errors import PSError, ServerDownError
@@ -36,7 +38,7 @@ class PSClient:
         self.cluster = cluster
         self.master = master
         self.node_id = node_id
-        self._known_matrices = set()
+        self._routing = {}
 
     # -- plumbing -----------------------------------------------------------
 
@@ -46,14 +48,19 @@ class PSClient:
         Section 5.1: the PS-master "provides some meta information,
         including the locations and routing tables for PS-client to locate
         parameters."  The first touch of each matrix costs one RPC to the
-        coordinator; afterwards the client routes from its cache.
+        coordinator; afterwards the client routes from its cache — until
+        :meth:`invalidate` drops the entry (server recovery), at which
+        point the next touch pays the routing RPC again.
         """
-        layout = self.master.layout(matrix_id)
-        if matrix_id not in self._known_matrices:
+        layout = self._routing.get(matrix_id)
+        if layout is None:
+            layout = self.master.layout(matrix_id)
             from repro.cluster.cluster import DRIVER
 
             if self.node_id != DRIVER:
+                clock = self.cluster.clock
                 network = self.cluster.network
+                fetch_start = clock.now(self.node_id)
                 arrival = network.transfer(
                     self.node_id, DRIVER, messages.REQUEST_HEADER_BYTES,
                     tag="routing:req", deliver=False,
@@ -67,9 +74,49 @@ class PSClient:
                     tag="routing:resp", deliver=False,
                     depart_at=arrival + RPC_CPU_SECONDS,
                 )
-                self.cluster.clock.set_at_least(self.node_id, response)
-            self._known_matrices.add(matrix_id)
+                clock.set_at_least(self.node_id, response)
+                self.cluster.metrics.observe(
+                    "routing", clock.now(self.node_id) - fetch_start
+                )
+                tracer = self.cluster.tracer
+                if tracer.enabled:
+                    tracer.record(self.node_id, "routing", fetch_start,
+                                  response, cat="op", matrix_id=matrix_id)
+            self._routing[matrix_id] = layout
         return layout
+
+    def invalidate(self, matrix_id=None):
+        """Drop cached routing for *matrix_id* (or for every matrix).
+
+        Called on the server-recovery retry path so a retried op
+        re-resolves routing through the master instead of trusting a table
+        that predates the failure; the next :meth:`_layout` call pays the
+        routing RPC again.
+        """
+        if matrix_id is None:
+            self._routing.clear()
+        else:
+            self._routing.pop(matrix_id, None)
+
+    @contextmanager
+    def _op(self, op, matrix_id):
+        """Trace + time one client-level PS op (pull, push, kernel, ...).
+
+        Opens a span on the client node (children: routing fetches, NIC
+        bookings, server CPU slots) and feeds the op's client-observed
+        duration — issue to last response, as the virtual clock saw it —
+        into the per-op latency histogram.  Never advances any clock.
+        """
+        clock = self.cluster.clock
+        start = clock.now(self.node_id)
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            with tracer.span(self.node_id, op, cat="op",
+                             matrix_id=matrix_id):
+                yield
+        else:
+            yield
+        self.cluster.metrics.observe(op, clock.now(self.node_id) - start)
 
     def _charge_rpc(self, n_messages):
         """Charge the client CPU for serializing *n_messages* requests."""
@@ -78,17 +125,27 @@ class PSClient:
                 self.node_id, RPC_CPU_SECONDS * n_messages, tag="rpc-cpu"
             )
 
-    def _with_recovery(self, server, operation):
-        """Run *operation* against *server*, recovering it if it is down."""
+    def _with_recovery(self, server, operation, matrix_id=None):
+        """Run *operation* against *server*, recovering it if it is down.
+
+        Each recovery invalidates this client's cached routing for the
+        touched matrix and re-resolves it before retrying: a real master
+        may have re-placed the shards, so a retry must not route from a
+        table that predates the failure.
+        """
         for _ in range(MAX_SERVER_RETRIES + 1):
             try:
                 return operation()
             except ServerDownError:
                 self.master.recover(server.server_index)
+                self.cluster.metrics.increment("routing-invalidations")
+                if matrix_id is not None:
+                    self.invalidate(matrix_id)
+                    self._layout(matrix_id)
         raise PSError("server %s kept failing after recovery" % server.node_id)
 
     def _request(self, server, request_bytes, operation, tag,
-                 response_bytes=None):
+                 response_bytes=None, matrix_id=None, n_values=0):
         """One RPC against *server*; returns ``(value, response_arrival)``.
 
         The request is transferred, queued on the server CPU (via
@@ -96,8 +153,22 @@ class PSClient:
         set, a response is sent back departing at the request's completion
         time and its arrival time is returned (the caller decides when to
         block); otherwise the RPC is fire-and-forget and arrival is None.
+        ``matrix_id``/``n_values`` feed the hot-shard access telemetry.
         """
         network = self.cluster.network
+        if matrix_id is not None:
+            self.cluster.metrics.record_shard_access(
+                matrix_id, server.server_index, n_values
+            )
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            span = tracer.current(self.node_id)
+            if span is not None:
+                span.args["fanout"] = span.args.get("fanout", 0) + 1
+                span.args["bytes"] = (
+                    span.args.get("bytes", 0) + request_bytes
+                    + (response_bytes or 0)
+                )
         arrival = network.transfer(
             self.node_id, server.node_id, request_bytes,
             tag=tag + ":req", deliver=False,
@@ -107,7 +178,7 @@ class PSClient:
             server.begin(arrival)
             return operation()
 
-        value = self._with_recovery(server, serve)
+        value = self._with_recovery(server, serve, matrix_id=matrix_id)
         if response_bytes is None:
             return value, None
         response_arrival = network.transfer(
@@ -141,98 +212,110 @@ class PSClient:
         order.  Requests fan out to every owning server in parallel; the
         client resumes when the last response lands.
         """
-        layout = self._layout(matrix_id)
-        if indices is None:
-            result = np.empty(layout.dim)
-            shards = layout.shards_for_row(row)
-            self._charge_rpc(len(shards))
+        with self._op("pull", matrix_id):
+            layout = self._layout(matrix_id)
+            if indices is None:
+                result = np.empty(layout.dim)
+                shards = layout.shards_for_row(row)
+                self._charge_rpc(len(shards))
+                arrivals = []
+                for server_index, start, stop in shards:
+                    server = self.master.server(server_index)
+                    values, arrival = self._request(
+                        server,
+                        messages.dense_pull_request_bytes(),
+                        lambda s=server: s.read(matrix_id, row),
+                        tag="pull",
+                        response_bytes=messages.dense_pull_response_bytes(
+                            stop - start
+                        ),
+                        matrix_id=matrix_id,
+                        n_values=stop - start,
+                    )
+                    result[start:stop] = values
+                    arrivals.append(arrival)
+                self._await(arrivals)
+                return result
+
+            indices = np.asarray(indices, dtype=np.int64)
+            values_by_index = np.empty(indices.size)
+            order = np.argsort(indices, kind="stable")
+            sorted_indices = indices[order]
+            by_server = self._split_for_row(layout, row, sorted_indices)
+            self._charge_rpc(len(by_server))
             arrivals = []
-            for server_index, start, stop in shards:
+            cursor = 0
+            for server_index in by_server:
+                server_indices = by_server[server_index]
                 server = self.master.server(server_index)
                 values, arrival = self._request(
                     server,
-                    messages.dense_pull_request_bytes(),
-                    lambda s=server: s.read(matrix_id, row),
+                    messages.sparse_pull_request_bytes(server_indices.size),
+                    lambda s=server, gi=server_indices: s.read(matrix_id, row,
+                                                               gi),
                     tag="pull",
-                    response_bytes=messages.dense_pull_response_bytes(
-                        stop - start
+                    response_bytes=messages.sparse_pull_response_bytes(
+                        server_indices.size
                     ),
+                    matrix_id=matrix_id,
+                    n_values=server_indices.size,
                 )
-                result[start:stop] = values
+                span = order[cursor : cursor + server_indices.size]
+                values_by_index[span] = values
+                cursor += server_indices.size
                 arrivals.append(arrival)
             self._await(arrivals)
-            return result
-
-        indices = np.asarray(indices, dtype=np.int64)
-        values_by_index = np.empty(indices.size)
-        order = np.argsort(indices, kind="stable")
-        sorted_indices = indices[order]
-        by_server = self._split_for_row(layout, row, sorted_indices)
-        self._charge_rpc(len(by_server))
-        arrivals = []
-        cursor = 0
-        for server_index in by_server:
-            server_indices = by_server[server_index]
-            server = self.master.server(server_index)
-            values, arrival = self._request(
-                server,
-                messages.sparse_pull_request_bytes(server_indices.size),
-                lambda s=server, gi=server_indices: s.read(matrix_id, row, gi),
-                tag="pull",
-                response_bytes=messages.sparse_pull_response_bytes(
-                    server_indices.size
-                ),
-            )
-            span = order[cursor : cursor + server_indices.size]
-            values_by_index[span] = values
-            cursor += server_indices.size
-            arrivals.append(arrival)
-        self._await(arrivals)
-        return values_by_index
+            return values_by_index
 
     # -- row access: push (fire-and-forget) ------------------------------------
 
     def _push(self, matrix_id, row, values, indices, mode):
-        layout = self._layout(matrix_id)
-        values = np.asarray(values, dtype=float)
-        if indices is None:
-            if values.size != layout.dim:
-                raise PSError(
-                    "dense push of %d values into dim-%d matrix"
-                    % (values.size, layout.dim)
-                )
-            shards = layout.shards_for_row(row)
-            self._charge_rpc(len(shards))
-            for server_index, start, stop in shards:
+        with self._op("push", matrix_id):
+            layout = self._layout(matrix_id)
+            values = np.asarray(values, dtype=float)
+            if indices is None:
+                if values.size != layout.dim:
+                    raise PSError(
+                        "dense push of %d values into dim-%d matrix"
+                        % (values.size, layout.dim)
+                    )
+                shards = layout.shards_for_row(row)
+                self._charge_rpc(len(shards))
+                for server_index, start, stop in shards:
+                    server = self.master.server(server_index)
+                    block = values[start:stop]
+                    self._request(
+                        server,
+                        messages.dense_push_bytes(block.size),
+                        self._push_op(server, matrix_id, row, block, None,
+                                      mode),
+                        tag="push",
+                        matrix_id=matrix_id,
+                        n_values=block.size,
+                    )
+                return
+
+            indices = np.asarray(indices, dtype=np.int64)
+            order = np.argsort(indices, kind="stable")
+            sorted_indices = indices[order]
+            sorted_values = values[order]
+            by_server = self._split_for_row(layout, row, sorted_indices)
+            self._charge_rpc(len(by_server))
+            cursor = 0
+            for server_index in by_server:
+                server_indices = by_server[server_index]
                 server = self.master.server(server_index)
-                block = values[start:stop]
+                block = sorted_values[cursor : cursor + server_indices.size]
+                cursor += server_indices.size
                 self._request(
                     server,
-                    messages.dense_push_bytes(block.size),
-                    self._push_op(server, matrix_id, row, block, None, mode),
+                    messages.sparse_push_bytes(server_indices.size),
+                    self._push_op(server, matrix_id, row, block,
+                                  server_indices, mode),
                     tag="push",
+                    matrix_id=matrix_id,
+                    n_values=server_indices.size,
                 )
-            return
-
-        indices = np.asarray(indices, dtype=np.int64)
-        order = np.argsort(indices, kind="stable")
-        sorted_indices = indices[order]
-        sorted_values = values[order]
-        by_server = self._split_for_row(layout, row, sorted_indices)
-        self._charge_rpc(len(by_server))
-        cursor = 0
-        for server_index in by_server:
-            server_indices = by_server[server_index]
-            server = self.master.server(server_index)
-            block = sorted_values[cursor : cursor + server_indices.size]
-            cursor += server_indices.size
-            self._request(
-                server,
-                messages.sparse_push_bytes(server_indices.size),
-                self._push_op(server, matrix_id, row, block, server_indices,
-                              mode),
-                tag="push",
-            )
 
     @staticmethod
     def _push_op(server, matrix_id, row, block, indices, mode):
@@ -269,42 +352,50 @@ class PSClient:
         two integers, not per-index keys.  Used by pull/push-only baselines
         whose workers each update a slice of the model.
         """
-        layout = self._layout(matrix_id)
-        result = np.empty(int(stop) - int(start))
-        overlaps = self._range_shards(layout, row, int(start), int(stop))
-        self._charge_rpc(len(overlaps))
-        arrivals = []
-        for server_index, lo, hi in overlaps:
-            server = self.master.server(server_index)
-            span = np.arange(lo, hi, dtype=np.int64)
-            values, arrival = self._request(
-                server,
-                messages.dense_pull_request_bytes() + 2 * messages.INDEX_BYTES,
-                lambda s=server, gi=span: s.read(matrix_id, row, gi),
-                tag="pull",
-                response_bytes=messages.dense_pull_response_bytes(hi - lo),
-            )
-            result[lo - start : hi - start] = values
-            arrivals.append(arrival)
-        self._await(arrivals)
-        return result
+        with self._op("pull-range", matrix_id):
+            layout = self._layout(matrix_id)
+            result = np.empty(int(stop) - int(start))
+            overlaps = self._range_shards(layout, row, int(start), int(stop))
+            self._charge_rpc(len(overlaps))
+            arrivals = []
+            for server_index, lo, hi in overlaps:
+                server = self.master.server(server_index)
+                span = np.arange(lo, hi, dtype=np.int64)
+                values, arrival = self._request(
+                    server,
+                    messages.dense_pull_request_bytes()
+                    + 2 * messages.INDEX_BYTES,
+                    lambda s=server, gi=span: s.read(matrix_id, row, gi),
+                    tag="pull",
+                    response_bytes=messages.dense_pull_response_bytes(hi - lo),
+                    matrix_id=matrix_id,
+                    n_values=hi - lo,
+                )
+                result[lo - start : hi - start] = values
+                arrivals.append(arrival)
+            self._await(arrivals)
+            return result
 
     def push_range(self, matrix_id, row, start, stop, values, mode="assign"):
         """Write the contiguous slice ``[start, stop)`` (dense-priced)."""
-        layout = self._layout(matrix_id)
-        values = np.asarray(values, dtype=float)
-        overlaps = self._range_shards(layout, row, int(start), int(stop))
-        self._charge_rpc(len(overlaps))
-        for server_index, lo, hi in overlaps:
-            server = self.master.server(server_index)
-            block = values[lo - start : hi - start]
-            span = np.arange(lo, hi, dtype=np.int64)
-            self._request(
-                server,
-                messages.dense_push_bytes(block.size) + 2 * messages.INDEX_BYTES,
-                self._push_op(server, matrix_id, row, block, span, mode),
-                tag="push",
-            )
+        with self._op("push-range", matrix_id):
+            layout = self._layout(matrix_id)
+            values = np.asarray(values, dtype=float)
+            overlaps = self._range_shards(layout, row, int(start), int(stop))
+            self._charge_rpc(len(overlaps))
+            for server_index, lo, hi in overlaps:
+                server = self.master.server(server_index)
+                block = values[lo - start : hi - start]
+                span = np.arange(lo, hi, dtype=np.int64)
+                self._request(
+                    server,
+                    messages.dense_push_bytes(block.size)
+                    + 2 * messages.INDEX_BYTES,
+                    self._push_op(server, matrix_id, row, block, span, mode),
+                    tag="push",
+                    matrix_id=matrix_id,
+                    n_values=block.size,
+                )
 
     # -- block access (multi-row, shared indices) ------------------------------
 
@@ -321,116 +412,126 @@ class PSClient:
         Returns a ``len(rows) x len(indices)`` array aligned with the input
         index order (or ``len(rows) x dim`` for a dense pull).
         """
-        layout = self._layout(matrix_id)
-        rows = list(rows)
-        if value_bytes is None:
-            value_bytes = messages.FLOAT_BYTES
+        with self._op("pull-block", matrix_id):
+            layout = self._layout(matrix_id)
+            rows = list(rows)
+            if value_bytes is None:
+                value_bytes = messages.FLOAT_BYTES
 
-        def read_rows(server, global_indices):
-            return [
-                server.read(matrix_id, row, global_indices) for row in rows
-            ]
+            def read_rows(server, global_indices):
+                return [
+                    server.read(matrix_id, row, global_indices) for row in rows
+                ]
 
-        if indices is None:
-            block = np.empty((len(rows), layout.dim))
-            shards = layout.shards_for_row(rows[0])
-            self._charge_rpc(len(shards))
+            if indices is None:
+                block = np.empty((len(rows), layout.dim))
+                shards = layout.shards_for_row(rows[0])
+                self._charge_rpc(len(shards))
+                arrivals = []
+                for server_index, start, stop in shards:
+                    server = self.master.server(server_index)
+                    values, arrival = self._request(
+                        server,
+                        messages.dense_pull_request_bytes(),
+                        lambda s=server: read_rows(s, None),
+                        tag="pull-block",
+                        response_bytes=messages.RESPONSE_HEADER_BYTES
+                        + len(rows) * (stop - start) * value_bytes,
+                        matrix_id=matrix_id,
+                        n_values=len(rows) * (stop - start),
+                    )
+                    for row_pos, row_values in enumerate(values):
+                        block[row_pos, start:stop] = row_values
+                    arrivals.append(arrival)
+                self._await(arrivals)
+                return block
+
+            indices = np.asarray(indices, dtype=np.int64)
+            order = np.argsort(indices, kind="stable")
+            sorted_indices = indices[order]
+            by_server = self._split_for_row(layout, rows[0], sorted_indices)
+            self._charge_rpc(len(by_server))
+            block = np.empty((len(rows), indices.size))
             arrivals = []
-            for server_index, start, stop in shards:
+            cursor = 0
+            for server_index in by_server:
+                server_indices = by_server[server_index]
                 server = self.master.server(server_index)
                 values, arrival = self._request(
                     server,
-                    messages.dense_pull_request_bytes(),
-                    lambda s=server: read_rows(s, None),
+                    messages.sparse_pull_request_bytes(server_indices.size),
+                    lambda s=server, gi=server_indices: read_rows(s, gi),
                     tag="pull-block",
                     response_bytes=messages.RESPONSE_HEADER_BYTES
-                    + len(rows) * (stop - start) * value_bytes,
+                    + len(rows) * server_indices.size * value_bytes,
+                    matrix_id=matrix_id,
+                    n_values=len(rows) * server_indices.size,
                 )
+                span = order[cursor : cursor + server_indices.size]
+                cursor += server_indices.size
                 for row_pos, row_values in enumerate(values):
-                    block[row_pos, start:stop] = row_values
+                    block[row_pos, span] = row_values
                 arrivals.append(arrival)
             self._await(arrivals)
             return block
 
-        indices = np.asarray(indices, dtype=np.int64)
-        order = np.argsort(indices, kind="stable")
-        sorted_indices = indices[order]
-        by_server = self._split_for_row(layout, rows[0], sorted_indices)
-        self._charge_rpc(len(by_server))
-        block = np.empty((len(rows), indices.size))
-        arrivals = []
-        cursor = 0
-        for server_index in by_server:
-            server_indices = by_server[server_index]
-            server = self.master.server(server_index)
-            values, arrival = self._request(
-                server,
-                messages.sparse_pull_request_bytes(server_indices.size),
-                lambda s=server, gi=server_indices: read_rows(s, gi),
-                tag="pull-block",
-                response_bytes=messages.RESPONSE_HEADER_BYTES
-                + len(rows) * server_indices.size * value_bytes,
-            )
-            span = order[cursor : cursor + server_indices.size]
-            cursor += server_indices.size
-            for row_pos, row_values in enumerate(values):
-                block[row_pos, span] = row_values
-            arrivals.append(arrival)
-        self._await(arrivals)
-        return block
-
     def push_block_add(self, matrix_id, rows, block, indices=None,
                        value_bytes=None):
         """Accumulate a multi-row delta block (fire-and-forget, like push)."""
-        layout = self._layout(matrix_id)
-        rows = list(rows)
-        block = np.asarray(block, dtype=float)
-        if value_bytes is None:
-            value_bytes = messages.FLOAT_BYTES
+        with self._op("push-block", matrix_id):
+            layout = self._layout(matrix_id)
+            rows = list(rows)
+            block = np.asarray(block, dtype=float)
+            if value_bytes is None:
+                value_bytes = messages.FLOAT_BYTES
 
-        if indices is None:
-            shards = layout.shards_for_row(rows[0])
-            self._charge_rpc(len(shards))
-            for server_index, start, stop in shards:
+            if indices is None:
+                shards = layout.shards_for_row(rows[0])
+                self._charge_rpc(len(shards))
+                for server_index, start, stop in shards:
+                    server = self.master.server(server_index)
+
+                    def add_rows(s=server, lo=start, hi=stop):
+                        for row_pos, row in enumerate(rows):
+                            s.add(matrix_id, row, block[row_pos, lo:hi])
+
+                    self._request(
+                        server,
+                        messages.REQUEST_HEADER_BYTES
+                        + len(rows) * (stop - start) * value_bytes,
+                        add_rows,
+                        tag="push-block",
+                        matrix_id=matrix_id,
+                        n_values=len(rows) * (stop - start),
+                    )
+                return
+
+            indices = np.asarray(indices, dtype=np.int64)
+            order = np.argsort(indices, kind="stable")
+            sorted_indices = indices[order]
+            by_server = self._split_for_row(layout, rows[0], sorted_indices)
+            self._charge_rpc(len(by_server))
+            cursor = 0
+            for server_index in by_server:
+                server_indices = by_server[server_index]
                 server = self.master.server(server_index)
+                span = order[cursor : cursor + server_indices.size]
+                cursor += server_indices.size
 
-                def add_rows(s=server, lo=start, hi=stop):
+                def add_rows(s=server, gi=server_indices, sp=span):
                     for row_pos, row in enumerate(rows):
-                        s.add(matrix_id, row, block[row_pos, lo:hi])
+                        s.add(matrix_id, row, block[row_pos, sp], gi)
 
                 self._request(
                     server,
                     messages.REQUEST_HEADER_BYTES
-                    + len(rows) * (stop - start) * value_bytes,
+                    + server_indices.size * messages.INDEX_BYTES
+                    + len(rows) * server_indices.size * value_bytes,
                     add_rows,
                     tag="push-block",
+                    matrix_id=matrix_id,
+                    n_values=len(rows) * server_indices.size,
                 )
-            return
-
-        indices = np.asarray(indices, dtype=np.int64)
-        order = np.argsort(indices, kind="stable")
-        sorted_indices = indices[order]
-        by_server = self._split_for_row(layout, rows[0], sorted_indices)
-        self._charge_rpc(len(by_server))
-        cursor = 0
-        for server_index in by_server:
-            server_indices = by_server[server_index]
-            server = self.master.server(server_index)
-            span = order[cursor : cursor + server_indices.size]
-            cursor += server_indices.size
-
-            def add_rows(s=server, gi=server_indices, sp=span):
-                for row_pos, row in enumerate(rows):
-                    s.add(matrix_id, row, block[row_pos, sp], gi)
-
-            self._request(
-                server,
-                messages.REQUEST_HEADER_BYTES
-                + server_indices.size * messages.INDEX_BYTES
-                + len(rows) * server_indices.size * value_bytes,
-                add_rows,
-                tag="push-block",
-            )
 
     # -- aggregates and server-side execution --------------------------------
 
@@ -446,24 +547,27 @@ class PSClient:
         """A whole-row aggregate computed server-side; only scalars travel."""
         if kind not in self._COMBINE:
             raise PSError("unknown aggregate %r" % (kind,))
-        layout = self._layout(matrix_id)
-        shards = layout.shards_for_row(row)
-        self._charge_rpc(len(shards))
-        partials = []
-        arrivals = []
-        for server_index, _start, _stop in shards:
-            server = self.master.server(server_index)
-            partial, arrival = self._request(
-                server,
-                messages.scalar_op_request_bytes(),
-                lambda s=server: s.aggregate(matrix_id, row, kind),
-                tag="rowagg",
-                response_bytes=messages.scalar_response_bytes(),
-            )
-            partials.append(partial)
-            arrivals.append(arrival)
-        self._await(arrivals)
-        return float(self._COMBINE[kind](partials))
+        with self._op("rowagg", matrix_id):
+            layout = self._layout(matrix_id)
+            shards = layout.shards_for_row(row)
+            self._charge_rpc(len(shards))
+            partials = []
+            arrivals = []
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                partial, arrival = self._request(
+                    server,
+                    messages.scalar_op_request_bytes(),
+                    lambda s=server: s.aggregate(matrix_id, row, kind),
+                    tag="rowagg",
+                    response_bytes=messages.scalar_response_bytes(),
+                    matrix_id=matrix_id,
+                    n_values=stop - start,
+                )
+                partials.append(partial)
+                arrivals.append(arrival)
+            self._await(arrivals)
+            return float(self._COMBINE[kind](partials))
 
     def execute(self, kernel, operands, args=None, n_response_scalars=1,
                 flops_per_server=None, wait_response=True):
@@ -480,42 +584,49 @@ class PSClient:
         """
         if not operands:
             raise PSError("execute needs at least one operand")
-        layout = self._layout(operands[0][0])
-        shards = layout.shards_for_row(operands[0][1])
-        self._charge_rpc(len(shards))
-        partials = []
-        arrivals = []
-        response_bytes = (
-            messages.scalar_response_bytes(n_response_scalars)
-            if wait_response else None
-        )
-        for server_index, _start, _stop in shards:
-            server = self.master.server(server_index)
-            partial, arrival = self._request(
-                server,
-                messages.scalar_op_request_bytes(len(operands)),
-                lambda s=server: s.execute_kernel(
-                    kernel, operands, args=args, flops=flops_per_server
-                ),
-                tag="kernel",
-                response_bytes=response_bytes,
+        matrix_id = operands[0][0]
+        with self._op("kernel", matrix_id):
+            layout = self._layout(matrix_id)
+            shards = layout.shards_for_row(operands[0][1])
+            self._charge_rpc(len(shards))
+            partials = []
+            arrivals = []
+            response_bytes = (
+                messages.scalar_response_bytes(n_response_scalars)
+                if wait_response else None
             )
-            partials.append(partial)
-            arrivals.append(arrival)
-        if wait_response:
-            self._await(arrivals)
-        return partials
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                partial, arrival = self._request(
+                    server,
+                    messages.scalar_op_request_bytes(len(operands)),
+                    lambda s=server: s.execute_kernel(
+                        kernel, operands, args=args, flops=flops_per_server
+                    ),
+                    tag="kernel",
+                    response_bytes=response_bytes,
+                    matrix_id=matrix_id,
+                    n_values=(stop - start) * len(operands),
+                )
+                partials.append(partial)
+                arrivals.append(arrival)
+            if wait_response:
+                self._await(arrivals)
+            return partials
 
     def fill_row(self, matrix_id, row, value):
         """Set every element of a row, server-side (fire-and-forget)."""
-        layout = self._layout(matrix_id)
-        shards = layout.shards_for_row(row)
-        self._charge_rpc(len(shards))
-        for server_index, _start, _stop in shards:
-            server = self.master.server(server_index)
-            self._request(
-                server,
-                messages.scalar_op_request_bytes(),
-                lambda s=server: s.fill(matrix_id, row, value),
-                tag="fill",
-            )
+        with self._op("fill", matrix_id):
+            layout = self._layout(matrix_id)
+            shards = layout.shards_for_row(row)
+            self._charge_rpc(len(shards))
+            for server_index, start, stop in shards:
+                server = self.master.server(server_index)
+                self._request(
+                    server,
+                    messages.scalar_op_request_bytes(),
+                    lambda s=server: s.fill(matrix_id, row, value),
+                    tag="fill",
+                    matrix_id=matrix_id,
+                    n_values=stop - start,
+                )

@@ -114,8 +114,17 @@ class PSMaster:
         paper's recovery story; SGD-style training absorbs the regression.
         """
         server = self.servers[server_index]
+        recover_start = self.cluster.clock.now(server.node_id)
         server.revive()
         self.checkpoints.recover_server(server)
         self.cluster.network.transfer(
             DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-recover"
         )
+        self.cluster.metrics.increment("server-recoveries")
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.record(
+                server.node_id, "ps-recover", recover_start,
+                self.cluster.clock.now(server.node_id), cat="op",
+                server_index=server_index,
+            )

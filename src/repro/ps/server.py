@@ -81,7 +81,14 @@ class PSServer:
         start = self.cpu.reserve(arrival, seconds)
         self.last_completion = start + seconds
         self._arrival = self.last_completion
-        self.cluster.metrics.record_compute(self.node_id, seconds, tag=tag)
+        metrics = self.cluster.metrics
+        metrics.record_compute(self.node_id, seconds, tag=tag)
+        metrics.record_request(self.node_id, tag)
+        metrics.observe("srv:" + tag, seconds)
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.record(self.node_id, tag, start, self.last_completion,
+                          cat="cpu", queue_wait=start - arrival)
         self.cluster.clock.set_at_least(self.node_id, self.last_completion)
         return self.last_completion
 

@@ -51,6 +51,7 @@ class SparkContext:
         """
         from repro.common.sizeof import sizeof
 
+        load_start = self.cluster.clock.now(DRIVER)
         for partition_id in range(rdd.get_num_partitions()):
             executor = self.scheduler.executor_for(partition_id)
             nbytes = sizeof(rdd._partitions[partition_id])
@@ -58,6 +59,13 @@ class SparkContext:
                 DRIVER, executor, nbytes, tag="data-load"
             )
         self.cluster.barrier([DRIVER] + self.cluster.executors)
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.record(
+                DRIVER, "data-load", load_start,
+                self.cluster.clock.now(DRIVER), cat="stage",
+                n_partitions=rdd.get_num_partitions(),
+            )
 
     def broadcast(self, value, nbytes=None):
         """Ship *value* to every executor and return the broadcast handle."""

@@ -58,7 +58,9 @@ class Scheduler:
         committed = []
         network = self.cluster.network
         failures = self.cluster.failures
-        stage_start = self.cluster.clock.now(DRIVER)
+        tracer = self.cluster.tracer
+        clock = self.cluster.clock
+        stage_start = clock.now(DRIVER)
 
         for partition_id in range(rdd.get_num_partitions()):
             executor = self.executor_for(partition_id)
@@ -86,8 +88,12 @@ class Scheduler:
                 ctx = TaskContext(
                     self.cluster, executor, stage_id, partition_id, attempt
                 )
+                task_start = clock.now(executor)
                 try:
-                    result = action(ctx, rdd.compute(ctx, partition_id))
+                    with tracer.span(executor, "task:" + tag, cat="task",
+                                     stage=stage_id, partition=partition_id,
+                                     attempt=attempt):
+                        result = action(ctx, rdd.compute(ctx, partition_id))
                 except TaskError:
                     raise
                 except Exception as exc:
@@ -98,6 +104,9 @@ class Scheduler:
                         partition_id=partition_id,
                         attempt=attempt,
                     ) from exc
+                self.cluster.metrics.observe(
+                    "task", clock.now(executor) - task_start
+                )
                 if failures.should_fail_task():
                     # The attempt's compute and pull traffic was already
                     # charged (it really happened); its deferred pushes are
@@ -137,7 +146,13 @@ class Scheduler:
         # (Results are gathered with deliver=False so that tasks run in
         # parallel; syncing per-result would serialize the stage.)
         if arrivals:
-            self.cluster.clock.set_at_least(DRIVER, max(arrivals))
+            clock.set_at_least(DRIVER, max(arrivals))
+        stage_end = clock.now(DRIVER)
+        self.cluster.metrics.observe("stage", stage_end - stage_start)
+        if tracer.enabled:
+            tracer.record(DRIVER, "stage:%d:%s" % (stage_id, tag),
+                          stage_start, stage_end, cat="stage",
+                          n_tasks=rdd.get_num_partitions())
         return results
 
     def tree_combine(self, placed_results, zero_value, comb_op, depth=2):

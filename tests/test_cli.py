@@ -43,6 +43,28 @@ def test_train_deepwalk(capsys):
     assert "deepwalk" in capsys.readouterr().out
 
 
+def test_trace_command(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    code = main([
+        "trace", "lr", "--iterations", "1",
+        "--executors", "4", "--servers", "3", "--seed", "1",
+        "--out", str(out_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per-op latency" in out
+    assert "p50_s" in out
+    assert "per-server load" in out
+    assert "final loss" in out
+    import json
+
+    with open(out_path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    events = document["traceEvents"]
+    assert any(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+    assert any(e["ph"] == "M" for e in events)
+
+
 def test_experiments_listing(capsys):
     assert main(["experiments"]) == 0
     out = capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.cluster import Cluster, DRIVER, executor_id, server_id
+from repro.cluster.cluster import DRIVER, executor_id, server_id
 from repro.cluster.failures import FailureInjector
 from repro.common.errors import ConfigError, UnknownNodeError
 from repro.common.rng import RngRegistry

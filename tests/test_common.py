@@ -1,7 +1,6 @@
 """Tests for shared utilities: sizeof, RNG registry, error hierarchy."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

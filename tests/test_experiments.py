@@ -1,7 +1,5 @@
 """Tests for the experiment harness: Table 3 registry and reporting."""
 
-import pytest
-
 from repro.experiments import (
     SUPPORT_MATRIX,
     TRAINER_INDEX,

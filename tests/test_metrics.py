@@ -29,7 +29,18 @@ def test_record_compute():
     m.record_compute("n", 0.5, tag="work")
     m.record_compute("n", 0.25, tag="work")
     assert m.compute_seconds["n"] == 0.75
-    assert m.counters["compute:work"] == 2
+    assert m.compute_counts["work"] == 2
+
+
+def test_compute_counts_do_not_collide_with_increment():
+    # Regression: record_compute used to write "compute:<tag>" into the
+    # same dict as free-form increment names, so a user counter named
+    # "compute:work" was silently polluted by compute accounting.
+    m = MetricsRegistry()
+    m.increment("compute:work", 7)
+    m.record_compute("n", 0.5, tag="work")
+    assert m.counters["compute:work"] == 7
+    assert m.compute_counts["work"] == 1
 
 
 def test_increment():
@@ -48,12 +59,90 @@ def test_snapshot_is_detached():
     assert m.bytes_for_tag("t") == 20
 
 
-def test_reset():
+def test_snapshot_has_new_sections():
+    m = MetricsRegistry()
+    m.record_compute("n", 0.5, tag="work")
+    m.record_request("server-0", tag="ps-read")
+    m.record_shard_access(3, 1, 40)
+    snap = m.snapshot()
+    assert snap["compute_counts"]["work"] == 1
+    assert snap["requests_by_server"]["server-0"] == 1
+    assert snap["shard_requests"][(3, 1)] == 1
+    assert snap["shard_values"][(3, 1)] == 40.0
+
+
+def test_diff_subtracts_and_drops_zero_deltas():
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 10, tag="warmup")
+    before = m.snapshot()
+    m.record_transfer("a", "b", 30, tag="phase")
+    delta = MetricsRegistry.diff(before, m.snapshot())
+    assert delta["bytes_by_tag"] == {"phase": 30}
+    assert delta["messages_by_tag"] == {"phase": 1}
+    # The warmup tag did not change between the snapshots: not in the diff.
+    assert "warmup" not in delta.get("bytes_by_tag", {})
+
+
+def test_diff_handles_missing_sections():
+    delta = MetricsRegistry.diff({}, {"counters": {"x": 2}})
+    assert delta == {"counters": {"x": 2}}
+
+
+def test_reset_returns_pre_reset_snapshot():
     m = MetricsRegistry()
     m.record_transfer("a", "b", 10)
     m.record_compute("a", 1.0)
     m.increment("x")
-    m.reset()
+    m.observe("pull", 0.5)
+    snap = m.reset()
+    assert snap["counters"]["x"] == 1
+    assert snap["compute_seconds"]["a"] == 1.0
     assert m.total_bytes() == 0
     assert not m.compute_seconds
     assert not m.counters
+    assert not m.latency
+
+
+def test_request_counts_and_load_imbalance():
+    m = MetricsRegistry()
+    for _ in range(9):
+        m.record_request("server-0", tag="ps-read")
+    m.record_request("server-1", tag="ps-read")
+    peak, mean, ratio = m.load_imbalance()
+    assert peak == 9
+    assert mean == 5.0
+    assert ratio == 1.8
+    assert m.requests_by_server_tag[("server-0", "ps-read")] == 9
+
+
+def test_load_imbalance_empty_registry():
+    assert MetricsRegistry().load_imbalance() == (0, 0.0, 1.0)
+
+
+def test_hot_shards_flags_skewed_shard():
+    m = MetricsRegistry()
+    # Matrix 0: shard 2 sees 10x the traffic of its siblings.
+    for server in range(4):
+        m.record_shard_access(0, server, 10)
+    for _ in range(39):
+        m.record_shard_access(0, 2, 10)
+    # Matrix 1 is perfectly balanced: no hot shard there.
+    for server in range(4):
+        m.record_shard_access(1, server, 10)
+    hot = m.hot_shards(factor=2.0)
+    assert len(hot) == 1
+    matrix_id, server_index, requests, values, ratio = hot[0]
+    assert (matrix_id, server_index) == (0, 2)
+    assert requests == 40
+    assert ratio > 3.0
+
+
+def test_observe_builds_percentiles():
+    m = MetricsRegistry()
+    for value in range(1, 101):
+        m.observe("pull", value / 1000.0)
+    summary = m.latency_summary()["pull"]
+    assert summary["count"] == 100
+    assert summary["p50"] < summary["p95"] < summary["p99"] <= summary["max"]
+    assert m.percentile("pull", 50) == summary["p50"]
+    assert m.percentile("never-observed", 99) == 0.0

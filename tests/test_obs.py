@@ -1,0 +1,343 @@
+"""Observability tests: spans, histograms, hot shards, exporters.
+
+The load-bearing property throughout is that observability is *passive*:
+tracing and metrics only read the virtual clocks, so a traced run and an
+untraced run of the same workload produce byte-identical results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.context import PS2Context
+from repro.cluster.metrics import MetricsRegistry
+from repro.obs import (
+    StreamingHistogram,
+    render_report,
+    to_chrome_trace,
+    trace_events,
+    write_chrome_trace,
+)
+from repro.obs.tracer import _NULL_SPAN
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+
+
+# -- tracer: nesting and ordering under the virtual clock --------------------
+
+
+def test_span_nesting_on_one_node(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    node = cluster.executors[0]
+    with tracer.span(node, "outer", cat="task") as outer:
+        cluster.charge_seconds(node, 1.0)
+        with tracer.span(node, "inner") as inner:
+            cluster.charge_seconds(node, 2.0)
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert tracer.children_of(outer) == [inner]
+    # inner closed first, so it is recorded first
+    assert [s.op for s in tracer.spans] == ["inner", "outer"]
+    # virtual-time containment: parent interval covers the child's
+    assert outer.start <= inner.start <= inner.end <= outer.end
+    assert inner.duration == pytest.approx(2.0)
+    assert outer.duration == pytest.approx(3.0)
+
+
+def test_spans_on_different_nodes_do_not_nest(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    with tracer.span(cluster.executors[0], "a"):
+        with tracer.span(cluster.executors[1], "b") as other:
+            assert other.parent_id is None
+
+
+def test_record_parents_to_open_span(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    node = cluster.executors[0]
+    with tracer.span(node, "op") as op:
+        recorded = tracer.record(node, "nic", 0.25, 0.75, cat="nic-send")
+    assert recorded.parent_id == op.span_id
+    assert recorded.duration == pytest.approx(0.5)
+
+
+def test_ps_op_spans_nest_rpc_children(cluster):
+    """A pull produces an op span whose children are its NIC bookings."""
+    cluster.tracer.enable()
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(20, n_rows=2)
+    client.push_assign(m, 0, np.arange(20.0))
+    cluster.tracer.clear()
+    client.pull_row(m, 0)
+    pulls = cluster.tracer.spans_for(cat="op", op="pull")
+    assert len(pulls) == 1
+    pull = pulls[0]
+    assert pull.args["matrix_id"] == m
+    # one RPC per owning server, bytes accumulated by _request
+    assert pull.args["fanout"] == cluster.config.n_servers
+    assert pull.args["bytes"] > 0
+    children = cluster.tracer.children_of(pull)
+    assert any(s.cat == "nic-send" for s in children)
+    # server CPU slots landed on the server nodes, not under the client op
+    cpu = cluster.tracer.spans_for(cat="cpu")
+    assert cpu and all(s.node.startswith("server-") for s in cpu)
+
+
+def test_disabled_tracer_records_nothing(cluster):
+    tracer = cluster.tracer
+    assert not tracer.enabled
+    node = cluster.executors[0]
+    # the no-op context manager is a shared singleton: no allocation
+    assert tracer.span(node, "x") is _NULL_SPAN
+    assert tracer.span(node, "y", cat="task") is _NULL_SPAN
+    with tracer.span(node, "z"):
+        pass
+    assert tracer.record(node, "r", 0.0, 1.0) is None
+    assert len(tracer) == 0
+    assert tracer.current(node) is None
+
+
+# -- histogram: percentiles vs numpy ----------------------------------------
+
+
+def test_histogram_percentiles_match_numpy():
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=-7.0, sigma=1.5, size=5000)
+    hist = StreamingHistogram()
+    for v in values:
+        hist.record(v)
+    for q in (50, 90, 95, 99):
+        exact = np.percentile(values, q)
+        approx = hist.percentile(q)
+        # log-bucketed at 2% growth: within ~2% after midpoint clamping
+        assert abs(approx - exact) / exact < 0.02
+    assert hist.count == values.size
+    assert hist.min == pytest.approx(values.min())
+    assert hist.max == pytest.approx(values.max())
+    assert hist.mean == pytest.approx(values.mean())
+
+
+def test_histogram_single_value_is_exact():
+    hist = StreamingHistogram()
+    hist.record(5.0)
+    for q in (0, 50, 100):
+        assert hist.percentile(q) == 5.0
+
+
+def test_histogram_tails_clamped_to_observed_range():
+    hist = StreamingHistogram()
+    for v in (1.0, 2.0, 3.0, 4.0):
+        hist.record(v)
+    assert hist.min <= hist.percentile(0) <= hist.max
+    assert hist.percentile(100) <= hist.max
+    assert hist.percentile(0) == pytest.approx(1.0, rel=0.02)
+    assert hist.percentile(100) == pytest.approx(4.0, rel=0.02)
+
+
+def test_histogram_underflow_bucket():
+    hist = StreamingHistogram()
+    hist.record(0.0, n=3)
+    assert hist.count == 3
+    assert hist.percentile(50) == 0.0
+
+
+def test_histogram_merge():
+    a, b = StreamingHistogram(), StreamingHistogram()
+    for v in (0.1, 0.2):
+        a.record(v)
+    for v in (0.3, 0.4):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 4
+    assert a.max == 0.4
+    with pytest.raises(ValueError):
+        a.merge(StreamingHistogram(growth=1.5))
+
+
+def test_histogram_rejects_bad_args():
+    with pytest.raises(ValueError):
+        StreamingHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        StreamingHistogram().percentile(101)
+
+
+# -- hot shards --------------------------------------------------------------
+
+
+def test_hot_shard_detection_on_skewed_access():
+    m = MetricsRegistry()
+    # shard 0 takes 10x the traffic of the other three
+    m.record_shard_access(7, 0, n_values=1000, n_requests=100)
+    for shard in (1, 2, 3):
+        m.record_shard_access(7, shard, n_values=100, n_requests=10)
+    hot = m.hot_shards(factor=2.0)
+    assert [(mat, shard) for mat, shard, _, _, _ in hot] == [(7, 0)]
+    _mat, _shard, requests, values, ratio = hot[0]
+    assert requests == 100 and values == 1000
+    # mean requests = (100 + 30) / 4 = 32.5 -> ratio ~3.08
+    assert ratio == pytest.approx(100 / 32.5)
+
+
+def test_hot_shards_empty_on_uniform_access():
+    m = MetricsRegistry()
+    for shard in range(4):
+        m.record_shard_access(1, shard, n_values=50, n_requests=5)
+    assert m.hot_shards(factor=1.5) == []
+
+
+# -- passivity: tracing never changes simulation results ---------------------
+
+
+def _exercise(ctx):
+    w = ctx.dense(512, rows=2)
+    g = w.derive().fill(0.5)
+    w.push(np.arange(512.0))
+    pulled = w.pull()
+    dot = w.dot(g)
+    return pulled, dot, ctx.elapsed()
+
+
+def test_traced_run_is_byte_identical_to_untraced():
+    plain = PS2Context(config=ClusterConfig(n_executors=4, n_servers=3,
+                                            seed=11))
+    traced = PS2Context(config=ClusterConfig(n_executors=4, n_servers=3,
+                                             seed=11))
+    traced.cluster.tracer.enable()
+    pulled_a, dot_a, elapsed_a = _exercise(plain)
+    pulled_b, dot_b, elapsed_b = _exercise(traced)
+    assert np.array_equal(pulled_a, pulled_b)  # byte-identical values
+    assert dot_a == dot_b
+    assert elapsed_a == elapsed_b  # identical virtual timelines
+    assert (plain.cluster.metrics.snapshot()
+            == traced.cluster.metrics.snapshot())
+    assert len(plain.cluster.tracer) == 0
+    assert len(traced.cluster.tracer) > 0
+
+
+# -- routing invalidation on server recovery ---------------------------------
+
+
+def test_recovery_invalidates_routing_cache(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(20, n_rows=2)
+    client.push_assign(m, 0, np.arange(20.0))
+    assert cluster.metrics.messages_by_tag["routing:req"] == 1
+    master.checkpoint_all()
+    master.server(1).crash()
+    got = client.pull_row(m, 0)  # transparent recovery + retry
+    assert np.allclose(got, np.arange(20.0))
+    assert cluster.metrics.counters["routing-invalidations"] == 1
+    assert cluster.metrics.counters["server-recoveries"] == 1
+    # the retry re-resolved routing through the master: a second routing RPC
+    assert cluster.metrics.messages_by_tag["routing:req"] == 2
+    # and the cache is warm again afterwards
+    client.pull_row(m, 0)
+    assert cluster.metrics.messages_by_tag["routing:req"] == 2
+
+
+def test_invalidate_all_clears_every_entry(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    a = master.create_matrix(10, n_rows=1)
+    b = master.create_matrix(10, n_rows=1)
+    client.fill_row(a, 0, 1.0)
+    client.fill_row(b, 0, 1.0)
+    assert cluster.metrics.messages_by_tag["routing:req"] == 2
+    client.invalidate()
+    client.fill_row(a, 0, 2.0)
+    client.fill_row(b, 0, 2.0)
+    assert cluster.metrics.messages_by_tag["routing:req"] == 4
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+def _traced_context():
+    ctx = PS2Context(config=ClusterConfig(n_executors=4, n_servers=3,
+                                          seed=3))
+    ctx.cluster.tracer.enable()
+    _exercise(ctx)
+    return ctx
+
+
+def test_chrome_trace_schema():
+    ctx = _traced_context()
+    document = to_chrome_trace(ctx.cluster.tracer)
+    assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = document["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == len(ctx.cluster.tracer)
+    assert metadata  # process/thread naming present
+    for event in complete:
+        assert isinstance(event["name"], str)
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["dur"], float)
+        assert event["dur"] >= 0.0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert event["args"]["node"]
+    # ts/dur are virtual microseconds
+    spans = ctx.cluster.tracer.spans
+    total_virtual = max(s.end for s in spans) * 1e6
+    assert max(e["ts"] + e["dur"] for e in complete) == \
+        pytest.approx(total_virtual)
+
+
+def test_chrome_trace_merges_multiple_tracers():
+    a, b = _traced_context(), _traced_context()
+    document = to_chrome_trace([("left", a.cluster.tracer),
+                                ("right", b.cluster.tracer)])
+    meta = [e for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"]
+    left = {e["pid"] for e in meta if e["args"]["name"].startswith("left/")}
+    right = {e["pid"] for e in meta if e["args"]["name"].startswith("right/")}
+    # the two contexts land in disjoint pid blocks with prefixed names
+    assert left and right
+    assert not left & right
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    ctx = _traced_context()
+    path = write_chrome_trace(ctx.cluster.tracer,
+                              str(tmp_path / "trace.json"))
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert document["traceEvents"]
+    assert document["otherData"]["clock"] == "virtual"
+
+
+def test_trace_events_offsets_pids():
+    ctx = _traced_context()
+    base = trace_events(ctx.cluster.tracer)
+    shifted = trace_events(ctx.cluster.tracer, pid_offset=100)
+    assert {e["pid"] for e in shifted} == \
+        {e["pid"] + 100 for e in base}
+
+
+def test_report_sections():
+    ctx = _traced_context()
+    report = render_report(ctx.cluster, title="unit")
+    assert "== unit ==" in report
+    assert "per-op latency" in report
+    assert "p50_s" in report and "p99_s" in report
+    assert "per-server load" in report
+    assert "server-0" in report
+    assert "hot shards" in report
+    assert "load imbalance" in report
+    assert "spans recorded" in report
+
+
+def test_report_without_tracing():
+    ctx = PS2Context(config=ClusterConfig(n_executors=2, n_servers=2,
+                                          seed=3))
+    _exercise(ctx)
+    report = render_report(ctx.cluster)
+    assert "per-op latency" in report
+    assert "spans recorded" not in report
