@@ -57,6 +57,22 @@ class Cluster:
             task_failure_prob=self.config.failures.task_failure_prob,
             max_task_retries=self.config.failures.max_task_retries,
         )
+        # The network is built before the injector (it needs only clock and
+        # metrics); partitions are consulted through this back-reference.
+        self.network.failures = self.failures
+        for index, at_time in self.config.failures.server_failure_times:
+            self.failures.schedule_server_failure(
+                server_id(int(index)), float(at_time)
+            )
+        for index, at_time in self.config.failures.executor_failure_times:
+            self.failures.schedule_executor_failure(
+                executor_id(int(index)), float(at_time)
+            )
+        for node_id, start, stop in self.config.failures.partition_windows:
+            self.failures.schedule_partition(node_id, float(start), float(stop))
+        #: Callbacks the scheduler runs after every stage barrier — the
+        #: virtual-time hook that drives periodic checkpoint sweeps.
+        self.stage_end_hooks = []
         self._nodes = {}
         self._add_node(DRIVER, ROLE_DRIVER)
         for index in range(self.config.n_executors):

@@ -1,9 +1,12 @@
 """Seeded failure injection.
 
-Reproduces the fault-tolerance experiment of Section 6.5: tasks fail with a
-configurable Bernoulli probability and are retried by the sparklite
-scheduler.  Server failures are scheduled at explicit virtual times and
-trigger checkpoint recovery in the PS substrate.
+Reproduces the fault-tolerance experiments of Section 6.5: tasks fail with
+a configurable Bernoulli probability and are retried by the sparklite
+scheduler; server and executor crashes are scheduled at explicit virtual
+times; transient network partitions cover a node for a virtual-time window.
+Server crashes trigger checkpoint recovery in the PS substrate, executor
+crashes trigger partition redistribution in the scheduler, and partitioned
+transfers are retried under the PS client's retry policy.
 """
 
 from __future__ import annotations
@@ -23,7 +26,12 @@ class FailureInjector:
         self.task_failure_prob = float(task_failure_prob)
         self.max_task_retries = int(max_task_retries)
         self._server_failures = []
+        self._executor_failures = []
+        self._partitions = []
         self.injected_task_failures = 0
+        self.injected_executor_failures = 0
+
+    # -- task failures (Bernoulli, Figure 13(c)) ----------------------------
 
     def should_fail_task(self):
         """Whether the task attempt being launched should fail."""
@@ -33,6 +41,8 @@ class FailureInjector:
         if failed:
             self.injected_task_failures += 1
         return failed
+
+    # -- server crashes (virtual-time scheduled) ----------------------------
 
     def schedule_server_failure(self, server_id, at_time):
         """Arrange for *server_id* to crash once its clock passes *at_time*."""
@@ -50,3 +60,66 @@ class FailureInjector:
                 event for event in self._server_failures if event not in due
             ]
         return due
+
+    # -- executor crashes (virtual-time scheduled) --------------------------
+
+    def schedule_executor_failure(self, executor_id, at_time):
+        """Arrange for *executor_id* to die once its clock passes *at_time*.
+
+        The sparklite scheduler polls these before placing tasks; a dead
+        executor's partitions redistribute over the survivors and the first
+        task touching a moved partition pays the input reload (Section 5.3's
+        executor-failure recovery).
+        """
+        self._executor_failures.append(
+            {"executor": executor_id, "time": float(at_time)}
+        )
+
+    def due_executor_failures(self, executor_id, now):
+        """Pop and return the crashes scheduled for *executor_id* up to *now*."""
+        due = [
+            event
+            for event in self._executor_failures
+            if event["executor"] == executor_id and event["time"] <= now
+        ]
+        if due:
+            self._executor_failures = [
+                event for event in self._executor_failures if event not in due
+            ]
+            self.injected_executor_failures += len(due)
+        return due
+
+    # -- network partitions (transient windows) -----------------------------
+
+    def schedule_partition(self, node_id, start, stop):
+        """Partition *node_id* away from the fabric during ``[start, stop)``.
+
+        Transfers whose departure time falls inside the window and touch the
+        node raise :class:`~repro.common.errors.NetworkPartitionedError`;
+        callers with a retry policy back off (advancing their virtual clock)
+        and eventually outlast the window.
+        """
+        start = float(start)
+        stop = float(stop)
+        if stop <= start:
+            raise ConfigError(
+                "partition window must end after it starts, got [%r, %r)"
+                % (start, stop)
+            )
+        self._partitions.append({"node": node_id, "start": start, "stop": stop})
+
+    def partition_active(self, node_id, at_time):
+        """Whether *node_id* is inside a partition window at *at_time*."""
+        return any(
+            window["node"] == node_id
+            and window["start"] <= at_time < window["stop"]
+            for window in self._partitions
+        )
+
+    def partition_windows_for(self, node_id):
+        """The ``(start, stop)`` windows scheduled for *node_id*."""
+        return [
+            (window["start"], window["stop"])
+            for window in self._partitions
+            if window["node"] == node_id
+        ]

@@ -26,7 +26,7 @@ where the caller later waits on many responses).
 from __future__ import annotations
 
 from repro.cluster.resource import TimelineResource
-from repro.common.errors import UnknownNodeError
+from repro.common.errors import NetworkPartitionedError, UnknownNodeError
 from repro.common.sizeof import MESSAGE_OVERHEAD_BYTES
 
 
@@ -34,10 +34,11 @@ class NetworkModel:
     """Shared network fabric with per-node NIC queues."""
 
     def __init__(self, clock, metrics, latency, default_bandwidth,
-                 tracer=None):
+                 tracer=None, failures=None):
         self.clock = clock
         self.metrics = metrics
         self.tracer = tracer
+        self.failures = failures
         self.latency = float(latency)
         self.default_bandwidth = float(default_bandwidth)
         self._bandwidth = {}
@@ -85,6 +86,15 @@ class NetworkModel:
             # protocol-level accounting stays comparable across placements.
             self.metrics.record_transfer(src, dst, 0, tag=tag)
             return self.clock.now(src)
+        if self.failures is not None:
+            departs = self.clock.now(src) if depart_at is None else depart_at
+            if self.failures.partition_active(src, departs) \
+                    or self.failures.partition_active(dst, departs):
+                self.metrics.increment("partition-drops")
+                raise NetworkPartitionedError(
+                    "transfer %s -> %s at t=%.6f hit a network partition"
+                    % (src, dst, departs)
+                )
         total = float(nbytes) + MESSAGE_OVERHEAD_BYTES
         send_seconds = total / self.bandwidth_of(src)
         recv_seconds = total / self.bandwidth_of(dst)

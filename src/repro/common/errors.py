@@ -25,6 +25,15 @@ class UnknownNodeError(ClusterError):
     """A node id was used that is not registered in the cluster."""
 
 
+class NetworkPartitionedError(ClusterError):
+    """A transfer was attempted into (or out of) a partitioned node.
+
+    Raised by the network model while a scheduled partition window covers
+    either endpoint; the PS client retries the op under its retry policy,
+    so transient partitions cost time, not correctness.
+    """
+
+
 class SparkliteError(ReproError):
     """Base class for errors raised by the sparklite dataflow engine."""
 

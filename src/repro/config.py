@@ -61,11 +61,40 @@ class NetworkSpec:
 
 @dataclass(frozen=True)
 class FailureConfig:
-    """Probabilities for the failure injector (all default to no failures)."""
+    """Failure injection and recovery policy (all default to no failures).
+
+    Injection knobs:
+
+    - ``task_failure_prob`` / ``max_task_retries``: Bernoulli task failures,
+      retried by the sparklite scheduler (Figure 13(c)).
+    - ``server_failure_times``: ``(server_index, virtual_time)`` pairs; the
+      server crashes once its clock passes that time.
+    - ``executor_failure_times``: ``(executor_index, virtual_time)`` pairs;
+      the executor dies and its partitions redistribute (Section 5.3).
+    - ``partition_windows``: ``(node_id, start, stop)`` triples; transfers
+      touching the node inside ``[start, stop)`` raise and are retried.
+
+    Recovery knobs:
+
+    - ``checkpoint_interval``: virtual seconds between automatic checkpoint
+      sweeps (0 disables them; ``checkpoint_all`` stays available).
+    - ``max_op_retries`` / ``op_timeout`` / ``retry_backoff`` /
+      ``retry_backoff_multiplier``: the PS-client retry policy — each failed
+      attempt charges the detection timeout plus an exponentially growing
+      backoff to the client's virtual clock before re-resolving routing and
+      re-sending the request.
+    """
 
     task_failure_prob: float = 0.0
     max_task_retries: int = 10
     server_failure_times: tuple = ()
+    executor_failure_times: tuple = ()
+    partition_windows: tuple = ()
+    checkpoint_interval: float = 0.0
+    max_op_retries: int = 3
+    op_timeout: float = 1e-3
+    retry_backoff: float = 1e-3
+    retry_backoff_multiplier: float = 2.0
 
     def __post_init__(self):
         if not 0.0 <= self.task_failure_prob <= 1.0:
@@ -77,6 +106,51 @@ class FailureConfig:
             raise ConfigError(
                 "max_task_retries must be >= 0, got %r" % (self.max_task_retries,)
             )
+        if self.checkpoint_interval < 0:
+            raise ConfigError(
+                "checkpoint_interval must be >= 0, got %r"
+                % (self.checkpoint_interval,)
+            )
+        if self.max_op_retries < 0:
+            raise ConfigError(
+                "max_op_retries must be >= 0, got %r" % (self.max_op_retries,)
+            )
+        if self.op_timeout < 0:
+            raise ConfigError(
+                "op_timeout must be >= 0, got %r" % (self.op_timeout,)
+            )
+        if self.retry_backoff < 0:
+            raise ConfigError(
+                "retry_backoff must be >= 0, got %r" % (self.retry_backoff,)
+            )
+        if self.retry_backoff_multiplier < 1.0:
+            raise ConfigError(
+                "retry_backoff_multiplier must be >= 1, got %r"
+                % (self.retry_backoff_multiplier,)
+            )
+        for pair in self.server_failure_times:
+            if len(pair) != 2:
+                raise ConfigError(
+                    "server_failure_times entries are (server_index, time) "
+                    "pairs, got %r" % (pair,)
+                )
+        for pair in self.executor_failure_times:
+            if len(pair) != 2:
+                raise ConfigError(
+                    "executor_failure_times entries are (executor_index, time) "
+                    "pairs, got %r" % (pair,)
+                )
+        for window in self.partition_windows:
+            if len(window) != 3:
+                raise ConfigError(
+                    "partition_windows entries are (node_id, start, stop) "
+                    "triples, got %r" % (window,)
+                )
+            if float(window[2]) <= float(window[1]):
+                raise ConfigError(
+                    "partition window must end after it starts, got %r"
+                    % (window,)
+                )
 
 
 @dataclass(frozen=True)

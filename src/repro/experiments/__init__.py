@@ -7,6 +7,7 @@ from repro.experiments.capabilities import (
     support_rows,
     supports,
 )
+from repro.experiments.fault_tolerance import run_fault_tolerance
 from repro.experiments.report import (
     curve_summary,
     format_seconds,
@@ -26,4 +27,5 @@ __all__ = [
     "format_speedup",
     "format_table",
     "make_context",
+    "run_fault_tolerance",
 ]

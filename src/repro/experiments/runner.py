@@ -7,8 +7,14 @@ from repro.core.context import PS2Context
 
 
 def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
-                 strict_colocation=False, node_flops=None):
+                 strict_colocation=False, node_flops=None, failures=None):
     """A fresh PS2 context on a fresh simulated cluster.
+
+    ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
+    schedules, partition windows, checkpoint interval, retry knobs) for the
+    fault-tolerance experiments; ``task_failure_prob`` stays as a shortcut
+    for the common Bernoulli-task-failure case and is ignored when a full
+    config is passed.
 
     Every system under comparison gets its own context (its own clocks and
     metrics) over identically configured hardware — the controlled-variable
@@ -28,6 +34,8 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         n_servers=n_servers,
         node=node,
         seed=seed,
-        failures=FailureConfig(task_failure_prob=task_failure_prob),
+        failures=failures
+        if failures is not None
+        else FailureConfig(task_failure_prob=task_failure_prob),
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

@@ -9,8 +9,6 @@ sequential throughput against the server's clock.
 
 from __future__ import annotations
 
-from repro.common.errors import PSError
-
 #: Sequential throughput to/from the external store (bytes/second).
 STORAGE_BANDWIDTH = 200e6
 
@@ -41,20 +39,33 @@ class CheckpointManager:
         self.cluster.metrics.increment("checkpoints")
 
     def checkpoint_all(self, servers):
-        """Checkpoint every server (the periodic sweep)."""
+        """Checkpoint every live server (the periodic sweep).
+
+        A sweep must survive a concurrent server failure: dead servers are
+        skipped (there is nothing durable to gain from an empty replacement)
+        and counted, while every surviving server is still checkpointed — a
+        single crash must not abort the whole sweep.
+        """
         for server in servers:
+            if not server.is_alive():
+                self.cluster.metrics.increment("checkpoint-skips-dead-server")
+                continue
             self.checkpoint_server(server)
 
     def has_checkpoint(self, server_index):
         return server_index in self._snapshots
 
     def recover_server(self, server):
-        """Load the latest snapshot into a replacement server."""
+        """Load the latest snapshot into a replacement server.
+
+        Returns the virtual time at which the snapshot was taken, or ``None``
+        when the server has never been checkpointed — a failure before the
+        first sweep is legal, and the master then rebuilds the server from
+        matrix metadata instead of from storage.
+        """
         entry = self._snapshots.get(server.server_index)
         if entry is None:
-            raise PSError(
-                "no checkpoint available for server %d" % server.server_index
-            )
+            return None
         self.cluster.charge_seconds(
             server.node_id, entry["bytes"] / self.storage_bandwidth, tag="recovery"
         )

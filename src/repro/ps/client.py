@@ -12,6 +12,16 @@ queues behind earlier requests on the target server's CPU, is served, and
 (for ops with results) the response departs at *that request's* completion
 time.  Mutation-only ops (push, axpy, fills, update kernels) are
 fire-and-forget: the client never blocks on them.
+
+Failure model: an attempt can die because the target server is down
+(``ServerDownError``), because its shard state is stale after a recovery
+(``MatrixNotFoundError``), or because a partition window swallowed the
+transfer (``NetworkPartitionedError``).  Every failure is retried under a
+:class:`~repro.ps.retry.RetryPolicy`: the client charges the detection
+timeout plus an exponential backoff to its virtual clock, asks the master to
+recover/repair the server when appropriate, drops its cached routing, and
+then re-resolves the serving server **and re-sends the request bytes
+through the network model** — a retry is a full new RPC, not a free replay.
 """
 
 from __future__ import annotations
@@ -20,12 +30,15 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.common.errors import PSError, ServerDownError
+from repro.common.errors import MatrixNotFoundError, NetworkPartitionedError, \
+    PSError, ServerDownError
 from repro.ps import messages
 from repro.ps.partitioner import ColumnLayout, RowLayout
+from repro.ps.retry import RetryPolicy
 
-#: How many times an op is retried after a server recovery.
-MAX_SERVER_RETRIES = 3
+#: Failures an op attempt can hit that are retryable under the policy.
+RETRYABLE_ERRORS = (ServerDownError, MatrixNotFoundError,
+                    NetworkPartitionedError)
 
 #: Client-side CPU cost of issuing one RPC (serialization, bookkeeping).
 RPC_CPU_SECONDS = 5e-6
@@ -34,10 +47,13 @@ RPC_CPU_SECONDS = 5e-6
 class PSClient:
     """A worker-side handle for pull/push and server-side execution."""
 
-    def __init__(self, cluster, master, node_id):
+    def __init__(self, cluster, master, node_id, retry_policy=None):
         self.cluster = cluster
         self.master = master
         self.node_id = node_id
+        self.retry_policy = retry_policy or RetryPolicy.from_config(
+            cluster.config.failures
+        )
         self._routing = {}
 
     # -- plumbing -----------------------------------------------------------
@@ -117,6 +133,9 @@ class PSClient:
         else:
             yield
         self.cluster.metrics.observe(op, clock.now(self.node_id) - start)
+        # Virtual-time hook for the periodic checkpoint sweep: pure-PS
+        # workloads (no sparklite stages) still sweep on schedule.
+        self.master.maybe_checkpoint()
 
     def _charge_rpc(self, n_messages):
         """Charge the client CPU for serializing *n_messages* requests."""
@@ -125,40 +144,66 @@ class PSClient:
                 self.node_id, RPC_CPU_SECONDS * n_messages, tag="rpc-cpu"
             )
 
-    def _with_recovery(self, server, operation, matrix_id=None):
-        """Run *operation* against *server*, recovering it if it is down.
+    def _handle_failure(self, exc, server_index, matrix_id, attempt):
+        """Recover from one failed attempt; charges the retry penalty.
 
-        Each recovery invalidates this client's cached routing for the
-        touched matrix and re-resolves it before retrying: a real master
-        may have re-placed the shards, so a retry must not route from a
-        table that predates the failure.
+        The failure-detection timeout and the exponential backoff are
+        charged to the client's *virtual* clock (a retried op takes longer
+        in simulated time), then the failure is repaired: a down server is
+        recovered by the master, a stale shard set is reconciled, and a
+        partition is simply waited out.  Cached routing for the touched
+        matrix is dropped either way, so the next attempt re-resolves
+        through the master.
         """
-        for _ in range(MAX_SERVER_RETRIES + 1):
-            try:
-                return operation()
-            except ServerDownError:
-                self.master.recover(server.server_index)
-                self.cluster.metrics.increment("routing-invalidations")
-                if matrix_id is not None:
-                    self.invalidate(matrix_id)
-                    self._layout(matrix_id)
-        raise PSError("server %s kept failing after recovery" % server.node_id)
+        metrics = self.cluster.metrics
+        metrics.increment("op-retries")
+        penalty_start = self.cluster.clock.now(self.node_id)
+        self.cluster.charge_seconds(
+            self.node_id, self.retry_policy.penalty_for(attempt),
+            tag="retry-backoff",
+        )
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.node_id, "retry-backoff", penalty_start,
+                self.cluster.clock.now(self.node_id), cat="op",
+                attempt=attempt, error=type(exc).__name__,
+                server_index=server_index,
+            )
+        if isinstance(exc, ServerDownError):
+            self.master.recover(server_index)
+            metrics.increment("routing-invalidations")
+        elif isinstance(exc, MatrixNotFoundError):
+            self.master.repair(server_index)
+            metrics.increment("routing-invalidations")
+        # NetworkPartitionedError: nothing to repair — the backoff advances
+        # the client clock toward the end of the partition window.
+        if matrix_id is not None:
+            self.invalidate(matrix_id)
 
-    def _request(self, server, request_bytes, operation, tag,
+    def _request(self, server_index, request_bytes, operation, tag,
                  response_bytes=None, matrix_id=None, n_values=0):
-        """One RPC against *server*; returns ``(value, response_arrival)``.
+        """One RPC against the server at *server_index*.
 
-        The request is transferred, queued on the server CPU (via
-        ``server.begin(arrival)``), and served.  With ``response_bytes``
-        set, a response is sent back departing at the request's completion
-        time and its arrival time is returned (the caller decides when to
-        block); otherwise the RPC is fire-and-forget and arrival is None.
-        ``matrix_id``/``n_values`` feed the hot-shard access telemetry.
+        Returns ``(value, response_arrival)``.  Each attempt resolves the
+        current :class:`~repro.ps.server.PSServer` object through the master
+        (a recovery replaces the object — a retry must never talk to the
+        pre-failure process), transfers the request bytes, queues on the
+        server CPU (``server.begin(arrival)``) and invokes
+        ``operation(server)``.  Failed attempts are retried under the
+        client's :class:`~repro.ps.retry.RetryPolicy`, re-resolving routing
+        and re-sending the request through the network model every time.
+
+        With ``response_bytes`` set, a response is sent back departing at
+        the request's completion time and its arrival time is returned (the
+        caller decides when to block); otherwise the RPC is fire-and-forget
+        and arrival is None.  ``matrix_id``/``n_values`` feed the hot-shard
+        access telemetry.
         """
         network = self.cluster.network
         if matrix_id is not None:
             self.cluster.metrics.record_shard_access(
-                matrix_id, server.server_index, n_values
+                matrix_id, server_index, n_values
             )
         tracer = self.cluster.tracer
         if tracer.enabled:
@@ -169,16 +214,30 @@ class PSClient:
                     span.args.get("bytes", 0) + request_bytes
                     + (response_bytes or 0)
                 )
-        arrival = network.transfer(
-            self.node_id, server.node_id, request_bytes,
-            tag=tag + ":req", deliver=False,
-        )
-
-        def serve():
-            server.begin(arrival)
-            return operation()
-
-        value = self._with_recovery(server, serve, matrix_id=matrix_id)
+        attempt = 0
+        while True:
+            if matrix_id is not None:
+                # Re-resolve routing (pays the routing RPC again after an
+                # invalidation) before the attempt touches the wire.
+                self._layout(matrix_id)
+            server = self.master.server(server_index)
+            try:
+                arrival = network.transfer(
+                    self.node_id, server.node_id, request_bytes,
+                    tag=tag + ":req", deliver=False,
+                )
+                server.begin(arrival)
+                value = operation(server)
+                break
+            except RETRYABLE_ERRORS as exc:
+                attempt += 1
+                if attempt > self.retry_policy.max_retries:
+                    self.cluster.metrics.increment("op-retries-exhausted")
+                    raise PSError(
+                        "server %s kept failing after %d attempts: %r"
+                        % (server.node_id, attempt, exc)
+                    ) from exc
+                self._handle_failure(exc, server_index, matrix_id, attempt)
         if response_bytes is None:
             return value, None
         response_arrival = network.transfer(
@@ -220,11 +279,10 @@ class PSClient:
                 self._charge_rpc(len(shards))
                 arrivals = []
                 for server_index, start, stop in shards:
-                    server = self.master.server(server_index)
                     values, arrival = self._request(
-                        server,
+                        server_index,
                         messages.dense_pull_request_bytes(),
-                        lambda s=server: s.read(matrix_id, row),
+                        lambda s: s.read(matrix_id, row),
                         tag="pull",
                         response_bytes=messages.dense_pull_response_bytes(
                             stop - start
@@ -247,12 +305,10 @@ class PSClient:
             cursor = 0
             for server_index in by_server:
                 server_indices = by_server[server_index]
-                server = self.master.server(server_index)
                 values, arrival = self._request(
-                    server,
+                    server_index,
                     messages.sparse_pull_request_bytes(server_indices.size),
-                    lambda s=server, gi=server_indices: s.read(matrix_id, row,
-                                                               gi),
+                    lambda s, gi=server_indices: s.read(matrix_id, row, gi),
                     tag="pull",
                     response_bytes=messages.sparse_pull_response_bytes(
                         server_indices.size
@@ -282,13 +338,11 @@ class PSClient:
                 shards = layout.shards_for_row(row)
                 self._charge_rpc(len(shards))
                 for server_index, start, stop in shards:
-                    server = self.master.server(server_index)
                     block = values[start:stop]
                     self._request(
-                        server,
+                        server_index,
                         messages.dense_push_bytes(block.size),
-                        self._push_op(server, matrix_id, row, block, None,
-                                      mode),
+                        self._push_op(matrix_id, row, block, None, mode),
                         tag="push",
                         matrix_id=matrix_id,
                         n_values=block.size,
@@ -304,25 +358,23 @@ class PSClient:
             cursor = 0
             for server_index in by_server:
                 server_indices = by_server[server_index]
-                server = self.master.server(server_index)
                 block = sorted_values[cursor : cursor + server_indices.size]
                 cursor += server_indices.size
                 self._request(
-                    server,
+                    server_index,
                     messages.sparse_push_bytes(server_indices.size),
-                    self._push_op(server, matrix_id, row, block,
-                                  server_indices, mode),
+                    self._push_op(matrix_id, row, block, server_indices, mode),
                     tag="push",
                     matrix_id=matrix_id,
                     n_values=server_indices.size,
                 )
 
     @staticmethod
-    def _push_op(server, matrix_id, row, block, indices, mode):
+    def _push_op(matrix_id, row, block, indices, mode):
         if mode == "add":
-            return lambda: server.add(matrix_id, row, block, indices)
+            return lambda s: s.add(matrix_id, row, block, indices)
         if mode == "assign":
-            return lambda: server.assign(matrix_id, row, block, indices)
+            return lambda s: s.assign(matrix_id, row, block, indices)
         raise PSError("unknown push mode %r" % (mode,))
 
     def push_add(self, matrix_id, row, values, indices=None):
@@ -359,13 +411,12 @@ class PSClient:
             self._charge_rpc(len(overlaps))
             arrivals = []
             for server_index, lo, hi in overlaps:
-                server = self.master.server(server_index)
                 span = np.arange(lo, hi, dtype=np.int64)
                 values, arrival = self._request(
-                    server,
+                    server_index,
                     messages.dense_pull_request_bytes()
                     + 2 * messages.INDEX_BYTES,
-                    lambda s=server, gi=span: s.read(matrix_id, row, gi),
+                    lambda s, gi=span: s.read(matrix_id, row, gi),
                     tag="pull",
                     response_bytes=messages.dense_pull_response_bytes(hi - lo),
                     matrix_id=matrix_id,
@@ -384,20 +435,33 @@ class PSClient:
             overlaps = self._range_shards(layout, row, int(start), int(stop))
             self._charge_rpc(len(overlaps))
             for server_index, lo, hi in overlaps:
-                server = self.master.server(server_index)
                 block = values[lo - start : hi - start]
                 span = np.arange(lo, hi, dtype=np.int64)
                 self._request(
-                    server,
+                    server_index,
                     messages.dense_push_bytes(block.size)
                     + 2 * messages.INDEX_BYTES,
-                    self._push_op(server, matrix_id, row, block, span, mode),
+                    self._push_op(matrix_id, row, block, span, mode),
                     tag="push",
                     matrix_id=matrix_id,
                     n_values=block.size,
                 )
 
     # -- block access (multi-row, shared indices) ------------------------------
+
+    def _rows_by_server(self, layout, rows):
+        """Group row positions by owning server under a :class:`RowLayout`.
+
+        Returns ``{server_index: [row_position, ...]}`` in ascending server
+        order.  Only meaningful for row layouts, where each row lives whole
+        on one server — a block op must route *per row*, never by
+        ``rows[0]``'s owner.
+        """
+        by_server = {}
+        for row_pos, row in enumerate(rows):
+            server_index = int(row) % layout.n_servers
+            by_server.setdefault(server_index, []).append(row_pos)
+        return dict(sorted(by_server.items()))
 
     def pull_block(self, matrix_id, rows, indices=None, value_bytes=None):
         """Pull the same columns of several rows in one round trip per server.
@@ -409,6 +473,11 @@ class PSClient:
         counts as 32-bit integers — the "message compression" of Section
         6.3.3); it defaults to 8 (raw float64).
 
+        Under a :class:`RowLayout` each row lives whole on server
+        ``row % n_servers``, so the block is routed per row (one request per
+        *owning* server carrying that server's rows) instead of assuming
+        every row shares ``rows[0]``'s shards.
+
         Returns a ``len(rows) x len(indices)`` array aligned with the input
         index order (or ``len(rows) x dim`` for a dense pull).
         """
@@ -417,6 +486,12 @@ class PSClient:
             rows = list(rows)
             if value_bytes is None:
                 value_bytes = messages.FLOAT_BYTES
+            if isinstance(layout, RowLayout):
+                return self._pull_block_row_layout(
+                    matrix_id, layout, rows, indices, value_bytes
+                )
+            if not isinstance(layout, ColumnLayout):
+                raise PSError("unsupported layout %r" % (layout,))
 
             def read_rows(server, global_indices):
                 return [
@@ -429,11 +504,10 @@ class PSClient:
                 self._charge_rpc(len(shards))
                 arrivals = []
                 for server_index, start, stop in shards:
-                    server = self.master.server(server_index)
                     values, arrival = self._request(
-                        server,
+                        server_index,
                         messages.dense_pull_request_bytes(),
-                        lambda s=server: read_rows(s, None),
+                        lambda s: read_rows(s, None),
                         tag="pull-block",
                         response_bytes=messages.RESPONSE_HEADER_BYTES
                         + len(rows) * (stop - start) * value_bytes,
@@ -456,11 +530,10 @@ class PSClient:
             cursor = 0
             for server_index in by_server:
                 server_indices = by_server[server_index]
-                server = self.master.server(server_index)
                 values, arrival = self._request(
-                    server,
+                    server_index,
                     messages.sparse_pull_request_bytes(server_indices.size),
-                    lambda s=server, gi=server_indices: read_rows(s, gi),
+                    lambda s, gi=server_indices: read_rows(s, gi),
                     tag="pull-block",
                     response_bytes=messages.RESPONSE_HEADER_BYTES
                     + len(rows) * server_indices.size * value_bytes,
@@ -475,28 +548,74 @@ class PSClient:
             self._await(arrivals)
             return block
 
+    def _pull_block_row_layout(self, matrix_id, layout, rows, indices,
+                               value_bytes):
+        """Row-layout block pull: one request per *owning* server."""
+        width = layout.dim if indices is None else len(indices)
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+        block = np.empty((len(rows), width))
+        by_server = self._rows_by_server(layout, rows)
+        self._charge_rpc(len(by_server))
+        arrivals = []
+        for server_index, row_positions in by_server.items():
+            server_rows = [rows[pos] for pos in row_positions]
+
+            def read_rows(s, sr=server_rows):
+                return [s.read(matrix_id, row, indices) for row in sr]
+
+            request_bytes = (
+                messages.dense_pull_request_bytes() if indices is None
+                else messages.sparse_pull_request_bytes(indices.size)
+            )
+            values, arrival = self._request(
+                server_index,
+                request_bytes,
+                read_rows,
+                tag="pull-block",
+                response_bytes=messages.RESPONSE_HEADER_BYTES
+                + len(server_rows) * width * value_bytes,
+                matrix_id=matrix_id,
+                n_values=len(server_rows) * width,
+            )
+            for row_pos, row_values in zip(row_positions, values):
+                block[row_pos, :] = row_values
+            arrivals.append(arrival)
+        self._await(arrivals)
+        return block
+
     def push_block_add(self, matrix_id, rows, block, indices=None,
                        value_bytes=None):
-        """Accumulate a multi-row delta block (fire-and-forget, like push)."""
+        """Accumulate a multi-row delta block (fire-and-forget, like push).
+
+        Routes like :meth:`pull_block`: shard fan-out for column layouts,
+        per-owning-server requests for row layouts.
+        """
         with self._op("push-block", matrix_id):
             layout = self._layout(matrix_id)
             rows = list(rows)
             block = np.asarray(block, dtype=float)
             if value_bytes is None:
                 value_bytes = messages.FLOAT_BYTES
+            if isinstance(layout, RowLayout):
+                self._push_block_row_layout(
+                    matrix_id, layout, rows, block, indices, value_bytes
+                )
+                return
+            if not isinstance(layout, ColumnLayout):
+                raise PSError("unsupported layout %r" % (layout,))
 
             if indices is None:
                 shards = layout.shards_for_row(rows[0])
                 self._charge_rpc(len(shards))
                 for server_index, start, stop in shards:
-                    server = self.master.server(server_index)
 
-                    def add_rows(s=server, lo=start, hi=stop):
+                    def add_rows(s, lo=start, hi=stop):
                         for row_pos, row in enumerate(rows):
                             s.add(matrix_id, row, block[row_pos, lo:hi])
 
                     self._request(
-                        server,
+                        server_index,
                         messages.REQUEST_HEADER_BYTES
                         + len(rows) * (stop - start) * value_bytes,
                         add_rows,
@@ -514,16 +633,15 @@ class PSClient:
             cursor = 0
             for server_index in by_server:
                 server_indices = by_server[server_index]
-                server = self.master.server(server_index)
                 span = order[cursor : cursor + server_indices.size]
                 cursor += server_indices.size
 
-                def add_rows(s=server, gi=server_indices, sp=span):
+                def add_rows(s, gi=server_indices, sp=span):
                     for row_pos, row in enumerate(rows):
                         s.add(matrix_id, row, block[row_pos, sp], gi)
 
                 self._request(
-                    server,
+                    server_index,
                     messages.REQUEST_HEADER_BYTES
                     + server_indices.size * messages.INDEX_BYTES
                     + len(rows) * server_indices.size * value_bytes,
@@ -532,6 +650,31 @@ class PSClient:
                     matrix_id=matrix_id,
                     n_values=len(rows) * server_indices.size,
                 )
+
+    def _push_block_row_layout(self, matrix_id, layout, rows, block, indices,
+                               value_bytes):
+        """Row-layout block push: one request per *owning* server."""
+        if indices is not None:
+            indices = np.asarray(indices, dtype=np.int64)
+        width = layout.dim if indices is None else indices.size
+        by_server = self._rows_by_server(layout, rows)
+        self._charge_rpc(len(by_server))
+        index_bytes = 0 if indices is None else width * messages.INDEX_BYTES
+        for server_index, row_positions in by_server.items():
+
+            def add_rows(s, positions=row_positions):
+                for row_pos in positions:
+                    s.add(matrix_id, rows[row_pos], block[row_pos], indices)
+
+            self._request(
+                server_index,
+                messages.REQUEST_HEADER_BYTES + index_bytes
+                + len(row_positions) * width * value_bytes,
+                add_rows,
+                tag="push-block",
+                matrix_id=matrix_id,
+                n_values=len(row_positions) * width,
+            )
 
     # -- aggregates and server-side execution --------------------------------
 
@@ -554,11 +697,10 @@ class PSClient:
             partials = []
             arrivals = []
             for server_index, start, stop in shards:
-                server = self.master.server(server_index)
                 partial, arrival = self._request(
-                    server,
+                    server_index,
                     messages.scalar_op_request_bytes(),
-                    lambda s=server: s.aggregate(matrix_id, row, kind),
+                    lambda s: s.aggregate(matrix_id, row, kind),
                     tag="rowagg",
                     response_bytes=messages.scalar_response_bytes(),
                     matrix_id=matrix_id,
@@ -596,11 +738,10 @@ class PSClient:
                 if wait_response else None
             )
             for server_index, start, stop in shards:
-                server = self.master.server(server_index)
                 partial, arrival = self._request(
-                    server,
+                    server_index,
                     messages.scalar_op_request_bytes(len(operands)),
-                    lambda s=server: s.execute_kernel(
+                    lambda s: s.execute_kernel(
                         kernel, operands, args=args, flops=flops_per_server
                     ),
                     tag="kernel",
@@ -621,11 +762,10 @@ class PSClient:
             shards = layout.shards_for_row(row)
             self._charge_rpc(len(shards))
             for server_index, start, stop in shards:
-                server = self.master.server(server_index)
                 self._request(
-                    server,
+                    server_index,
                     messages.scalar_op_request_bytes(),
-                    lambda s=server: s.fill(matrix_id, row, value),
+                    lambda s: s.fill(matrix_id, row, value),
                     tag="fill",
                     matrix_id=matrix_id,
                     n_values=stop - start,

@@ -4,6 +4,16 @@ The master runs inside the coordinator (the Spark driver), as in Section 5.1:
 it "manages the lifetime of PS-servers, and provides some meta information,
 including the locations and routing tables for PS-client to locate
 parameters".
+
+Recovery contract (Section 5.3): when a server fails, the coordinator starts
+a **new** server process under the same node and loads the latest checkpoint
+into it.  Matrices created (or grown) after that checkpoint — or matrices
+that existed before the *first* checkpoint was ever taken — are rebuilt from
+the master's metadata with the same deterministic per-shard RNG streams used
+at allocation time, and matrices freed since the snapshot are dropped.  What
+is lost, exactly as in the paper, is the *updates* applied to the failed
+server's shards since the last checkpoint; SGD-style training absorbs the
+regression, bounded by the updates-since-last-checkpoint.
 """
 
 from __future__ import annotations
@@ -17,16 +27,25 @@ from repro.ps.server import PSServer
 
 
 class MatrixInfo:
-    """Metadata for one distributed model matrix."""
+    """Metadata for one distributed model matrix.
 
-    __slots__ = ("matrix_id", "dim", "n_rows", "layout", "name")
+    Carries everything needed to rebuild any shard from scratch after a
+    failure: the layout (placement) plus the initialization recipe
+    (``init``/``scale``), replayed against the same named RNG streams.
+    """
 
-    def __init__(self, matrix_id, dim, n_rows, layout, name):
+    __slots__ = ("matrix_id", "dim", "n_rows", "layout", "name", "init",
+                 "scale")
+
+    def __init__(self, matrix_id, dim, n_rows, layout, name, init="zero",
+                 scale=0.01):
         self.matrix_id = matrix_id
         self.dim = int(dim)
         self.n_rows = int(n_rows)
         self.layout = layout
         self.name = name
+        self.init = init
+        self.scale = float(scale)
 
 
 class PSMaster:
@@ -41,6 +60,16 @@ class PSMaster:
         self.checkpoints = CheckpointManager(cluster)
         self._matrices = {}
         self._next_matrix_id = 0
+        self.checkpoint_interval = float(
+            cluster.config.failures.checkpoint_interval
+        )
+        self._next_sweep = (
+            self.checkpoint_interval if self.checkpoint_interval > 0 else None
+        )
+        #: Virtual times at which periodic sweeps ran (experiment telemetry).
+        self.checkpoint_sweep_times = []
+        if self._next_sweep is not None:
+            cluster.stage_end_hooks.append(self.maybe_checkpoint)
 
     @property
     def n_servers(self):
@@ -50,6 +79,17 @@ class PSMaster:
         return self.servers[index]
 
     # -- matrix lifecycle ---------------------------------------------------
+
+    def _init_rng(self, matrix_id, row, server_index):
+        """The deterministic init stream for one shard.
+
+        The same stream names are used at allocation and at post-failure
+        re-initialization, so recovery is a deterministic function of the
+        run's seed and failure schedule.
+        """
+        return self.cluster.rng.get(
+            "ps-init-%d-%d-%d" % (matrix_id, row, server_index)
+        )
 
     def create_matrix(self, dim, n_rows=1, layout=None, init="zero", scale=0.01,
                       name=None):
@@ -64,18 +104,18 @@ class PSMaster:
             layout = ColumnLayout(dim, self.n_servers)
         matrix_id = self._next_matrix_id
         self._next_matrix_id += 1
-        info = MatrixInfo(matrix_id, dim, n_rows, layout, name or "m%d" % matrix_id)
+        info = MatrixInfo(matrix_id, dim, n_rows, layout, name or "m%d" % matrix_id,
+                          init=init, scale=scale)
         self._matrices[matrix_id] = info
 
         involved = set()
         for row in range(n_rows):
             for server_index, start, stop in layout.shards_for_row(row):
                 involved.add(server_index)
-                rng = self.cluster.rng.get(
-                    "ps-init-%d-%d-%d" % (matrix_id, row, server_index)
-                )
                 self.servers[server_index].allocate_row(
-                    matrix_id, row, start, stop, init=init, rng=rng, scale=scale
+                    matrix_id, row, start, stop, init=init,
+                    rng=self._init_rng(matrix_id, row, server_index),
+                    scale=scale,
                 )
         for server_index in sorted(involved):
             self.cluster.network.transfer(
@@ -104,19 +144,80 @@ class PSMaster:
     # -- fault handling -----------------------------------------------------
 
     def checkpoint_all(self):
-        """Periodic checkpoint sweep over all servers."""
+        """Checkpoint sweep over all (live) servers."""
         self.checkpoints.checkpoint_all(self.servers)
 
-    def recover(self, server_index):
-        """Replace a failed server and reload its latest checkpoint.
+    def maybe_checkpoint(self):
+        """Run a checkpoint sweep if the configured interval has elapsed.
 
-        Model updates since the last checkpoint are lost, exactly as in the
-        paper's recovery story; SGD-style training absorbs the regression.
+        Driven by virtual time (``checkpoint_interval`` in the failure
+        config): polled after every sparklite stage barrier and after every
+        client PS op, so training loops sweep automatically without manual
+        ``checkpoint_all`` calls.  Returns whether a sweep ran.
         """
-        server = self.servers[server_index]
-        recover_start = self.cluster.clock.now(server.node_id)
-        server.revive()
-        self.checkpoints.recover_server(server)
+        if self._next_sweep is None:
+            return False
+        if self.cluster.clock.global_time() < self._next_sweep:
+            return False
+        self.checkpoint_all()
+        self.cluster.metrics.increment("checkpoint-sweeps")
+        self.checkpoint_sweep_times.append(self.cluster.clock.global_time())
+        # Re-arm relative to the post-sweep clock: a long stage must trigger
+        # one sweep, not a burst of catch-up sweeps.
+        self._next_sweep = (
+            self.cluster.clock.global_time() + self.checkpoint_interval
+        )
+        return True
+
+    def _reconcile(self, server):
+        """Bring *server*'s shard set in line with the matrix metadata.
+
+        Re-allocates, freshly initialized, every shard the metadata assigns
+        to this server that is missing from its store (matrices created
+        after the last checkpoint, or everything when no checkpoint exists),
+        and drops shards of matrices freed since the snapshot was taken.
+        Returns the number of shards re-initialized.
+        """
+        reinitialized = 0
+        for info in self._matrices.values():
+            for row in range(info.n_rows):
+                for server_index, start, stop in info.layout.shards_for_row(row):
+                    if server_index != server.server_index:
+                        continue
+                    if server.has_shard(info.matrix_id, row):
+                        continue
+                    server.allocate_row(
+                        info.matrix_id, row, start, stop, init=info.init,
+                        rng=self._init_rng(info.matrix_id, row, server_index),
+                        scale=info.scale,
+                    )
+                    reinitialized += 1
+        for matrix_id in server.stored_matrix_ids():
+            if matrix_id not in self._matrices:
+                server.drop_matrix(matrix_id)
+        if reinitialized:
+            self.cluster.metrics.increment(
+                "recovery-reinit-shards", reinitialized
+            )
+        return reinitialized
+
+    def recover(self, server_index):
+        """Start a replacement server and rebuild the failed one's state.
+
+        The replacement is a **new** :class:`PSServer` object (the paper's
+        coordinator "starts a new server"): clients holding the pre-failure
+        object must re-resolve through the master to reach it.  State is
+        rebuilt in three steps — load the latest checkpoint when one exists,
+        re-initialize shards the snapshot does not cover from matrix
+        metadata, and drop shards of matrices freed since the snapshot.
+        """
+        failed = self.servers[server_index]
+        recover_start = self.cluster.clock.now(failed.node_id)
+        server = PSServer(self.cluster, failed.node_id, server_index)
+        server.revive()  # resets the CPU timeline to the node's current time
+        self.servers[server_index] = server
+        checkpoint_time = self.checkpoints.recover_server(server)
+        reinitialized = self._reconcile(server)
         self.cluster.network.transfer(
             DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-recover"
         )
@@ -127,4 +228,21 @@ class PSMaster:
                 server.node_id, "ps-recover", recover_start,
                 self.cluster.clock.now(server.node_id), cat="op",
                 server_index=server_index,
+                from_checkpoint=checkpoint_time is not None,
+                reinit_shards=reinitialized,
             )
+        return server
+
+    def repair(self, server_index):
+        """Heal a server whose shard set drifted from the metadata.
+
+        The client's retry path calls this on ``MatrixNotFoundError``: a
+        dead server gets the full :meth:`recover` treatment; a live one only
+        has its missing shards re-allocated (its live updates are kept).
+        """
+        server = self.servers[server_index]
+        if not server.is_alive():
+            return self.recover(server_index)
+        self._reconcile(server)
+        self.cluster.metrics.increment("server-repairs")
+        return server

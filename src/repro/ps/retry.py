@@ -1,0 +1,79 @@
+"""Retry policy for client-to-server RPCs.
+
+Section 5.3's recovery story needs more than "try again": a failed attempt
+must cost time (failure detection is not free), repeated failures must back
+off so a recovering server is not hammered, and a bounded attempt budget
+must turn a permanently-dead server into a clean error instead of an
+infinite loop.  :class:`RetryPolicy` packages those three knobs; all waits
+are charged to the *virtual* clock of the retrying client, so fault
+injection changes makespans, never wall time.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: Default retry budget after the first attempt (kept as a module constant
+#: for backwards compatibility with the pre-policy client API).
+MAX_SERVER_RETRIES = 3
+
+#: Default failure-detection timeout charged per failed attempt (seconds).
+DEFAULT_OP_TIMEOUT = 1e-3
+
+#: Default first-retry backoff (seconds); doubles per subsequent retry.
+DEFAULT_BACKOFF = 1e-3
+
+
+class RetryPolicy:
+    """How a PS client retries an op that hit a failed server or link.
+
+    ``max_retries`` bounds the retries *after* the initial attempt, so an op
+    runs at most ``max_retries + 1`` times.  Every failed attempt charges
+    ``timeout`` (the client waited that long before declaring the attempt
+    dead) plus ``backoff_for(attempt)`` (exponential: ``backoff *
+    multiplier**(attempt - 1)`` for the attempt-th retry) to the client's
+    virtual clock.
+    """
+
+    __slots__ = ("max_retries", "timeout", "backoff", "multiplier")
+
+    def __init__(self, max_retries=MAX_SERVER_RETRIES, timeout=DEFAULT_OP_TIMEOUT,
+                 backoff=DEFAULT_BACKOFF, multiplier=2.0):
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0, got %r" % (max_retries,))
+        if timeout < 0:
+            raise ConfigError("timeout must be >= 0, got %r" % (timeout,))
+        if backoff < 0:
+            raise ConfigError("backoff must be >= 0, got %r" % (backoff,))
+        if multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1, got %r" % (multiplier,))
+        self.max_retries = int(max_retries)
+        self.timeout = float(timeout)
+        self.backoff = float(backoff)
+        self.multiplier = float(multiplier)
+
+    @classmethod
+    def from_config(cls, failures):
+        """Build the policy from a :class:`repro.config.FailureConfig`."""
+        return cls(
+            max_retries=failures.max_op_retries,
+            timeout=failures.op_timeout,
+            backoff=failures.retry_backoff,
+            multiplier=failures.retry_backoff_multiplier,
+        )
+
+    def backoff_for(self, attempt):
+        """Backoff before the *attempt*-th retry (attempts count from 1)."""
+        if attempt < 1:
+            raise ConfigError("retry attempts count from 1, got %r" % (attempt,))
+        return self.backoff * self.multiplier ** (attempt - 1)
+
+    def penalty_for(self, attempt):
+        """Total virtual seconds charged for the *attempt*-th failure."""
+        return self.timeout + self.backoff_for(attempt)
+
+    def __repr__(self):
+        return (
+            "RetryPolicy(max_retries=%d, timeout=%g, backoff=%g, multiplier=%g)"
+            % (self.max_retries, self.timeout, self.backoff, self.multiplier)
+        )

@@ -94,13 +94,21 @@ class PSServer:
 
     # -- lifecycle --------------------------------------------------------
 
-    def _check_alive(self):
-        """Apply any scheduled crash, then verify the server is up."""
+    def is_alive(self):
+        """Apply any scheduled crash, then report liveness (never raises).
+
+        Used by sweeps that must tolerate dead servers (``checkpoint_all``
+        skips them) as well as by :meth:`_check_alive`.
+        """
         if self.alive:
             now = self.cluster.clock.now(self.node_id)
             if self.cluster.failures.due_server_failures(self.node_id, now):
                 self.crash()
-        if not self.alive:
+        return self.alive
+
+    def _check_alive(self):
+        """Apply any scheduled crash, then verify the server is up."""
+        if not self.is_alive():
             raise ServerDownError("server %s is down" % self.node_id)
 
     def crash(self):
@@ -110,8 +118,17 @@ class PSServer:
         self.cluster.metrics.increment("server-crashes")
 
     def revive(self):
-        """Bring the (replacement) server up with empty state."""
+        """Bring the (replacement) server up with empty state.
+
+        The coordinator "starts a new server" (Section 5.3): the replacement
+        must not inherit the dead process's CPU queue, so the service
+        timeline and in-flight request anchor are reset and the completion
+        watermark restarts at the node's current virtual time.
+        """
         self.alive = True
+        self.cpu.reset()
+        self._arrival = None
+        self.last_completion = self.cluster.clock.now(self.node_id)
 
     # -- storage ----------------------------------------------------------
 
@@ -152,6 +169,10 @@ class PSServer:
 
     def has_shard(self, matrix_id, row):
         return matrix_id in self._store and int(row) in self._store[matrix_id]
+
+    def stored_matrix_ids(self):
+        """Matrix ids with at least one local shard (for reconciliation)."""
+        return list(self._store)
 
     def stored_bytes(self):
         """Bytes of model state held (used for checkpoint cost)."""

@@ -67,6 +67,14 @@ class Scheduler:
             # Executors run their queued tasks after the driver submitted the
             # stage, but in parallel with each other.
             self.cluster.clock.set_at_least(executor, stage_start)
+            # Apply scheduled executor crashes that are due by now: the dead
+            # executor's partitions redistribute over the survivors
+            # (Section 5.3 — "launches a new executor and reloads that
+            # partition of training data from the input").
+            while failures.due_executor_failures(executor, clock.now(executor)):
+                self.cluster.fail_executor(executor)
+                executor = self.executor_for(partition_id)
+                self.cluster.clock.set_at_least(executor, stage_start)
             previous = self._placements.get(partition_id)
             if previous is not None and previous != executor:
                 # The partition moved (executor failure): reload its input.
@@ -153,6 +161,10 @@ class Scheduler:
             tracer.record(DRIVER, "stage:%d:%s" % (stage_id, tag),
                           stage_start, stage_end, cat="stage",
                           n_tasks=rdd.get_num_partitions())
+        # Post-barrier hooks (periodic checkpoint sweeps): run once per
+        # stage, after every result landed, on the driver's clock.
+        for hook in self.cluster.stage_end_hooks:
+            hook()
         return results
 
     def tree_combine(self, placed_results, zero_value, comb_op, depth=2):
@@ -186,7 +198,6 @@ class Scheduler:
                 merged.append((dst_exec, combined))
             survivors = merged
 
-        result = zero_value
         from repro.sparklite.rdd import _copy_zero
 
         result = _copy_zero(zero_value)

@@ -1,0 +1,307 @@
+"""Chaos harness: seeded failures against the recovery/retry path.
+
+Covers the hardened failure story end to end: crash before the first
+checkpoint, crash after a post-checkpoint ``create_matrix``, routing
+re-resolution (with re-sent request bytes) on retry, backoff charged to the
+virtual clock, transient network partitions, scheduled executor crashes,
+periodic checkpoint sweeps, row-layout block routing, and a full chaos
+training run asserting convergence and run-to-run determinism.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, FailureConfig
+from repro.core.context import PS2Context
+from repro.experiments import run_fault_tolerance
+from repro.experiments.runner import make_context
+from repro.ml import train_logistic_regression
+from repro.data import sparse_classification
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+from repro.ps.partitioner import RowLayout
+from repro.ps.retry import RetryPolicy
+
+
+def _chaos_cluster(**failure_kwargs):
+    config = ClusterConfig(
+        n_executors=4, n_servers=3, seed=42,
+        failures=FailureConfig(**failure_kwargs),
+    )
+    return Cluster(config)
+
+
+# -- recovery correctness ----------------------------------------------------
+
+
+def test_crash_before_first_checkpoint_pull_recovers(ps2):
+    """Regression: a crash with ZERO checkpoints taken must recover to
+    freshly re-initialized shards instead of raising."""
+    w = ps2.dense(12)
+    w.push(np.arange(12.0))
+    ps2.master.server(0).crash()
+    pulled = w.pull()  # must not raise
+    layout = w.layout
+    for server_index, start, stop in layout.shards_for_row(w.row):
+        if server_index == 0:
+            # Lost with the server; re-initialized to the zero init.
+            assert np.all(pulled[start:stop] == 0.0)
+        else:
+            assert np.allclose(pulled[start:stop], np.arange(12.0)[start:stop])
+    assert ps2.metrics.counters["server-recoveries"] == 1
+    # No snapshot existed, so this was a metadata rebuild, not a restore.
+    assert ps2.master.checkpoints.recoveries == 0
+    assert ps2.metrics.counters["recovery-reinit-shards"] >= 1
+
+
+def test_post_checkpoint_matrix_survives_crash(ps2):
+    """Regression: a matrix created after the last checkpoint must not
+    vanish on recovery (MatrixNotFoundError used to escape the client)."""
+    a = ps2.dense(12)
+    a.fill(3.0)
+    ps2.checkpoint()
+    b = ps2.dense(20)
+    b.push(np.arange(20.0))
+    ps2.master.server(1).crash()
+    got_b = b.pull()  # must not raise: b is rebuilt from metadata
+    for server_index, start, stop in b.layout.shards_for_row(b.row):
+        if server_index == 1:
+            assert np.all(got_b[start:stop] == 0.0)
+        else:
+            assert np.allclose(got_b[start:stop],
+                               np.arange(20.0)[start:stop])
+    # a was in the snapshot and is fully restored.
+    assert np.allclose(a.pull(), 3.0)
+    assert ps2.master.checkpoints.recoveries == 1
+
+
+def test_retry_reresolves_routing_and_resends_bytes(cluster):
+    """A retried op must talk to the REPLACEMENT server object and pay the
+    request bytes again — a retry is a full new RPC."""
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    master.checkpoint_all()
+    failed = master.server(1)
+    failed.crash()
+    requests_before = cluster.metrics.messages_by_tag["pull:req"]
+    routing_before = cluster.metrics.messages_by_tag["routing:req"]
+    got = client.pull_row(m, 0)
+    assert np.allclose(got, np.arange(30.0))
+    # 3 shards -> 3 requests, plus one re-sent request for the retry.
+    assert cluster.metrics.messages_by_tag["pull:req"] == requests_before + 4
+    # The retry dropped the routing cache and re-resolved via the master.
+    assert cluster.metrics.messages_by_tag["routing:req"] == routing_before + 1
+    # And it reached a new server process, not the dead object.
+    assert master.server(1) is not failed
+    assert cluster.metrics.counters["op-retries"] == 1
+
+
+def test_backoff_is_charged_to_virtual_clock(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(12)
+    master.checkpoint_all()
+    master.server(0).crash()
+    before = cluster.clock.now(client.node_id)
+    client.pull_row(m, 0)
+    elapsed = cluster.clock.now(client.node_id) - before
+    # One failed attempt: at least timeout + first backoff of virtual time.
+    assert elapsed >= client.retry_policy.penalty_for(1)
+
+
+def test_retry_policy_from_config():
+    failures = FailureConfig(max_op_retries=5, op_timeout=2e-3,
+                             retry_backoff=4e-3, retry_backoff_multiplier=3.0)
+    policy = RetryPolicy.from_config(failures)
+    assert policy.max_retries == 5
+    assert policy.backoff_for(1) == pytest.approx(4e-3)
+    assert policy.backoff_for(3) == pytest.approx(4e-3 * 9.0)
+    assert policy.penalty_for(2) == pytest.approx(2e-3 + 12e-3)
+
+
+# -- network partitions ------------------------------------------------------
+
+
+def test_partition_window_is_retried_until_it_passes():
+    # The window opens just after the (driver-side) matrix allocation and
+    # swallows the client's first pull attempts into server-1.
+    cluster = _chaos_cluster(partition_windows=(("server-1", 1e-5, 4e-3),))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30)
+    # The pull's request into server-1 departs inside the window: the
+    # attempt drops, the client backs off (advancing its virtual clock)
+    # and a later attempt outlasts the partition.
+    got = client.pull_row(m, 0)
+    assert got.shape == (30,)
+    assert cluster.metrics.counters["partition-drops"] >= 1
+    assert cluster.metrics.counters["op-retries"] >= 1
+    # The partition did not kill the server: no recovery was needed.
+    assert cluster.metrics.counters.get("server-recoveries", 0) == 0
+    assert cluster.clock.now(client.node_id) >= 4e-3
+
+
+def test_permanent_partition_exhausts_retries():
+    from repro.common.errors import PSError
+
+    cluster = _chaos_cluster(partition_windows=(("server-1", 1e-5, 1e6),))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30)
+    with pytest.raises(PSError):
+        client.pull_row(m, 0)
+    assert cluster.metrics.counters["op-retries-exhausted"] == 1
+
+
+# -- scheduled crashes -------------------------------------------------------
+
+
+def test_scheduled_server_crash_recovers_during_training():
+    failures = FailureConfig(server_failure_times=((0, 1e-3),))
+    ctx = make_context(n_executors=4, n_servers=3, seed=9, failures=failures)
+    rows, _ = sparse_classification(120, 600, 10, seed=9)
+    result = train_logistic_regression(
+        ctx, rows, 600, optimizer="sgd", n_iterations=6,
+        batch_fraction=0.5, seed=9,
+    )
+    assert result.iterations == 6
+    assert ctx.metrics.counters["server-crashes"] >= 1
+    assert ctx.metrics.counters["server-recoveries"] >= 1
+    assert result.final_loss < result.history[0][1]
+
+
+def test_scheduled_executor_crash_redistributes_partitions():
+    failures = FailureConfig(executor_failure_times=((0, 1e-3),))
+    ctx = make_context(n_executors=4, n_servers=3, seed=9, failures=failures)
+    rows, _ = sparse_classification(120, 600, 10, seed=9)
+    result = train_logistic_regression(
+        ctx, rows, 600, optimizer="sgd", n_iterations=6,
+        batch_fraction=0.5, seed=9,
+    )
+    assert result.iterations == 6
+    assert ctx.cluster.failures.injected_executor_failures == 1
+    assert ctx.metrics.counters["executor-failures"] == 1
+    # The dead executor's partitions moved and reloaded their input.
+    assert ctx.metrics.counters["partition-reloads"] >= 1
+    assert "executor-0" not in ctx.cluster.alive_executors
+
+
+# -- periodic checkpoint sweeps ---------------------------------------------
+
+
+def test_periodic_sweeps_run_on_schedule():
+    failures = FailureConfig(checkpoint_interval=2e-3)
+    ctx = make_context(n_executors=4, n_servers=3, seed=9, failures=failures)
+    rows, _ = sparse_classification(120, 600, 10, seed=9)
+    train_logistic_regression(
+        ctx, rows, 600, optimizer="sgd", n_iterations=6,
+        batch_fraction=0.5, seed=9,
+    )
+    sweeps = ctx.metrics.counters["checkpoint-sweeps"]
+    assert sweeps >= 1
+    times = ctx.master.checkpoint_sweep_times
+    assert len(times) == sweeps
+    assert times == sorted(times)
+    # Re-armed relative to the post-sweep clock: no sweep storms.
+    assert all(b - a >= 2e-3 for a, b in zip(times, times[1:]))
+    assert ctx.master.checkpoints.checkpoints_taken >= 3  # >= one full sweep
+
+
+def test_sweep_skips_dead_server_and_covers_survivors(cluster):
+    master = PSMaster(cluster)
+    master.create_matrix(12)
+    master.server(1).crash()
+    master.checkpoint_all()  # must not raise
+    assert cluster.metrics.counters["checkpoint-skips-dead-server"] == 1
+    assert master.checkpoints.has_checkpoint(0)
+    assert not master.checkpoints.has_checkpoint(1)
+    assert master.checkpoints.has_checkpoint(2)
+
+
+# -- row-layout block routing ------------------------------------------------
+
+
+def test_pull_block_routes_per_row_under_row_layout(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(8, n_rows=6, layout=RowLayout(8, 3))
+    expected = np.arange(48.0).reshape(6, 8)
+    for row in range(6):
+        client.push_assign(m, row, expected[row])
+    # Rows 0..5 live on servers 0,1,2,0,1,2 — one request per OWNING
+    # server, never everything to rows[0]'s server.
+    block = client.pull_block(m, list(range(6)))
+    assert np.array_equal(block, expected)
+    sparse = client.pull_block(m, [1, 2, 5], indices=[7, 0, 3])
+    assert np.array_equal(sparse, expected[[1, 2, 5]][:, [7, 0, 3]])
+
+
+def test_push_block_add_routes_per_row_under_row_layout(cluster):
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(8, n_rows=6, layout=RowLayout(8, 3))
+    delta = np.arange(48.0).reshape(6, 8)
+    client.push_block_add(m, list(range(6)), delta)
+    assert np.array_equal(client.pull_block(m, list(range(6))), delta)
+    client.push_block_add(m, [0, 4], np.ones((2, 3)), indices=[1, 4, 6])
+    expected = delta.copy()
+    for row in (0, 4):
+        expected[row, [1, 4, 6]] += 1.0
+    assert np.array_equal(client.pull_block(m, list(range(6))), expected)
+
+
+# -- full chaos scenario -----------------------------------------------------
+
+
+def _chaos_failures():
+    return FailureConfig(
+        server_failure_times=((1, 1.5e-3), (2, 4e-3)),
+        executor_failure_times=((3, 2e-3),),
+        partition_windows=(("server-0", 2.5e-3, 3e-3),),
+        checkpoint_interval=1e-3,
+    )
+
+
+def _chaos_run():
+    ctx = make_context(n_executors=4, n_servers=3, seed=13,
+                       failures=_chaos_failures())
+    rows, _ = sparse_classification(150, 800, 12, seed=13)
+    result = train_logistic_regression(
+        ctx, rows, 800, optimizer="sgd", n_iterations=8,
+        batch_fraction=0.4, seed=13,
+    )
+    weights = result.extras["weight"].pull()
+    return ctx, result, weights
+
+
+def test_chaos_training_converges_and_is_deterministic():
+    ctx_a, result_a, weights_a = _chaos_run()
+    ctx_b, result_b, weights_b = _chaos_run()
+    # The chaos actually happened.
+    assert ctx_a.metrics.counters["server-recoveries"] >= 1
+    assert ctx_a.cluster.failures.injected_executor_failures == 1
+    assert ctx_a.metrics.counters["checkpoint-sweeps"] >= 1
+    # Training converged through it.
+    assert result_a.iterations == 8
+    assert result_a.final_loss < result_a.history[0][1]
+    # And the whole run — losses, virtual times, final weights, failure
+    # bookkeeping — is a deterministic function of the seed.
+    assert result_a.history == result_b.history
+    assert np.array_equal(weights_a, weights_b)
+    assert ctx_a.elapsed() == ctx_b.elapsed()
+    assert (ctx_a.metrics.counters["server-recoveries"]
+            == ctx_b.metrics.counters["server-recoveries"])
+
+
+def test_fault_tolerance_experiment_bounds_regression():
+    """Small-scale Figure-12 check: the post-crash loss peak stays within
+    the loss recorded at the last pre-crash checkpoint sweep."""
+    summary = run_fault_tolerance(seed=5, n_iterations=10, n_rows=150,
+                                  dim=800)
+    assert summary["recoveries"] == 1
+    assert summary["sweeps"] >= 1
+    assert summary["regression_bounded"]
+    assert summary["chaos"].final_loss < summary["chaos"].history[0][1]

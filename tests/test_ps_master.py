@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common.errors import MatrixNotFoundError, PSError
+from repro.common.errors import MatrixNotFoundError
 from repro.ps.checkpoint import CheckpointManager
 from repro.ps.master import PSMaster
 from repro.ps.partitioner import ColumnLayout, RowLayout
@@ -67,11 +67,64 @@ def test_random_init_independent_of_client_count(cluster):
     assert np.any(values != 0)
 
 
-def test_recover_without_checkpoint_fails(master):
-    master.create_matrix(10)
+def test_recover_without_checkpoint_reinitializes(master):
+    """A crash before the first checkpoint recovers to fresh shards."""
+    m = master.create_matrix(10)
+    master.server(0).shard(m, 0).values[:] = 7.0
     master.server(0).crash()
-    with pytest.raises(PSError):
-        master.recover(0)
+    server = master.recover(0)
+    assert server.is_alive()
+    assert server.has_shard(m, 0)
+    # The un-checkpointed updates are lost; the shard is back at its
+    # deterministic initial (zero) state.
+    assert np.all(server.shard(m, 0).values == 0.0)
+    assert master.checkpoints.recoveries == 0
+
+
+def test_recover_replaces_server_object(master):
+    master.create_matrix(10)
+    failed = master.server(0)
+    failed.crash()
+    replacement = master.recover(0)
+    assert replacement is not failed
+    assert master.server(0) is replacement
+    assert replacement.node_id == failed.node_id
+
+
+def test_recover_rebuilds_post_checkpoint_matrix(master):
+    """Matrices created after the last checkpoint survive a crash."""
+    old = master.create_matrix(12)
+    master.server(0).shard(old, 0).values[:] = 3.0
+    master.checkpoint_all()
+    new = master.create_matrix(8, init="random", scale=1.0)
+    master.server(0).crash()
+    server = master.recover(0)
+    assert np.all(server.shard(old, 0).values == 3.0)  # from the snapshot
+    assert server.has_shard(new, 0)  # re-initialized from metadata
+
+
+def test_recover_drops_freed_matrix(master):
+    kept = master.create_matrix(12)
+    freed = master.create_matrix(12)
+    master.checkpoint_all()
+    master.free_matrix(freed)
+    master.server(0).crash()
+    server = master.recover(0)
+    assert server.has_shard(kept, 0)
+    assert not server.has_shard(freed, 0)
+
+
+def test_repair_live_server_keeps_updates(master):
+    """repair() on a live server only backfills missing shards."""
+    m = master.create_matrix(12)
+    server = master.server(0)
+    server.shard(m, 0).values[:] = 4.0
+    extra = master.create_matrix(6)
+    server.drop_matrix(extra)  # simulate a stale shard set
+    repaired = master.repair(0)
+    assert repaired is server  # no replacement process
+    assert np.all(server.shard(m, 0).values == 4.0)  # live updates kept
+    assert server.has_shard(extra, 0)
 
 
 def test_recover_restores_latest_checkpoint(master):
