@@ -7,6 +7,8 @@ reports, to a fixed training loss, PS2 beating Spark by 15.7x (KDDB) /
 55.6x (CTR) and PS by 4.7x / 5x.
 """
 
+import os
+
 import pytest
 
 from benchmarks._common import emit, run_once
@@ -15,7 +17,10 @@ from repro.data import dataset, spec
 from repro.experiments import format_speedup, format_table, make_context
 from repro.ml import train_logistic_regression
 
-ITERATIONS = 10
+# CI's benchmark-smoke job runs this figure at reduced scale (fewer Adam
+# iterations) so perf-path regressions fail fast; the paper-shape
+# assertions below hold at any scale >= 3.
+ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "10"))
 
 
 def _compare(name, seed):

@@ -26,6 +26,10 @@ class MetricsRegistry:
         self.bytes_received = defaultdict(float)
         self.bytes_by_tag = defaultdict(float)
         self.messages_by_tag = defaultdict(int)
+        # Logical requests per tag: a coalesced batch is ONE wire message
+        # (messages_by_tag) carrying N sub-requests (logical_messages_by_tag);
+        # the gap between the two is the header-amortization win.
+        self.logical_messages_by_tag = defaultdict(int)
         self.compute_seconds = defaultdict(float)
         self.counters = defaultdict(int)
         # Compute-op counts get their own namespace: ``record_compute`` used
@@ -40,12 +44,17 @@ class MetricsRegistry:
 
     # -- recording ---------------------------------------------------------
 
-    def record_transfer(self, src, dst, nbytes, tag="transfer"):
-        """Account one *src* -> *dst* message of *nbytes* under *tag*."""
+    def record_transfer(self, src, dst, nbytes, tag="transfer", messages=1):
+        """Account one *src* -> *dst* wire message of *nbytes* under *tag*.
+
+        *messages* is the number of logical requests the wire message
+        carries (> 1 for a coalesced batch envelope).
+        """
         self.bytes_sent[src] += nbytes
         self.bytes_received[dst] += nbytes
         self.bytes_by_tag[tag] += nbytes
         self.messages_by_tag[tag] += 1
+        self.logical_messages_by_tag[tag] += messages
 
     def record_compute(self, node_id, seconds, tag="compute"):
         """Account *seconds* of virtual compute on *node_id*."""
@@ -153,6 +162,7 @@ class MetricsRegistry:
             "bytes_received": dict(self.bytes_received),
             "bytes_by_tag": dict(self.bytes_by_tag),
             "messages_by_tag": dict(self.messages_by_tag),
+            "logical_messages_by_tag": dict(self.logical_messages_by_tag),
             "compute_seconds": dict(self.compute_seconds),
             "counters": dict(self.counters),
             "compute_counts": dict(self.compute_counts),
@@ -194,6 +204,7 @@ class MetricsRegistry:
         self.bytes_received.clear()
         self.bytes_by_tag.clear()
         self.messages_by_tag.clear()
+        self.logical_messages_by_tag.clear()
         self.compute_seconds.clear()
         self.counters.clear()
         self.compute_counts.clear()

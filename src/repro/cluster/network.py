@@ -68,7 +68,7 @@ class NetworkModel:
         )
 
     def transfer(self, src, dst, nbytes, tag="transfer", deliver=True,
-                 depart_at=None):
+                 depart_at=None, messages=1):
         """Ship *nbytes* (payload; envelope added here) from *src* to *dst*.
 
         Returns the virtual time at which the message is fully received.
@@ -79,12 +79,16 @@ class NetworkModel:
         responses).  ``depart_at`` overrides the earliest departure time
         (default: the sender's clock) — used for RPC responses, which leave
         when *that request's* service completes rather than when the
-        sender's clock says.
+        sender's clock says.  ``messages`` is the number of *logical*
+        requests this wire message carries (> 1 for a coalesced batch
+        envelope): one wire message is always booked, and the logical count
+        feeds the coalescing-efficiency accounting.
         """
         if src == dst:
             # Local hand-off: no wire cost, still counted as a message so
             # protocol-level accounting stays comparable across placements.
-            self.metrics.record_transfer(src, dst, 0, tag=tag)
+            self.metrics.record_transfer(src, dst, 0, tag=tag,
+                                         messages=messages)
             return self.clock.now(src)
         if self.failures is not None:
             departs = self.clock.now(src) if depart_at is None else depart_at
@@ -108,7 +112,8 @@ class NetworkModel:
         )
         recv_done = recv_start + recv_seconds
 
-        self.metrics.record_transfer(src, dst, total, tag=tag)
+        self.metrics.record_transfer(src, dst, total, tag=tag,
+                                     messages=messages)
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(src, "net:" + tag, depart, send_done,
                                cat="nic-send", dst=dst, nbytes=total)
@@ -117,17 +122,6 @@ class NetworkModel:
         if deliver:
             self.clock.set_at_least(dst, recv_done)
         return recv_done
-
-    def request_response(self, client, server, request_bytes, response_bytes,
-                         tag):
-        """A synchronous RPC: request then response; both clocks settle.
-
-        Returns the time at which the client holds the response.
-        """
-        self.transfer(client, server, request_bytes, tag=tag + ":req")
-        done = self.transfer(server, client, response_bytes, tag=tag + ":resp")
-        self.clock.set_at_least(client, done)
-        return done
 
     def reset(self):
         """Clear NIC queues (used together with ``SimClock.reset``)."""

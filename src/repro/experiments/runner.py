@@ -7,7 +7,8 @@ from repro.core.context import PS2Context
 
 
 def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
-                 strict_colocation=False, node_flops=None, failures=None):
+                 strict_colocation=False, node_flops=None, failures=None,
+                 coalesce_requests=True):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -27,6 +28,9 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     sweep) derate the CPUs to restore the paper's compute-to-overhead
     ratio.  Comparisons between systems are unaffected: all contenders run
     on identical hardware either way.
+
+    ``coalesce_requests`` exposes the PS transport's per-server batching
+    knob for A/B experiments on the header-amortization win.
     """
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
@@ -37,5 +41,6 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         failures=failures
         if failures is not None
         else FailureConfig(task_failure_prob=task_failure_prob),
+        coalesce_requests=coalesce_requests,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

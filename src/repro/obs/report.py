@@ -94,6 +94,36 @@ def hot_shard_table(metrics, factor=1.5):
     return table + "\n" + footer
 
 
+def transport_table(metrics):
+    """Wire vs. logical message counts per tag (coalescing efficiency).
+
+    A coalesced batch is one wire message carrying several logical
+    requests; tags where the two counts diverge show where the transport's
+    per-server batching saved headers and NIC bookings.
+    """
+    rows = []
+    for tag in sorted(metrics.messages_by_tag):
+        wire = metrics.messages_by_tag[tag]
+        logical = metrics.logical_messages_by_tag.get(tag, wire)
+        if logical == wire:
+            continue
+        rows.append((tag, wire, logical, "%.2f" % (logical / wire)))
+    lines = []
+    if rows:
+        lines.append(_format_rows(
+            ["tag", "wire_msgs", "logical_reqs", "reqs_per_msg"], rows
+        ))
+    else:
+        lines.append("(no coalesced traffic)")
+    batches = metrics.counters.get("coalesced-batches", 0)
+    if batches:
+        lines.append(
+            "coalesced %d requests into %d batch envelopes"
+            % (metrics.counters.get("coalesced-requests", 0), batches)
+        )
+    return "\n".join(lines)
+
+
 def render_report(cluster, title="observability report"):
     """The full text report for one cluster."""
     tracer = getattr(cluster, "tracer", None)
@@ -109,6 +139,9 @@ def render_report(cluster, title="observability report"):
         "",
         "-- hot shards --",
         hot_shard_table(cluster.metrics),
+        "",
+        "-- transport coalescing --",
+        transport_table(cluster.metrics),
     ]
     if tracer is not None and tracer.enabled:
         by_cat = {}

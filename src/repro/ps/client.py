@@ -1,11 +1,14 @@
 """PS-client: the bridge between a worker (or the coordinator) and servers.
 
-Every executor hosts one client (Section 5.1).  The client resolves routing
-through the master's metadata, fans requests out to the owning servers, and
-waits for all responses — request/response traffic and server service time
-are charged to the shared cost model.  Sparse ("only the needed
-parameters") pulls and pushes are first-class, since the paper credits part
-of PS2's win over Petuum to exactly that.
+Every executor hosts one client (Section 5.1).  The client's job is to turn
+each PS op into typed :mod:`~repro.ps.messages` values — one per (row,
+shard) destination — hand them to its :class:`~repro.ps.transport.Transport`
+and assemble the responses.  Routing resolution, network transfer, server
+dispatch, response accounting and the retry loop all live in the transport;
+nothing in this module constructs closures over server objects or touches a
+``PSServer`` directly.  Sparse ("only the needed parameters") pulls and
+pushes are first-class, since the paper credits part of PS2's win over
+Petuum to exactly that.
 
 RPC timing model: a request occupies the client NIC, crosses the wire,
 queues behind earlier requests on the target server's CPU, is served, and
@@ -13,15 +16,23 @@ queues behind earlier requests on the target server's CPU, is served, and
 time.  Mutation-only ops (push, axpy, fills, update kernels) are
 fire-and-forget: the client never blocks on them.
 
+Block ops and coalescing: a block pull/push decomposes into one message per
+(row, shard); with ``coalesce_requests`` on (the default), the transport
+wraps every same-server group in a single
+:class:`~repro.ps.messages.BatchRequest` envelope — one request header and
+one NIC booking per server, index lists shipped once — the paper's
+fat-request header amortization made explicit.
+
 Failure model: an attempt can die because the target server is down
 (``ServerDownError``), because its shard state is stale after a recovery
 (``MatrixNotFoundError``), or because a partition window swallowed the
-transfer (``NetworkPartitionedError``).  Every failure is retried under a
-:class:`~repro.ps.retry.RetryPolicy`: the client charges the detection
-timeout plus an exponential backoff to its virtual clock, asks the master to
-recover/repair the server when appropriate, drops its cached routing, and
-then re-resolves the serving server **and re-sends the request bytes
-through the network model** — a retry is a full new RPC, not a free replay.
+transfer (``NetworkPartitionedError``).  The transport retries every failure
+under a :class:`~repro.ps.retry.RetryPolicy`: it charges the detection
+timeout plus an exponential backoff to the client's virtual clock, asks the
+master to recover/repair the server when appropriate, drops its cached
+routing, and then re-resolves the serving server **and re-sends the message
+bytes through the network model** — a retry is a full new RPC of the same
+message, not a free replay.
 """
 
 from __future__ import annotations
@@ -30,18 +41,10 @@ from contextlib import contextmanager
 
 import numpy as np
 
-from repro.common.errors import MatrixNotFoundError, NetworkPartitionedError, \
-    PSError, ServerDownError
+from repro.common.errors import PSError
 from repro.ps import messages
 from repro.ps.partitioner import ColumnLayout, RowLayout
-from repro.ps.retry import RetryPolicy
-
-#: Failures an op attempt can hit that are retryable under the policy.
-RETRYABLE_ERRORS = (ServerDownError, MatrixNotFoundError,
-                    NetworkPartitionedError)
-
-#: Client-side CPU cost of issuing one RPC (serialization, bookkeeping).
-RPC_CPU_SECONDS = 5e-6
+from repro.ps.transport import Transport
 
 
 class PSClient:
@@ -51,68 +54,23 @@ class PSClient:
         self.cluster = cluster
         self.master = master
         self.node_id = node_id
-        self.retry_policy = retry_policy or RetryPolicy.from_config(
-            cluster.config.failures
-        )
-        self._routing = {}
+        self.transport = Transport(cluster, master, node_id,
+                                   retry_policy=retry_policy)
+
+    @property
+    def retry_policy(self):
+        """The transport's retry policy (exposed for tests/diagnostics)."""
+        return self.transport.retry_policy
 
     # -- plumbing -----------------------------------------------------------
 
     def _layout(self, matrix_id):
-        """Resolve a matrix's layout, fetching the routing table once.
-
-        Section 5.1: the PS-master "provides some meta information,
-        including the locations and routing tables for PS-client to locate
-        parameters."  The first touch of each matrix costs one RPC to the
-        coordinator; afterwards the client routes from its cache — until
-        :meth:`invalidate` drops the entry (server recovery), at which
-        point the next touch pays the routing RPC again.
-        """
-        layout = self._routing.get(matrix_id)
-        if layout is None:
-            layout = self.master.layout(matrix_id)
-            from repro.cluster.cluster import DRIVER
-
-            if self.node_id != DRIVER:
-                clock = self.cluster.clock
-                network = self.cluster.network
-                fetch_start = clock.now(self.node_id)
-                arrival = network.transfer(
-                    self.node_id, DRIVER, messages.REQUEST_HEADER_BYTES,
-                    tag="routing:req", deliver=False,
-                )
-                # The master answers from its metadata cache; the response
-                # departs when THIS request was served, not when the
-                # driver's (unrelated) clock says.
-                response = network.transfer(
-                    DRIVER, self.node_id,
-                    messages.RESPONSE_HEADER_BYTES + 16 * layout.n_servers,
-                    tag="routing:resp", deliver=False,
-                    depart_at=arrival + RPC_CPU_SECONDS,
-                )
-                clock.set_at_least(self.node_id, response)
-                self.cluster.metrics.observe(
-                    "routing", clock.now(self.node_id) - fetch_start
-                )
-                tracer = self.cluster.tracer
-                if tracer.enabled:
-                    tracer.record(self.node_id, "routing", fetch_start,
-                                  response, cat="op", matrix_id=matrix_id)
-            self._routing[matrix_id] = layout
-        return layout
+        """Resolve a matrix's layout through the transport's routing cache."""
+        return self.transport.layout(matrix_id)
 
     def invalidate(self, matrix_id=None):
-        """Drop cached routing for *matrix_id* (or for every matrix).
-
-        Called on the server-recovery retry path so a retried op
-        re-resolves routing through the master instead of trusting a table
-        that predates the failure; the next :meth:`_layout` call pays the
-        routing RPC again.
-        """
-        if matrix_id is None:
-            self._routing.clear()
-        else:
-            self._routing.pop(matrix_id, None)
+        """Drop cached routing for *matrix_id* (or for every matrix)."""
+        self.transport.invalidate(matrix_id)
 
     @contextmanager
     def _op(self, op, matrix_id):
@@ -136,116 +94,6 @@ class PSClient:
         # Virtual-time hook for the periodic checkpoint sweep: pure-PS
         # workloads (no sparklite stages) still sweep on schedule.
         self.master.maybe_checkpoint()
-
-    def _charge_rpc(self, n_messages):
-        """Charge the client CPU for serializing *n_messages* requests."""
-        if n_messages:
-            self.cluster.charge_seconds(
-                self.node_id, RPC_CPU_SECONDS * n_messages, tag="rpc-cpu"
-            )
-
-    def _handle_failure(self, exc, server_index, matrix_id, attempt):
-        """Recover from one failed attempt; charges the retry penalty.
-
-        The failure-detection timeout and the exponential backoff are
-        charged to the client's *virtual* clock (a retried op takes longer
-        in simulated time), then the failure is repaired: a down server is
-        recovered by the master, a stale shard set is reconciled, and a
-        partition is simply waited out.  Cached routing for the touched
-        matrix is dropped either way, so the next attempt re-resolves
-        through the master.
-        """
-        metrics = self.cluster.metrics
-        metrics.increment("op-retries")
-        penalty_start = self.cluster.clock.now(self.node_id)
-        self.cluster.charge_seconds(
-            self.node_id, self.retry_policy.penalty_for(attempt),
-            tag="retry-backoff",
-        )
-        tracer = self.cluster.tracer
-        if tracer.enabled:
-            tracer.record(
-                self.node_id, "retry-backoff", penalty_start,
-                self.cluster.clock.now(self.node_id), cat="op",
-                attempt=attempt, error=type(exc).__name__,
-                server_index=server_index,
-            )
-        if isinstance(exc, ServerDownError):
-            self.master.recover(server_index)
-            metrics.increment("routing-invalidations")
-        elif isinstance(exc, MatrixNotFoundError):
-            self.master.repair(server_index)
-            metrics.increment("routing-invalidations")
-        # NetworkPartitionedError: nothing to repair — the backoff advances
-        # the client clock toward the end of the partition window.
-        if matrix_id is not None:
-            self.invalidate(matrix_id)
-
-    def _request(self, server_index, request_bytes, operation, tag,
-                 response_bytes=None, matrix_id=None, n_values=0):
-        """One RPC against the server at *server_index*.
-
-        Returns ``(value, response_arrival)``.  Each attempt resolves the
-        current :class:`~repro.ps.server.PSServer` object through the master
-        (a recovery replaces the object — a retry must never talk to the
-        pre-failure process), transfers the request bytes, queues on the
-        server CPU (``server.begin(arrival)``) and invokes
-        ``operation(server)``.  Failed attempts are retried under the
-        client's :class:`~repro.ps.retry.RetryPolicy`, re-resolving routing
-        and re-sending the request through the network model every time.
-
-        With ``response_bytes`` set, a response is sent back departing at
-        the request's completion time and its arrival time is returned (the
-        caller decides when to block); otherwise the RPC is fire-and-forget
-        and arrival is None.  ``matrix_id``/``n_values`` feed the hot-shard
-        access telemetry.
-        """
-        network = self.cluster.network
-        if matrix_id is not None:
-            self.cluster.metrics.record_shard_access(
-                matrix_id, server_index, n_values
-            )
-        tracer = self.cluster.tracer
-        if tracer.enabled:
-            span = tracer.current(self.node_id)
-            if span is not None:
-                span.args["fanout"] = span.args.get("fanout", 0) + 1
-                span.args["bytes"] = (
-                    span.args.get("bytes", 0) + request_bytes
-                    + (response_bytes or 0)
-                )
-        attempt = 0
-        while True:
-            if matrix_id is not None:
-                # Re-resolve routing (pays the routing RPC again after an
-                # invalidation) before the attempt touches the wire.
-                self._layout(matrix_id)
-            server = self.master.server(server_index)
-            try:
-                arrival = network.transfer(
-                    self.node_id, server.node_id, request_bytes,
-                    tag=tag + ":req", deliver=False,
-                )
-                server.begin(arrival)
-                value = operation(server)
-                break
-            except RETRYABLE_ERRORS as exc:
-                attempt += 1
-                if attempt > self.retry_policy.max_retries:
-                    self.cluster.metrics.increment("op-retries-exhausted")
-                    raise PSError(
-                        "server %s kept failing after %d attempts: %r"
-                        % (server.node_id, attempt, exc)
-                    ) from exc
-                self._handle_failure(exc, server_index, matrix_id, attempt)
-        if response_bytes is None:
-            return value, None
-        response_arrival = network.transfer(
-            server.node_id, self.node_id, response_bytes,
-            tag=tag + ":resp", deliver=False,
-            depart_at=server.last_completion,
-        )
-        return value, response_arrival
 
     def _await(self, arrivals):
         """Block the client until the last outstanding response lands."""
@@ -274,52 +122,35 @@ class PSClient:
         with self._op("pull", matrix_id):
             layout = self._layout(matrix_id)
             if indices is None:
-                result = np.empty(layout.dim)
                 shards = layout.shards_for_row(row)
-                self._charge_rpc(len(shards))
-                arrivals = []
-                for server_index, start, stop in shards:
-                    values, arrival = self._request(
-                        server_index,
-                        messages.dense_pull_request_bytes(),
-                        lambda s: s.read(matrix_id, row),
-                        tag="pull",
-                        response_bytes=messages.dense_pull_response_bytes(
-                            stop - start
-                        ),
-                        matrix_id=matrix_id,
-                        n_values=stop - start,
-                    )
-                    result[start:stop] = values
-                    arrivals.append(arrival)
+                requests = [
+                    messages.PullRowRequest(server_index, matrix_id, row,
+                                            stop - start)
+                    for server_index, start, stop in shards
+                ]
+                values, arrivals = self.transport.send_all(requests)
+                result = np.empty(layout.dim)
+                for (server_index, start, stop), block in zip(shards, values):
+                    result[start:stop] = block
                 self._await(arrivals)
                 return result
 
             indices = np.asarray(indices, dtype=np.int64)
-            values_by_index = np.empty(indices.size)
             order = np.argsort(indices, kind="stable")
             sorted_indices = indices[order]
             by_server = self._split_for_row(layout, row, sorted_indices)
-            self._charge_rpc(len(by_server))
-            arrivals = []
+            requests = [
+                messages.PullRowRequest(server_index, matrix_id, row,
+                                        group.size, indices=group)
+                for server_index, group in by_server.items()
+            ]
+            values, arrivals = self.transport.send_all(requests)
+            values_by_index = np.empty(indices.size)
             cursor = 0
-            for server_index in by_server:
-                server_indices = by_server[server_index]
-                values, arrival = self._request(
-                    server_index,
-                    messages.sparse_pull_request_bytes(server_indices.size),
-                    lambda s, gi=server_indices: s.read(matrix_id, row, gi),
-                    tag="pull",
-                    response_bytes=messages.sparse_pull_response_bytes(
-                        server_indices.size
-                    ),
-                    matrix_id=matrix_id,
-                    n_values=server_indices.size,
-                )
-                span = order[cursor : cursor + server_indices.size]
-                values_by_index[span] = values
-                cursor += server_indices.size
-                arrivals.append(arrival)
+            for request, block in zip(requests, values):
+                span = order[cursor : cursor + request.n_values]
+                values_by_index[span] = block
+                cursor += request.n_values
             self._await(arrivals)
             return values_by_index
 
@@ -335,18 +166,13 @@ class PSClient:
                         "dense push of %d values into dim-%d matrix"
                         % (values.size, layout.dim)
                     )
-                shards = layout.shards_for_row(row)
-                self._charge_rpc(len(shards))
-                for server_index, start, stop in shards:
-                    block = values[start:stop]
-                    self._request(
-                        server_index,
-                        messages.dense_push_bytes(block.size),
-                        self._push_op(matrix_id, row, block, None, mode),
-                        tag="push",
-                        matrix_id=matrix_id,
-                        n_values=block.size,
-                    )
+                requests = [
+                    messages.PushRequest(server_index, matrix_id, row,
+                                         values[start:stop], mode=mode)
+                    for server_index, start, stop
+                    in layout.shards_for_row(row)
+                ]
+                self.transport.send_all(requests)
                 return
 
             indices = np.asarray(indices, dtype=np.int64)
@@ -354,28 +180,16 @@ class PSClient:
             sorted_indices = indices[order]
             sorted_values = values[order]
             by_server = self._split_for_row(layout, row, sorted_indices)
-            self._charge_rpc(len(by_server))
+            requests = []
             cursor = 0
-            for server_index in by_server:
-                server_indices = by_server[server_index]
-                block = sorted_values[cursor : cursor + server_indices.size]
-                cursor += server_indices.size
-                self._request(
-                    server_index,
-                    messages.sparse_push_bytes(server_indices.size),
-                    self._push_op(matrix_id, row, block, server_indices, mode),
-                    tag="push",
-                    matrix_id=matrix_id,
-                    n_values=server_indices.size,
+            for server_index, group in by_server.items():
+                block = sorted_values[cursor : cursor + group.size]
+                cursor += group.size
+                requests.append(
+                    messages.PushRequest(server_index, matrix_id, row, block,
+                                         indices=group, mode=mode)
                 )
-
-    @staticmethod
-    def _push_op(matrix_id, row, block, indices, mode):
-        if mode == "add":
-            return lambda s: s.add(matrix_id, row, block, indices)
-        if mode == "assign":
-            return lambda s: s.assign(matrix_id, row, block, indices)
-        raise PSError("unknown push mode %r" % (mode,))
+            self.transport.send_all(requests)
 
     def push_add(self, matrix_id, row, values, indices=None):
         """Accumulate a (dense or sparse) delta into a model row."""
@@ -406,24 +220,16 @@ class PSClient:
         """
         with self._op("pull-range", matrix_id):
             layout = self._layout(matrix_id)
-            result = np.empty(int(stop) - int(start))
             overlaps = self._range_shards(layout, row, int(start), int(stop))
-            self._charge_rpc(len(overlaps))
-            arrivals = []
-            for server_index, lo, hi in overlaps:
-                span = np.arange(lo, hi, dtype=np.int64)
-                values, arrival = self._request(
-                    server_index,
-                    messages.dense_pull_request_bytes()
-                    + 2 * messages.INDEX_BYTES,
-                    lambda s, gi=span: s.read(matrix_id, row, gi),
-                    tag="pull",
-                    response_bytes=messages.dense_pull_response_bytes(hi - lo),
-                    matrix_id=matrix_id,
-                    n_values=hi - lo,
-                )
-                result[lo - start : hi - start] = values
-                arrivals.append(arrival)
+            requests = [
+                messages.PullRangeRequest(server_index, matrix_id, row,
+                                          lo, hi)
+                for server_index, lo, hi in overlaps
+            ]
+            values, arrivals = self.transport.send_all(requests)
+            result = np.empty(int(stop) - int(start))
+            for (server_index, lo, hi), block in zip(overlaps, values):
+                result[lo - start : hi - start] = block
             self._await(arrivals)
             return result
 
@@ -432,20 +238,15 @@ class PSClient:
         with self._op("push-range", matrix_id):
             layout = self._layout(matrix_id)
             values = np.asarray(values, dtype=float)
-            overlaps = self._range_shards(layout, row, int(start), int(stop))
-            self._charge_rpc(len(overlaps))
-            for server_index, lo, hi in overlaps:
-                block = values[lo - start : hi - start]
-                span = np.arange(lo, hi, dtype=np.int64)
-                self._request(
-                    server_index,
-                    messages.dense_push_bytes(block.size)
-                    + 2 * messages.INDEX_BYTES,
-                    self._push_op(matrix_id, row, block, span, mode),
-                    tag="push",
-                    matrix_id=matrix_id,
-                    n_values=block.size,
+            requests = [
+                messages.PushRangeRequest(
+                    server_index, matrix_id, row, lo, hi,
+                    values[lo - start : hi - start], mode=mode,
                 )
+                for server_index, lo, hi
+                in self._range_shards(layout, row, int(start), int(stop))
+            ]
+            self.transport.send_all(requests)
 
     # -- block access (multi-row, shared indices) ------------------------------
 
@@ -467,16 +268,17 @@ class PSClient:
         """Pull the same columns of several rows in one round trip per server.
 
         Used by LDA to fetch the word-topic block for a worker's local
-        vocabulary: the column *indices* are shipped once, and each server
-        answers with a ``len(rows) x len(its indices)`` value block.
-        ``value_bytes`` overrides the per-value wire size (PS2's LDA ships
-        counts as 32-bit integers — the "message compression" of Section
-        6.3.3); it defaults to 8 (raw float64).
+        vocabulary: one message per (row, shard) is built, and the
+        transport coalesces each server's messages into one batch envelope
+        whose shared column-index list is shipped once.  ``value_bytes``
+        overrides the per-value wire size (PS2's LDA ships counts as 32-bit
+        integers — the "message compression" of Section 6.3.3); it defaults
+        to 8 (raw float64).
 
         Under a :class:`RowLayout` each row lives whole on server
-        ``row % n_servers``, so the block is routed per row (one request per
-        *owning* server carrying that server's rows) instead of assuming
-        every row shares ``rows[0]``'s shards.
+        ``row % n_servers``, so the block is routed per row (requests
+        grouped by the *owning* server) instead of assuming every row
+        shares ``rows[0]``'s shards.
 
         Returns a ``len(rows) x len(indices)`` array aligned with the input
         index order (or ``len(rows) x dim`` for a dense pull).
@@ -493,30 +295,21 @@ class PSClient:
             if not isinstance(layout, ColumnLayout):
                 raise PSError("unsupported layout %r" % (layout,))
 
-            def read_rows(server, global_indices):
-                return [
-                    server.read(matrix_id, row, global_indices) for row in rows
-                ]
-
             if indices is None:
+                requests = []
+                placements = []
+                for server_index, start, stop in layout.shards_for_row(rows[0]):
+                    for row_pos, row in enumerate(rows):
+                        requests.append(messages.PullRowRequest(
+                            server_index, matrix_id, row, stop - start,
+                            value_bytes=value_bytes, tag="pull-block",
+                        ))
+                        placements.append((row_pos, start, stop))
+                values, arrivals = self.transport.send_all(requests)
                 block = np.empty((len(rows), layout.dim))
-                shards = layout.shards_for_row(rows[0])
-                self._charge_rpc(len(shards))
-                arrivals = []
-                for server_index, start, stop in shards:
-                    values, arrival = self._request(
-                        server_index,
-                        messages.dense_pull_request_bytes(),
-                        lambda s: read_rows(s, None),
-                        tag="pull-block",
-                        response_bytes=messages.RESPONSE_HEADER_BYTES
-                        + len(rows) * (stop - start) * value_bytes,
-                        matrix_id=matrix_id,
-                        n_values=len(rows) * (stop - start),
-                    )
-                    for row_pos, row_values in enumerate(values):
-                        block[row_pos, start:stop] = row_values
-                    arrivals.append(arrival)
+                for (row_pos, start, stop), row_values in zip(placements,
+                                                              values):
+                    block[row_pos, start:stop] = row_values
                 self._await(arrivals)
                 return block
 
@@ -524,63 +317,49 @@ class PSClient:
             order = np.argsort(indices, kind="stable")
             sorted_indices = indices[order]
             by_server = self._split_for_row(layout, rows[0], sorted_indices)
-            self._charge_rpc(len(by_server))
-            block = np.empty((len(rows), indices.size))
-            arrivals = []
+            requests = []
+            placements = []
             cursor = 0
-            for server_index in by_server:
-                server_indices = by_server[server_index]
-                values, arrival = self._request(
-                    server_index,
-                    messages.sparse_pull_request_bytes(server_indices.size),
-                    lambda s, gi=server_indices: read_rows(s, gi),
-                    tag="pull-block",
-                    response_bytes=messages.RESPONSE_HEADER_BYTES
-                    + len(rows) * server_indices.size * value_bytes,
-                    matrix_id=matrix_id,
-                    n_values=len(rows) * server_indices.size,
-                )
-                span = order[cursor : cursor + server_indices.size]
-                cursor += server_indices.size
-                for row_pos, row_values in enumerate(values):
-                    block[row_pos, span] = row_values
-                arrivals.append(arrival)
+            for server_index, group in by_server.items():
+                span = order[cursor : cursor + group.size]
+                cursor += group.size
+                for row_pos in range(len(rows)):
+                    # The same index array object is shared by every row's
+                    # message, so a coalesced batch encodes it once.
+                    requests.append(messages.PullRowRequest(
+                        server_index, matrix_id, rows[row_pos], group.size,
+                        indices=group, value_bytes=value_bytes,
+                        tag="pull-block",
+                    ))
+                    placements.append((row_pos, span))
+            values, arrivals = self.transport.send_all(requests)
+            block = np.empty((len(rows), indices.size))
+            for (row_pos, span), row_values in zip(placements, values):
+                block[row_pos, span] = row_values
             self._await(arrivals)
             return block
 
     def _pull_block_row_layout(self, matrix_id, layout, rows, indices,
                                value_bytes):
-        """Row-layout block pull: one request per *owning* server."""
+        """Row-layout block pull: messages grouped by *owning* server."""
         width = layout.dim if indices is None else len(indices)
         if indices is not None:
             indices = np.asarray(indices, dtype=np.int64)
-        block = np.empty((len(rows), width))
         by_server = self._rows_by_server(layout, rows)
-        self._charge_rpc(len(by_server))
-        arrivals = []
+        requests = []
+        placements = []
         for server_index, row_positions in by_server.items():
-            server_rows = [rows[pos] for pos in row_positions]
-
-            def read_rows(s, sr=server_rows):
-                return [s.read(matrix_id, row, indices) for row in sr]
-
-            request_bytes = (
-                messages.dense_pull_request_bytes() if indices is None
-                else messages.sparse_pull_request_bytes(indices.size)
-            )
-            values, arrival = self._request(
-                server_index,
-                request_bytes,
-                read_rows,
-                tag="pull-block",
-                response_bytes=messages.RESPONSE_HEADER_BYTES
-                + len(server_rows) * width * value_bytes,
-                matrix_id=matrix_id,
-                n_values=len(server_rows) * width,
-            )
-            for row_pos, row_values in zip(row_positions, values):
-                block[row_pos, :] = row_values
-            arrivals.append(arrival)
+            for row_pos in row_positions:
+                requests.append(messages.PullRowRequest(
+                    server_index, matrix_id, rows[row_pos], width,
+                    indices=indices, value_bytes=value_bytes,
+                    tag="pull-block",
+                ))
+                placements.append(row_pos)
+        values, arrivals = self.transport.send_all(requests)
+        block = np.empty((len(rows), width))
+        for row_pos, row_values in zip(placements, values):
+            block[row_pos, :] = row_values
         self._await(arrivals)
         return block
 
@@ -589,7 +368,8 @@ class PSClient:
         """Accumulate a multi-row delta block (fire-and-forget, like push).
 
         Routes like :meth:`pull_block`: shard fan-out for column layouts,
-        per-owning-server requests for row layouts.
+        per-owning-server grouping for row layouts, one coalesced envelope
+        per server with the shared index list shipped once.
         """
         with self._op("push-block", matrix_id):
             layout = self._layout(matrix_id)
@@ -606,75 +386,52 @@ class PSClient:
                 raise PSError("unsupported layout %r" % (layout,))
 
             if indices is None:
-                shards = layout.shards_for_row(rows[0])
-                self._charge_rpc(len(shards))
-                for server_index, start, stop in shards:
-
-                    def add_rows(s, lo=start, hi=stop):
-                        for row_pos, row in enumerate(rows):
-                            s.add(matrix_id, row, block[row_pos, lo:hi])
-
-                    self._request(
-                        server_index,
-                        messages.REQUEST_HEADER_BYTES
-                        + len(rows) * (stop - start) * value_bytes,
-                        add_rows,
-                        tag="push-block",
-                        matrix_id=matrix_id,
-                        n_values=len(rows) * (stop - start),
+                requests = [
+                    messages.PushRequest(
+                        server_index, matrix_id, row,
+                        block[row_pos, start:stop], mode="add",
+                        value_bytes=value_bytes, tag="push-block",
                     )
+                    for server_index, start, stop
+                    in layout.shards_for_row(rows[0])
+                    for row_pos, row in enumerate(rows)
+                ]
+                self.transport.send_all(requests)
                 return
 
             indices = np.asarray(indices, dtype=np.int64)
             order = np.argsort(indices, kind="stable")
             sorted_indices = indices[order]
             by_server = self._split_for_row(layout, rows[0], sorted_indices)
-            self._charge_rpc(len(by_server))
+            requests = []
             cursor = 0
-            for server_index in by_server:
-                server_indices = by_server[server_index]
-                span = order[cursor : cursor + server_indices.size]
-                cursor += server_indices.size
-
-                def add_rows(s, gi=server_indices, sp=span):
-                    for row_pos, row in enumerate(rows):
-                        s.add(matrix_id, row, block[row_pos, sp], gi)
-
-                self._request(
-                    server_index,
-                    messages.REQUEST_HEADER_BYTES
-                    + server_indices.size * messages.INDEX_BYTES
-                    + len(rows) * server_indices.size * value_bytes,
-                    add_rows,
-                    tag="push-block",
-                    matrix_id=matrix_id,
-                    n_values=len(rows) * server_indices.size,
-                )
+            for server_index, group in by_server.items():
+                span = order[cursor : cursor + group.size]
+                cursor += group.size
+                for row_pos, row in enumerate(rows):
+                    requests.append(messages.PushRequest(
+                        server_index, matrix_id, row, block[row_pos, span],
+                        indices=group, mode="add", value_bytes=value_bytes,
+                        tag="push-block",
+                    ))
+            self.transport.send_all(requests)
 
     def _push_block_row_layout(self, matrix_id, layout, rows, block, indices,
                                value_bytes):
-        """Row-layout block push: one request per *owning* server."""
+        """Row-layout block push: messages grouped by *owning* server."""
         if indices is not None:
             indices = np.asarray(indices, dtype=np.int64)
-        width = layout.dim if indices is None else indices.size
         by_server = self._rows_by_server(layout, rows)
-        self._charge_rpc(len(by_server))
-        index_bytes = 0 if indices is None else width * messages.INDEX_BYTES
-        for server_index, row_positions in by_server.items():
-
-            def add_rows(s, positions=row_positions):
-                for row_pos in positions:
-                    s.add(matrix_id, rows[row_pos], block[row_pos], indices)
-
-            self._request(
-                server_index,
-                messages.REQUEST_HEADER_BYTES + index_bytes
-                + len(row_positions) * width * value_bytes,
-                add_rows,
+        requests = [
+            messages.PushRequest(
+                server_index, matrix_id, rows[row_pos], block[row_pos],
+                indices=indices, mode="add", value_bytes=value_bytes,
                 tag="push-block",
-                matrix_id=matrix_id,
-                n_values=len(row_positions) * width,
             )
+            for server_index, row_positions in by_server.items()
+            for row_pos in row_positions
+        ]
+        self.transport.send_all(requests)
 
     # -- aggregates and server-side execution --------------------------------
 
@@ -692,22 +449,12 @@ class PSClient:
             raise PSError("unknown aggregate %r" % (kind,))
         with self._op("rowagg", matrix_id):
             layout = self._layout(matrix_id)
-            shards = layout.shards_for_row(row)
-            self._charge_rpc(len(shards))
-            partials = []
-            arrivals = []
-            for server_index, start, stop in shards:
-                partial, arrival = self._request(
-                    server_index,
-                    messages.scalar_op_request_bytes(),
-                    lambda s: s.aggregate(matrix_id, row, kind),
-                    tag="rowagg",
-                    response_bytes=messages.scalar_response_bytes(),
-                    matrix_id=matrix_id,
-                    n_values=stop - start,
-                )
-                partials.append(partial)
-                arrivals.append(arrival)
+            requests = [
+                messages.AggregateRequest(server_index, matrix_id, row, kind,
+                                          n_values=stop - start)
+                for server_index, start, stop in layout.shards_for_row(row)
+            ]
+            partials, arrivals = self.transport.send_all(requests)
             self._await(arrivals)
             return float(self._COMBINE[kind](partials))
 
@@ -729,28 +476,18 @@ class PSClient:
         matrix_id = operands[0][0]
         with self._op("kernel", matrix_id):
             layout = self._layout(matrix_id)
-            shards = layout.shards_for_row(operands[0][1])
-            self._charge_rpc(len(shards))
-            partials = []
-            arrivals = []
-            response_bytes = (
-                messages.scalar_response_bytes(n_response_scalars)
-                if wait_response else None
-            )
-            for server_index, start, stop in shards:
-                partial, arrival = self._request(
-                    server_index,
-                    messages.scalar_op_request_bytes(len(operands)),
-                    lambda s: s.execute_kernel(
-                        kernel, operands, args=args, flops=flops_per_server
-                    ),
-                    tag="kernel",
-                    response_bytes=response_bytes,
-                    matrix_id=matrix_id,
+            requests = [
+                messages.KernelRequest(
+                    server_index, kernel, operands, args=args,
+                    flops=flops_per_server,
+                    n_response_scalars=n_response_scalars,
+                    wait_response=wait_response,
                     n_values=(stop - start) * len(operands),
                 )
-                partials.append(partial)
-                arrivals.append(arrival)
+                for server_index, start, stop
+                in layout.shards_for_row(operands[0][1])
+            ]
+            partials, arrivals = self.transport.send_all(requests)
             if wait_response:
                 self._await(arrivals)
             return partials
@@ -759,14 +496,9 @@ class PSClient:
         """Set every element of a row, server-side (fire-and-forget)."""
         with self._op("fill", matrix_id):
             layout = self._layout(matrix_id)
-            shards = layout.shards_for_row(row)
-            self._charge_rpc(len(shards))
-            for server_index, start, stop in shards:
-                self._request(
-                    server_index,
-                    messages.scalar_op_request_bytes(),
-                    lambda s: s.fill(matrix_id, row, value),
-                    tag="fill",
-                    matrix_id=matrix_id,
-                    n_values=stop - start,
-                )
+            requests = [
+                messages.FillRequest(server_index, matrix_id, row, value,
+                                     n_values=stop - start)
+                for server_index, start, stop in layout.shards_for_row(row)
+            ]
+            self.transport.send_all(requests)

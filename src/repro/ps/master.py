@@ -3,7 +3,11 @@
 The master runs inside the coordinator (the Spark driver), as in Section 5.1:
 it "manages the lifetime of PS-servers, and provides some meta information,
 including the locations and routing tables for PS-client to locate
-parameters".
+parameters".  Client-side, the routing table is cached (and re-fetched after
+an invalidation) by each :class:`repro.ps.transport.Transport`, and
+:meth:`PSMaster.server` is how every RPC attempt resolves the *current*
+server object — a recovered server is a new process, and a transport retry
+must never talk to the old one.
 
 Recovery contract (Section 5.3): when a server fails, the coordinator starts
 a **new** server process under the same node and loads the latest checkpoint

@@ -1,12 +1,43 @@
-"""Wire-size accounting for PS protocol messages.
+"""Typed PS protocol messages and their wire-size accounting.
 
 The simulator does not serialize real bytes; it charges the sizes a compact
-binary protocol (PS2 uses Netty + Protobuf) would put on the wire.  Keeping
-the formulas in one place makes the communication model auditable.
+binary protocol (PS2 uses Netty + Protobuf) would put on the wire.  Every
+client-to-server interaction is a first-class :class:`Request` value: the
+client builds messages, the transport ships them (and re-ships them on
+retry), and the server dispatches them through its handler table.  Keeping
+both the message *types* and their byte formulas in one module makes the
+communication model auditable.
+
+Wire model
+----------
+
+A standalone request costs::
+
+    REQUEST_HEADER_BYTES + shared_payload + private_payload
+
+where the shared payload is a component several sibling requests can encode
+once when batched (e.g. the column-index list of a block pull) and the
+private payload is per-request data (values, range descriptors).
+
+A :class:`BatchRequest` envelope — the per-server coalescing lever — costs::
+
+    REQUEST_HEADER_BYTES                        # one envelope header
+    + sum(unique shared payloads)               # index lists shipped once
+    + sum(SUBREQUEST_HEADER_BYTES + private)    # per-sub descriptor + data
+
+so coalescing k requests to one server saves ``(k-1)`` full request headers
+plus ``(k-1)`` per-transfer envelope overheads at the NIC, and deduplicates
+shared index lists — exactly the header amortization the paper's fat-request
+design exploits.  Responses are positional (aligned with the request order
+inside the envelope), so a batched response pays one response header plus
+the concatenated value payloads.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.common.errors import PSError
 from repro.common.sizeof import FLOAT_BYTES, INDEX_BYTES
 
 #: Matrix id + row id + op code + range descriptor.
@@ -14,6 +45,18 @@ REQUEST_HEADER_BYTES = 48
 
 #: Status + matrix id + row id.
 RESPONSE_HEADER_BYTES = 32
+
+#: Per-sub-request descriptor inside a batch envelope: op code + row id +
+#: payload length.  Smaller than a full request header — that difference,
+#: times (k - 1), is the coalescing win.
+SUBREQUEST_HEADER_BYTES = 16
+
+#: Bytes per server entry in a routing-table response: server id + location
+#: + column range.
+ROUTING_ENTRY_BYTES = 16
+
+
+# -- scalar wire formulas (shared by the message classes below) --------------
 
 
 def dense_pull_request_bytes():
@@ -54,3 +97,324 @@ def scalar_op_request_bytes(n_operands=1):
 def scalar_response_bytes(n_scalars=1):
     """Response carrying aggregate scalars (dot partials, norms, gains)."""
     return RESPONSE_HEADER_BYTES + int(n_scalars) * FLOAT_BYTES
+
+
+def routing_response_bytes(n_servers):
+    """The master's routing-table reply: header + one entry per server."""
+    return RESPONSE_HEADER_BYTES + ROUTING_ENTRY_BYTES * int(n_servers)
+
+
+# -- typed requests -----------------------------------------------------------
+
+
+class Request:
+    """One typed client-to-server RPC message.
+
+    A request is a plain value: it knows its destination
+    (``server_index``), its metrics tag, its own wire size, and — when it
+    expects a reply — the size of that reply.  It carries no references to
+    server objects or closures, so the transport can re-resolve the serving
+    server and re-send the *same message* on every retry attempt.
+
+    ``n_values`` is the number of parameter values the request touches
+    (hot-shard telemetry, not wire bytes).
+    """
+
+    __slots__ = ("server_index", "matrix_id", "tag", "n_values")
+
+    op = "?"
+
+    def __init__(self, server_index, matrix_id, tag, n_values=0):
+        self.server_index = int(server_index)
+        self.matrix_id = matrix_id
+        self.tag = tag
+        self.n_values = int(n_values)
+
+    # -- wire accounting ---------------------------------------------------
+
+    def shared_key(self):
+        """Key identifying a payload component batch siblings can share.
+
+        ``None`` means nothing is shareable.  Two requests in one batch
+        with the same key encode that component once (the fat-request index
+        list).  Keys use object identity of the underlying array: the
+        client passes the *same* index array to every row of a block op.
+        """
+        return None
+
+    def shared_payload_bytes(self):
+        """Bytes of the shareable component (0 when there is none)."""
+        return 0
+
+    def payload_bytes(self):
+        """Private payload bytes beyond header and shared component."""
+        return 0
+
+    def wire_bytes(self):
+        """Total request bytes when sent standalone."""
+        return (REQUEST_HEADER_BYTES + self.shared_payload_bytes()
+                + self.payload_bytes())
+
+    def response_bytes(self):
+        """Reply size, or ``None`` for fire-and-forget requests."""
+        return None
+
+    def message_count(self):
+        """Logical sub-messages carried (1; batches report their size)."""
+        return 1
+
+    def __repr__(self):
+        return "%s(server=%d, matrix=%r, tag=%r)" % (
+            type(self).__name__, self.server_index, self.matrix_id, self.tag,
+        )
+
+
+class PullRowRequest(Request):
+    """Pull one row's local shard, whole (dense) or selected columns.
+
+    ``n_values`` is the number of values the server will return (the shard
+    width for a dense pull, ``len(indices)`` for a sparse one) — the client
+    knows it from the routing table, and the response is priced from it.
+    ``value_bytes`` overrides the per-value response size (PS2's LDA ships
+    counts as 32-bit integers — Section 6.3.3 message compression).
+    """
+
+    __slots__ = ("row", "indices", "value_bytes")
+
+    op = "pull-row"
+
+    def __init__(self, server_index, matrix_id, row, n_values, indices=None,
+                 value_bytes=FLOAT_BYTES, tag="pull"):
+        super().__init__(server_index, matrix_id, tag, n_values)
+        self.row = int(row)
+        self.indices = indices
+        self.value_bytes = int(value_bytes)
+
+    def shared_key(self):
+        if self.indices is None:
+            return None
+        return ("idx", self.matrix_id, id(self.indices))
+
+    def shared_payload_bytes(self):
+        if self.indices is None:
+            return 0
+        return len(self.indices) * INDEX_BYTES
+
+    def response_bytes(self):
+        return RESPONSE_HEADER_BYTES + self.n_values * self.value_bytes
+
+
+class PullRangeRequest(Request):
+    """Pull the contiguous columns ``[start, stop)`` of one row.
+
+    Dense-priced: the range is described by two integers, not per-index
+    keys.
+    """
+
+    __slots__ = ("row", "start", "stop")
+
+    op = "pull-range"
+
+    def __init__(self, server_index, matrix_id, row, start, stop, tag="pull"):
+        super().__init__(server_index, matrix_id, tag, int(stop) - int(start))
+        self.row = int(row)
+        self.start = int(start)
+        self.stop = int(stop)
+
+    def payload_bytes(self):
+        return 2 * INDEX_BYTES
+
+    def response_bytes(self):
+        return dense_pull_response_bytes(self.stop - self.start)
+
+
+class PushRequest(Request):
+    """Push a dense or sparse delta into one row (fire-and-forget).
+
+    ``mode`` is ``"add"`` (accumulate) or ``"assign"`` (overwrite);
+    ``value_bytes`` supports compressed block pushes.
+    """
+
+    __slots__ = ("row", "values", "indices", "mode", "value_bytes")
+
+    op = "push"
+
+    def __init__(self, server_index, matrix_id, row, values, indices=None,
+                 mode="add", value_bytes=FLOAT_BYTES, tag="push"):
+        if mode not in ("add", "assign"):
+            raise PSError("unknown push mode %r" % (mode,))
+        super().__init__(server_index, matrix_id, tag, len(values))
+        self.row = int(row)
+        self.values = values
+        self.indices = indices
+        self.mode = mode
+        self.value_bytes = int(value_bytes)
+
+    def shared_key(self):
+        if self.indices is None:
+            return None
+        return ("idx", self.matrix_id, id(self.indices))
+
+    def shared_payload_bytes(self):
+        if self.indices is None:
+            return 0
+        return len(self.indices) * INDEX_BYTES
+
+    def payload_bytes(self):
+        return len(self.values) * self.value_bytes
+
+
+class PushRangeRequest(Request):
+    """Write the contiguous columns ``[start, stop)`` of one row."""
+
+    __slots__ = ("row", "start", "stop", "values", "mode")
+
+    op = "push-range"
+
+    def __init__(self, server_index, matrix_id, row, start, stop, values,
+                 mode="assign", tag="push"):
+        if mode not in ("add", "assign"):
+            raise PSError("unknown push mode %r" % (mode,))
+        super().__init__(server_index, matrix_id, tag, len(values))
+        self.row = int(row)
+        self.start = int(start)
+        self.stop = int(stop)
+        self.values = values
+        self.mode = mode
+
+    def payload_bytes(self):
+        return 2 * INDEX_BYTES + len(self.values) * FLOAT_BYTES
+
+    def span(self):
+        """The global column indices this range covers."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+
+class AggregateRequest(Request):
+    """Server-side whole-shard aggregate; only a scalar travels back."""
+
+    __slots__ = ("row", "kind")
+
+    op = "aggregate"
+
+    def __init__(self, server_index, matrix_id, row, kind, n_values=0,
+                 tag="rowagg"):
+        super().__init__(server_index, matrix_id, tag, n_values)
+        self.row = int(row)
+        self.kind = kind
+
+    def payload_bytes(self):
+        return INDEX_BYTES  # the op descriptor's single operand reference
+
+    def response_bytes(self):
+        return scalar_response_bytes()
+
+
+class KernelRequest(Request):
+    """Execute a kernel over co-located rows; scalars (if any) come back.
+
+    Only the op descriptor crosses the wire — this is the DCV column-access
+    fast path.  ``wait_response=False`` marks pure-mutation kernels, which
+    are fire-and-forget like pushes.
+    """
+
+    __slots__ = ("kernel", "operands", "args", "flops", "n_response_scalars",
+                 "wait_response")
+
+    op = "kernel"
+
+    def __init__(self, server_index, kernel, operands, args=None, flops=None,
+                 n_response_scalars=1, wait_response=True, n_values=0,
+                 tag="kernel"):
+        super().__init__(server_index, operands[0][0], tag, n_values)
+        self.kernel = kernel
+        self.operands = operands
+        self.args = args
+        self.flops = flops
+        self.n_response_scalars = int(n_response_scalars)
+        self.wait_response = bool(wait_response)
+
+    def payload_bytes(self):
+        return len(self.operands) * INDEX_BYTES
+
+    def response_bytes(self):
+        if not self.wait_response:
+            return None
+        return scalar_response_bytes(self.n_response_scalars)
+
+
+class FillRequest(Request):
+    """Set every element of a row's local shard (fire-and-forget)."""
+
+    __slots__ = ("row", "value")
+
+    op = "fill"
+
+    def __init__(self, server_index, matrix_id, row, value, n_values=0,
+                 tag="fill"):
+        super().__init__(server_index, matrix_id, tag, n_values)
+        self.row = int(row)
+        self.value = float(value)
+
+    def payload_bytes(self):
+        return FLOAT_BYTES  # the fill value itself
+
+
+class BatchRequest(Request):
+    """Envelope coalescing several requests to one server into one RPC.
+
+    One request header and one NIC booking cover the whole batch; shared
+    payload components (block-op index lists) are encoded once; each
+    sub-request contributes a :data:`SUBREQUEST_HEADER_BYTES` descriptor plus
+    its private payload.  Dispatching returns the sub-results in order, and
+    the batched response pays one response header plus the concatenated
+    per-sub value payloads (sub-responses are positional).
+    """
+
+    __slots__ = ("requests",)
+
+    op = "batch"
+
+    def __init__(self, requests):
+        if not requests:
+            raise PSError("a batch needs at least one request")
+        first = requests[0]
+        for request in requests:
+            if request.server_index != first.server_index:
+                raise PSError(
+                    "batch mixes servers %d and %d"
+                    % (first.server_index, request.server_index)
+                )
+            if isinstance(request, BatchRequest):
+                raise PSError("batches do not nest")
+        super().__init__(
+            first.server_index, first.matrix_id, first.tag,
+            sum(request.n_values for request in requests),
+        )
+        self.requests = list(requests)
+
+    def wire_bytes(self):
+        total = REQUEST_HEADER_BYTES
+        seen = set()
+        for request in self.requests:
+            total += SUBREQUEST_HEADER_BYTES + request.payload_bytes()
+            key = request.shared_key()
+            if key is not None and key not in seen:
+                seen.add(key)
+                total += request.shared_payload_bytes()
+        return total
+
+    def response_bytes(self):
+        payload = 0
+        any_response = False
+        for request in self.requests:
+            sub = request.response_bytes()
+            if sub is not None:
+                any_response = True
+                payload += sub - RESPONSE_HEADER_BYTES
+        if not any_response:
+            return None
+        return RESPONSE_HEADER_BYTES + payload
+
+    def message_count(self):
+        return len(self.requests)

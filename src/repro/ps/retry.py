@@ -7,6 +7,11 @@ must turn a permanently-dead server into a clean error instead of an
 infinite loop.  :class:`RetryPolicy` packages those three knobs; all waits
 are charged to the *virtual* clock of the retrying client, so fault
 injection changes makespans, never wall time.
+
+The policy is executed by :class:`repro.ps.transport.Transport`, whose
+retry loop re-resolves routing and the serving server object and re-sends
+the *typed message* through the network model on every attempt — a retry
+is a full new RPC of the same message value, never a replayed closure.
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ Each :class:`PSServer` owns one simulated machine and stores, per model
 matrix, the row shards assigned to it by the matrix layout.  All mutations
 and kernel executions charge compute time to the server's virtual clock, so
 server-side computation is not free — it is merely local.
+
+Requests arrive as typed :mod:`~repro.ps.messages` values through
+:meth:`PSServer.dispatch`, which routes each message type to its handler —
+the server-side half of the explicit RPC protocol.  The storage and compute
+primitives (``read``/``add``/``assign``/``aggregate``/``execute_kernel``)
+stay public for server-local callers (recovery, checkpointing, realignment),
+but clients never invoke them directly.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import numpy as np
 
 from repro.cluster.resource import TimelineResource
 from repro.common.errors import MatrixNotFoundError, PSError, ServerDownError
+from repro.ps import messages
 
 #: Flops charged per element for simple elementwise mutations.
 ELEMENTWISE_FLOPS = 2.0
@@ -91,6 +99,64 @@ class PSServer:
                           cat="cpu", queue_wait=start - arrival)
         self.cluster.clock.set_at_least(self.node_id, self.last_completion)
         return self.last_completion
+
+    # -- request dispatch --------------------------------------------------
+
+    def dispatch(self, request):
+        """Serve one typed request; returns the handler's value.
+
+        The handler table below maps each :mod:`~repro.ps.messages` type to
+        the storage/compute primitive that serves it — the explicit
+        server-side protocol surface, replacing the closures clients used
+        to invoke directly.  A :class:`~repro.ps.messages.BatchRequest`
+        dispatches its sub-requests in order against this server's CPU,
+        each chaining on the previous one's completion (they arrived in one
+        envelope); any failure mid-batch propagates so the transport
+        retries the envelope as a whole.
+        """
+        try:
+            handler = _HANDLERS[type(request)]
+        except KeyError:
+            raise PSError(
+                "server %s has no handler for %r"
+                % (self.node_id, type(request).__name__)
+            ) from None
+        return handler(self, request)
+
+    def _serve_pull_row(self, request):
+        return self.read(request.matrix_id, request.row, request.indices)
+
+    def _serve_pull_range(self, request):
+        span = np.arange(request.start, request.stop, dtype=np.int64)
+        return self.read(request.matrix_id, request.row, span)
+
+    def _serve_push(self, request):
+        if request.mode == "add":
+            self.add(request.matrix_id, request.row, request.values,
+                     request.indices)
+        else:
+            self.assign(request.matrix_id, request.row, request.values,
+                        request.indices)
+
+    def _serve_push_range(self, request):
+        span = request.span()
+        if request.mode == "add":
+            self.add(request.matrix_id, request.row, request.values, span)
+        else:
+            self.assign(request.matrix_id, request.row, request.values, span)
+
+    def _serve_aggregate(self, request):
+        return self.aggregate(request.matrix_id, request.row, request.kind)
+
+    def _serve_kernel(self, request):
+        return self.execute_kernel(request.kernel, request.operands,
+                                   args=request.args, flops=request.flops)
+
+    def _serve_fill(self, request):
+        self.fill(request.matrix_id, request.row, request.value)
+
+    def _serve_batch(self, request):
+        return [self.dispatch(sub) for sub in request.requests]
 
     # -- lifecycle --------------------------------------------------------
 
@@ -293,3 +359,16 @@ class PSServer:
             for matrix_id, rows in snapshot.items()
         }
         self.alive = True
+
+
+#: The server-side protocol: one handler per message type.
+_HANDLERS = {
+    messages.PullRowRequest: PSServer._serve_pull_row,
+    messages.PullRangeRequest: PSServer._serve_pull_range,
+    messages.PushRequest: PSServer._serve_push,
+    messages.PushRangeRequest: PSServer._serve_push_range,
+    messages.AggregateRequest: PSServer._serve_aggregate,
+    messages.KernelRequest: PSServer._serve_kernel,
+    messages.FillRequest: PSServer._serve_fill,
+    messages.BatchRequest: PSServer._serve_batch,
+}

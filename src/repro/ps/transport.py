@@ -1,0 +1,312 @@
+"""The client-side RPC transport: routing, transfer, dispatch, retry.
+
+This module is the explicit wire between a :class:`~repro.ps.client.PSClient`
+and the servers.  The client's job ends at *building* typed
+:mod:`~repro.ps.messages` values and grouping them by destination; the
+transport owns everything below that line:
+
+- **routing resolution** — the per-matrix layout cache, the routing RPC to
+  the coordinator on a cold (or invalidated) entry, and the re-resolution a
+  retry performs after a recovery;
+- **network transfer** — one NIC booking per outgoing message, request bytes
+  charged from the message's own ``wire_bytes()``;
+- **server dispatch** — each attempt resolves the *current*
+  :class:`~repro.ps.server.PSServer` object through the master and invokes
+  ``server.dispatch(message)``; no closures over server objects exist
+  anywhere, so a retry can never replay work pinned to a pre-failure
+  process;
+- **response accounting** — replies depart at the request's service
+  completion and are priced by the message's ``response_bytes()``;
+- **the retry loop** — failed attempts charge the
+  :class:`~repro.ps.retry.RetryPolicy` penalty to the client's virtual
+  clock, repair/recover the server through the master, drop the cached
+  routing, and then **re-send the same message** through the network model.
+
+Per-server request coalescing (Section 5.1's fat requests): when one client
+op produces several messages for the same server — block pulls/pushes issue
+one message per (row, shard) — :meth:`Transport.send_all` wraps each
+server's group in a single :class:`~repro.ps.messages.BatchRequest`
+envelope: one request header, one NIC booking, shared index lists encoded
+once.  The ``coalesce_requests`` config knob (default on) disables this for
+A/B measurements of the header-amortization win.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MatrixNotFoundError, NetworkPartitionedError, \
+    PSError, ServerDownError
+from repro.ps import messages
+from repro.ps.retry import RetryPolicy
+
+#: Failures a message attempt can hit that are retryable under the policy.
+RETRYABLE_ERRORS = (ServerDownError, MatrixNotFoundError,
+                    NetworkPartitionedError)
+
+#: Client-side CPU cost of issuing one RPC (serialization, bookkeeping).
+RPC_CPU_SECONDS = 5e-6
+
+
+class Transport:
+    """One node's typed-message channel to the parameter servers."""
+
+    def __init__(self, cluster, master, node_id, retry_policy=None):
+        self.cluster = cluster
+        self.master = master
+        self.node_id = node_id
+        self.retry_policy = retry_policy or RetryPolicy.from_config(
+            cluster.config.failures
+        )
+        self.coalesce = bool(
+            getattr(cluster.config, "coalesce_requests", True)
+        )
+        self._routing = {}
+
+    # -- routing -----------------------------------------------------------
+
+    def layout(self, matrix_id):
+        """Resolve a matrix's layout, fetching the routing table once.
+
+        Section 5.1: the PS-master "provides some meta information,
+        including the locations and routing tables for PS-client to locate
+        parameters."  The first touch of each matrix costs one RPC to the
+        coordinator; afterwards the transport routes from its cache — until
+        :meth:`invalidate` drops the entry (server recovery), at which
+        point the next touch pays the routing RPC again.
+        """
+        layout = self._routing.get(matrix_id)
+        if layout is None:
+            layout = self.master.layout(matrix_id)
+            from repro.cluster.cluster import DRIVER
+
+            if self.node_id != DRIVER:
+                clock = self.cluster.clock
+                network = self.cluster.network
+                fetch_start = clock.now(self.node_id)
+                arrival = network.transfer(
+                    self.node_id, DRIVER, messages.REQUEST_HEADER_BYTES,
+                    tag="routing:req", deliver=False,
+                )
+                # The master answers from its metadata cache; the response
+                # departs when THIS request was served, not when the
+                # driver's (unrelated) clock says.
+                response = network.transfer(
+                    DRIVER, self.node_id,
+                    messages.routing_response_bytes(layout.n_servers),
+                    tag="routing:resp", deliver=False,
+                    depart_at=arrival + RPC_CPU_SECONDS,
+                )
+                clock.set_at_least(self.node_id, response)
+                self.cluster.metrics.observe(
+                    "routing", clock.now(self.node_id) - fetch_start
+                )
+                tracer = self.cluster.tracer
+                if tracer.enabled:
+                    tracer.record(self.node_id, "routing", fetch_start,
+                                  response, cat="op", matrix_id=matrix_id)
+            self._routing[matrix_id] = layout
+        return layout
+
+    def invalidate(self, matrix_id=None):
+        """Drop cached routing for *matrix_id* (or for every matrix).
+
+        Called on the server-recovery retry path so a retried message
+        re-resolves routing through the master instead of trusting a table
+        that predates the failure; the next :meth:`layout` call pays the
+        routing RPC again.
+        """
+        if matrix_id is None:
+            self._routing.clear()
+        else:
+            self._routing.pop(matrix_id, None)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, request):
+        """Ship one message; returns ``(value, response_arrival)``.
+
+        ``response_arrival`` is ``None`` for fire-and-forget messages; the
+        caller decides when to block on arrivals.
+        """
+        self._charge_rpc(1)
+        return self._transmit(request)
+
+    def send_all(self, requests):
+        """Ship a message list; returns ``(values, arrivals)`` aligned.
+
+        Messages are grouped by destination server (first-appearance
+        order).  With coalescing on, each group of two or more becomes one
+        :class:`~repro.ps.messages.BatchRequest` envelope — one header and
+        one NIC booking per server; singleton groups always go standalone,
+        so ops that already issue one message per server are byte-for-byte
+        unaffected by the knob.  Client-side RPC CPU is charged once per
+        outgoing transfer, before anything touches the wire.
+        """
+        groups = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(request.server_index, []).append(position)
+        outgoing = []
+        for server_index, positions in groups.items():
+            if self.coalesce and len(positions) > 1:
+                batch = messages.BatchRequest(
+                    [requests[p] for p in positions]
+                )
+                outgoing.append((batch, positions))
+            else:
+                for p in positions:
+                    outgoing.append((requests[p], [p]))
+        self._charge_rpc(len(outgoing))
+        values = [None] * len(requests)
+        arrivals = [None] * len(requests)
+        for message, positions in outgoing:
+            value, arrival = self._transmit(message)
+            if isinstance(message, messages.BatchRequest):
+                metrics = self.cluster.metrics
+                metrics.increment("coalesced-batches")
+                metrics.increment("coalesced-requests", len(positions))
+                for p, sub_value in zip(positions, value):
+                    values[p] = sub_value
+                    arrivals[p] = arrival
+            else:
+                values[positions[0]] = value
+                arrivals[positions[0]] = arrival
+        return values, arrivals
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _charge_rpc(self, n_transfers):
+        """Charge the client CPU for serializing *n_transfers* requests."""
+        if n_transfers:
+            self.cluster.charge_seconds(
+                self.node_id, RPC_CPU_SECONDS * n_transfers, tag="rpc-cpu"
+            )
+
+    def _record_shard_access(self, message):
+        """Feed the hot-shard telemetry: one access per wire message.
+
+        A batch records one access per distinct matrix it touches, with the
+        summed value count — matching the pre-coalescing fat block request
+        it replaces.
+        """
+        metrics = self.cluster.metrics
+        if isinstance(message, messages.BatchRequest):
+            by_matrix = {}
+            for request in message.requests:
+                if request.matrix_id is None:
+                    continue
+                by_matrix[request.matrix_id] = (
+                    by_matrix.get(request.matrix_id, 0) + request.n_values
+                )
+            for matrix_id, n_values in by_matrix.items():
+                metrics.record_shard_access(
+                    matrix_id, message.server_index, n_values
+                )
+        elif message.matrix_id is not None:
+            metrics.record_shard_access(
+                message.matrix_id, message.server_index, message.n_values
+            )
+
+    def _handle_failure(self, exc, server_index, matrix_id, attempt):
+        """Recover from one failed attempt; charges the retry penalty.
+
+        The failure-detection timeout and the exponential backoff are
+        charged to the client's *virtual* clock (a retried message takes
+        longer in simulated time), then the failure is repaired: a down
+        server is recovered by the master, a stale shard set is reconciled,
+        and a partition is simply waited out.  Cached routing for the
+        touched matrix is dropped either way, so the next attempt
+        re-resolves through the master.
+        """
+        metrics = self.cluster.metrics
+        metrics.increment("op-retries")
+        penalty_start = self.cluster.clock.now(self.node_id)
+        self.cluster.charge_seconds(
+            self.node_id, self.retry_policy.penalty_for(attempt),
+            tag="retry-backoff",
+        )
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.node_id, "retry-backoff", penalty_start,
+                self.cluster.clock.now(self.node_id), cat="op",
+                attempt=attempt, error=type(exc).__name__,
+                server_index=server_index,
+            )
+        if isinstance(exc, ServerDownError):
+            self.master.recover(server_index)
+            metrics.increment("routing-invalidations")
+        elif isinstance(exc, MatrixNotFoundError):
+            self.master.repair(server_index)
+            metrics.increment("routing-invalidations")
+        # NetworkPartitionedError: nothing to repair — the backoff advances
+        # the client clock toward the end of the partition window.
+        if matrix_id is not None:
+            self.invalidate(matrix_id)
+
+    def _transmit(self, message):
+        """One message on the wire, retried as a whole until served.
+
+        Each attempt re-resolves the serving server through the master (a
+        recovery replaces the object — a retry must never talk to the
+        pre-failure process), transfers ``message.wire_bytes()``, queues on
+        the server CPU (``server.begin(arrival)``) and runs
+        ``server.dispatch(message)``.  A failure anywhere in that chain —
+        including halfway through a batch — retries the *entire message*
+        under the policy, re-sending its bytes through the network model.
+
+        Returns ``(value, response_arrival)``; the arrival is ``None`` for
+        fire-and-forget messages.
+        """
+        network = self.cluster.network
+        self._record_shard_access(message)
+        request_bytes = message.wire_bytes()
+        response_bytes = message.response_bytes()
+        tracer = self.cluster.tracer
+        if tracer.enabled:
+            span = tracer.current(self.node_id)
+            if span is not None:
+                span.args["fanout"] = span.args.get("fanout", 0) + 1
+                span.args["bytes"] = (
+                    span.args.get("bytes", 0) + request_bytes
+                    + (response_bytes or 0)
+                )
+                if message.message_count() > 1:
+                    span.args["coalesced"] = (
+                        span.args.get("coalesced", 0)
+                        + message.message_count()
+                    )
+        attempt = 0
+        while True:
+            if message.matrix_id is not None:
+                # Re-resolve routing (pays the routing RPC again after an
+                # invalidation) before the attempt touches the wire.
+                self.layout(message.matrix_id)
+            server = self.master.server(message.server_index)
+            try:
+                arrival = network.transfer(
+                    self.node_id, server.node_id, request_bytes,
+                    tag=message.tag + ":req", deliver=False,
+                    messages=message.message_count(),
+                )
+                server.begin(arrival)
+                value = server.dispatch(message)
+                break
+            except RETRYABLE_ERRORS as exc:
+                attempt += 1
+                if attempt > self.retry_policy.max_retries:
+                    self.cluster.metrics.increment("op-retries-exhausted")
+                    raise PSError(
+                        "server %s kept failing after %d attempts: %r"
+                        % (server.node_id, attempt, exc)
+                    ) from exc
+                self._handle_failure(
+                    exc, message.server_index, message.matrix_id, attempt
+                )
+        if response_bytes is None:
+            return value, None
+        response_arrival = network.transfer(
+            server.node_id, self.node_id, response_bytes,
+            tag=message.tag + ":resp", deliver=False,
+            depart_at=server.last_completion,
+            messages=message.message_count(),
+        )
+        return value, response_arrival

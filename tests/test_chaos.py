@@ -99,6 +99,54 @@ def test_retry_reresolves_routing_and_resends_bytes(cluster):
     assert cluster.metrics.counters["op-retries"] == 1
 
 
+def test_coalesced_batch_retry_reresolves_and_resends_envelope(cluster):
+    """A coalesced batch that hits a dead server must be retried as a
+    WHOLE envelope: routing re-resolved through the master, the
+    replacement server object dispatched, and the full envelope's bytes
+    paid again on the wire."""
+    from repro.common.sizeof import MESSAGE_OVERHEAD_BYTES
+    from repro.ps import messages
+
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30, n_rows=4)
+    expected = np.arange(120.0).reshape(4, 30)
+    for row in range(4):
+        client.push_assign(m, row, expected[row])
+    master.checkpoint_all()
+    failed = master.server(1)
+    failed.crash()
+    metrics = cluster.metrics
+    req_before = metrics.messages_by_tag["pull-block:req"]
+    bytes_before = metrics.bytes_by_tag["pull-block:req"]
+    logical_before = metrics.logical_messages_by_tag["pull-block:req"]
+    routing_before = metrics.messages_by_tag["routing:req"]
+    batches_before = metrics.counters["coalesced-batches"]
+
+    block = client.pull_block(m, [0, 1, 2, 3])
+    assert np.array_equal(block, expected)  # server-1 restored and re-read
+    # 3 servers -> 3 envelopes, plus ONE re-sent envelope for the retry.
+    assert metrics.messages_by_tag["pull-block:req"] == req_before + 4
+    assert metrics.logical_messages_by_tag["pull-block:req"] \
+        == logical_before + 16
+    # The retried attempt paid the whole envelope's bytes again.
+    envelope = (messages.REQUEST_HEADER_BYTES
+                + 4 * messages.SUBREQUEST_HEADER_BYTES
+                + MESSAGE_OVERHEAD_BYTES)
+    assert metrics.bytes_by_tag["pull-block:req"] \
+        == bytes_before + 4 * envelope
+    # Routing was dropped and re-resolved through the master...
+    assert metrics.messages_by_tag["routing:req"] == routing_before + 1
+    # ...and the re-send reached the replacement server process.
+    assert master.server(1) is not failed
+    assert metrics.counters["op-retries"] == 1
+    # Three envelopes were FORMED (one per server); the retry re-sends an
+    # existing envelope rather than building a fourth, so the wire count
+    # (+4 above) exceeds the batch count by exactly the resend.
+    assert metrics.counters["coalesced-batches"] == batches_before + 3
+    assert metrics.counters["coalesced-requests"] == 12
+
+
 def test_backoff_is_charged_to_virtual_clock(cluster):
     master = PSMaster(cluster)
     client = PSClient(cluster, master, cluster.executors[0])

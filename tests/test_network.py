@@ -76,10 +76,11 @@ def test_metrics_account_envelope(net):
     assert net.metrics.bytes_for_tag("t") == 100 + MESSAGE_OVERHEAD_BYTES
 
 
-def test_request_response_round_trip(net):
-    done = net.request_response("a", "b", 0, 0, tag="rpc")
-    assert net.clock.now("a") == pytest.approx(done)
-    assert done >= 2e-3  # two latencies
+def test_logical_message_accounting(net):
+    net.transfer("a", "b", 100, tag="t", messages=3)
+    net.transfer("a", "b", 100, tag="t")
+    assert net.metrics.messages_by_tag["t"] == 2
+    assert net.metrics.logical_messages_by_tag["t"] == 4
 
 
 def test_per_node_bandwidth():

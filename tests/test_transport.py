@@ -1,0 +1,384 @@
+"""Wire-accounting regression suite for the typed transport layer.
+
+Two kinds of guarantees:
+
+1. Every client op transfers exactly the bytes its message objects predict
+   (message ``wire_bytes()``/``response_bytes()`` plus the per-transfer NIC
+   envelope), for every op type and both coalescing modes.
+2. The refactor is behavior-preserving where it claims to be: a traced LR
+   epoch is byte- and makespan-identical to the pre-refactor closure-based
+   path (golden numbers captured before the transport landed), regardless
+   of the ``coalesce_requests`` knob — row ops issue one message per server
+   either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.common.sizeof import FLOAT_BYTES, INDEX_BYTES, \
+    MESSAGE_OVERHEAD_BYTES
+from repro.config import ClusterConfig
+from repro.data import sparse_classification
+from repro.experiments.runner import make_context
+from repro.ml import train_logistic_regression
+from repro.ps import messages
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+
+
+def _rig(coalesce=True, n_servers=3):
+    config = ClusterConfig(n_executors=2, n_servers=n_servers, seed=3,
+                           coalesce_requests=coalesce)
+    cluster = Cluster(config)
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    return cluster, master, client
+
+
+def _tag(cluster, tag):
+    """(bytes, wire_messages, logical_messages) accounted under *tag*."""
+    m = cluster.metrics
+    return (m.bytes_by_tag.get(tag, 0.0), m.messages_by_tag.get(tag, 0),
+            m.logical_messages_by_tag.get(tag, 0))
+
+
+def _on_wire(payloads):
+    """Total bytes a list of message payload sizes costs on the wire."""
+    return float(sum(p + MESSAGE_OVERHEAD_BYTES for p in payloads))
+
+
+# -- per-op wire accounting ---------------------------------------------------
+
+
+def test_dense_pull_row_bytes_match_messages(coalesce=True):
+    cluster, master, client = _rig(coalesce)
+    m = master.create_matrix(30)
+    client.pull_row(m, 0)
+    shards = master.layout(m).shards_for_row(0)
+    req = [messages.PullRowRequest(s, m, 0, stop - start)
+           for s, start, stop in shards]
+    assert _tag(cluster, "pull:req") == (
+        _on_wire([r.wire_bytes() for r in req]), len(req), len(req))
+    assert _tag(cluster, "pull:resp") == (
+        _on_wire([r.response_bytes() for r in req]), len(req), len(req))
+
+
+def test_sparse_pull_row_bytes_match_messages():
+    cluster, master, client = _rig()
+    m = master.create_matrix(30)
+    idx = np.array([0, 7, 13, 22, 29])
+    client.pull_row(m, 0, indices=idx)
+    groups = master.layout(m).split_indices(np.sort(idx))
+    req = [messages.PullRowRequest(s, m, 0, g.size, indices=g)
+           for s, g in groups.items()]
+    assert _tag(cluster, "pull:req") == (
+        _on_wire([r.wire_bytes() for r in req]), len(req), len(req))
+    assert _tag(cluster, "pull:resp") == (
+        _on_wire([r.response_bytes() for r in req]), len(req), len(req))
+    # Sanity: the formula module agrees with the message objects.
+    for r in req:
+        assert r.wire_bytes() == messages.sparse_pull_request_bytes(
+            len(r.indices))
+
+
+def test_push_bytes_match_messages():
+    cluster, master, client = _rig()
+    m = master.create_matrix(30)
+    client.push_add(m, 0, np.ones(30))
+    shards = master.layout(m).shards_for_row(0)
+    dense = _on_wire([messages.dense_push_bytes(stop - start)
+                      for _s, start, stop in shards])
+    assert _tag(cluster, "push:req") == (dense, len(shards), len(shards))
+
+    idx = np.array([1, 8, 20])
+    client.push_assign(m, 0, np.ones(3), indices=idx)
+    groups = master.layout(m).split_indices(np.sort(idx))
+    sparse = _on_wire([messages.sparse_push_bytes(g.size)
+                       for g in groups.values()])
+    n = len(shards) + len(groups)
+    assert _tag(cluster, "push:req") == (dense + sparse, n, n)
+    # Pushes are fire-and-forget: no response traffic at all.
+    assert _tag(cluster, "push:resp") == (0.0, 0, 0)
+
+
+def test_range_ops_bytes_match_messages():
+    cluster, master, client = _rig()
+    m = master.create_matrix(30)
+    client.pull_range(m, 0, 5, 25)
+    overlaps = client._range_shards(master.layout(m), 0, 5, 25)
+    req = [messages.PullRangeRequest(s, m, 0, lo, hi)
+           for s, lo, hi in overlaps]
+    # Range ops share the pull/push wire tags (the server sees a pull).
+    assert _tag(cluster, "pull:req") == (
+        _on_wire([r.wire_bytes() for r in req]), len(req), len(req))
+    assert _tag(cluster, "pull:resp") == (
+        _on_wire([r.response_bytes() for r in req]), len(req), len(req))
+
+    client.push_range(m, 0, 5, 25, np.ones(20))
+    wreq = [messages.PushRangeRequest(s, m, 0, lo, hi,
+                                      np.ones(hi - lo))
+            for s, lo, hi in overlaps]
+    assert _tag(cluster, "push:req") == (
+        _on_wire([r.wire_bytes() for r in wreq]), len(wreq), len(wreq))
+    assert _tag(cluster, "push:resp") == (0.0, 0, 0)
+
+
+def test_aggregate_kernel_fill_bytes_match_messages():
+    cluster, master, client = _rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    n_shards = len(master.layout(m).shards_for_row(0))
+
+    total = client.aggregate_row(m, 0, "sum")
+    assert total == pytest.approx(np.arange(30.0).sum())
+    assert _tag(cluster, "rowagg:req") == (
+        _on_wire([messages.scalar_op_request_bytes()] * n_shards),
+        n_shards, n_shards)
+    assert _tag(cluster, "rowagg:resp") == (
+        _on_wire([messages.scalar_response_bytes()] * n_shards),
+        n_shards, n_shards)
+
+    client.execute(lambda arrays: float(arrays[0].sum()), [(m, 0), (m, 0)])
+    assert _tag(cluster, "kernel:req") == (
+        _on_wire([messages.scalar_op_request_bytes(2)] * n_shards),
+        n_shards, n_shards)
+    assert _tag(cluster, "kernel:resp") == (
+        _on_wire([messages.scalar_response_bytes()] * n_shards),
+        n_shards, n_shards)
+
+    client.fill_row(m, 0, 2.5)
+    assert _tag(cluster, "fill:req") == (
+        _on_wire([messages.REQUEST_HEADER_BYTES + FLOAT_BYTES] * n_shards),
+        n_shards, n_shards)
+    assert _tag(cluster, "fill:resp") == (0.0, 0, 0)
+
+
+def test_routing_bytes_use_central_formula():
+    cluster, master, client = _rig()
+    m = master.create_matrix(30)
+    client.pull_row(m, 0)
+    n_servers = master.layout(m).n_servers
+    assert _tag(cluster, "routing:req") == (
+        _on_wire([messages.REQUEST_HEADER_BYTES]), 1, 1)
+    assert _tag(cluster, "routing:resp") == (
+        _on_wire([messages.routing_response_bytes(n_servers)]), 1, 1)
+
+
+# -- coalescing ---------------------------------------------------------------
+
+
+def test_pull_block_coalesced_issues_one_message_per_server():
+    cluster, master, client = _rig(coalesce=True)
+    m = master.create_matrix(30, n_rows=4)
+    client.pull_block(m, [0, 1, 2, 3])
+    shards = master.layout(m).shards_for_row(0)
+    n_servers = len(shards)
+    # Exactly S wire messages carrying S x R logical requests.
+    req_bytes, wire, logical = _tag(cluster, "pull-block:req")
+    assert wire == n_servers
+    assert logical == n_servers * 4
+    envelope = (messages.REQUEST_HEADER_BYTES
+                + 4 * messages.SUBREQUEST_HEADER_BYTES)
+    assert req_bytes == _on_wire([envelope] * n_servers)
+    # Batched response: one header per envelope + concatenated payloads.
+    resp_bytes, resp_wire, resp_logical = _tag(cluster, "pull-block:resp")
+    assert resp_wire == n_servers
+    assert resp_logical == n_servers * 4
+    assert resp_bytes == _on_wire([
+        messages.RESPONSE_HEADER_BYTES + 4 * (stop - start) * FLOAT_BYTES
+        for _s, start, stop in shards
+    ])
+    assert cluster.metrics.counters["coalesced-batches"] == n_servers
+    assert cluster.metrics.counters["coalesced-requests"] == n_servers * 4
+
+
+def test_uncoalesced_block_pays_per_request_headers():
+    coalesced, master_a, client_a = _rig(coalesce=True)
+    plain, master_b, client_b = _rig(coalesce=False)
+    for master, client in ((master_a, client_a), (master_b, client_b)):
+        m = master.create_matrix(30, n_rows=4)
+        client.pull_block(m, [0, 1, 2, 3])
+        client.push_block_add(m, [0, 1, 2, 3], np.ones((4, 30)))
+    n_servers = 3
+    for tag in ("pull-block:req", "push-block:req"):
+        bytes_on, wire_on, logical_on = _tag(coalesced, tag)
+        bytes_off, wire_off, logical_off = _tag(plain, tag)
+        assert wire_on == n_servers
+        assert wire_off == n_servers * 4
+        assert logical_on == logical_off == n_servers * 4
+        # Coalescing strictly reduces header + envelope bytes.
+        assert bytes_on < bytes_off
+        # Each coalesced-away request saves a full header + NIC envelope;
+        # every sub-request (including the batch's first) pays its 16-byte
+        # descriptor instead.
+        saved = (logical_on - wire_on) * (
+            messages.REQUEST_HEADER_BYTES + MESSAGE_OVERHEAD_BYTES
+        ) - logical_on * messages.SUBREQUEST_HEADER_BYTES
+        assert bytes_off - bytes_on == saved
+    # Payload-identical: responses carry the same values either way.
+    assert _tag(coalesced, "pull-block:resp")[0] < \
+        _tag(plain, "pull-block:resp")[0]
+    # And the coalesced run finishes no later.
+    assert coalesced.elapsed() <= plain.elapsed()
+
+
+def test_sparse_block_ships_shared_index_list_once():
+    cluster, master, client = _rig(coalesce=True)
+    m = master.create_matrix(30, n_rows=3)
+    idx = np.array([0, 7, 13, 22, 29])
+    client.pull_block(m, [0, 1, 2], indices=idx)
+    groups = master.layout(m).split_indices(np.sort(idx))
+    expected = _on_wire([
+        messages.REQUEST_HEADER_BYTES
+        + 3 * messages.SUBREQUEST_HEADER_BYTES
+        + g.size * INDEX_BYTES  # the shared list, encoded ONCE per server
+        for g in groups.values()
+    ])
+    req_bytes, wire, logical = _tag(cluster, "pull-block:req")
+    assert wire == len(groups)
+    assert logical == 3 * len(groups)
+    assert req_bytes == expected
+
+
+def test_singleton_groups_ignore_the_knob():
+    """Row ops issue one message per server; batching never engages, so
+    the knob cannot perturb their wire traffic or timing."""
+    runs = {}
+    for coalesce in (True, False):
+        cluster, master, client = _rig(coalesce)
+        m = master.create_matrix(30)
+        client.push_assign(m, 0, np.arange(30.0))
+        client.pull_row(m, 0, indices=[1, 7, 29])
+        client.aggregate_row(m, 0, "sumsq")
+        # Nothing was ever batched, even with the knob on.
+        assert cluster.metrics.counters.get("coalesced-batches", 0) == 0
+        runs[coalesce] = (
+            dict(cluster.metrics.bytes_by_tag),
+            dict(cluster.metrics.messages_by_tag),
+            cluster.elapsed(),
+        )
+    assert runs[True] == runs[False]
+
+
+def test_batch_request_envelope_math():
+    idx = np.array([1, 2, 3])
+    subs = [messages.PullRowRequest(0, "m", row, 3, indices=idx)
+            for row in range(4)]
+    batch = messages.BatchRequest(subs)
+    assert batch.message_count() == 4
+    assert batch.wire_bytes() == (
+        messages.REQUEST_HEADER_BYTES
+        + 4 * messages.SUBREQUEST_HEADER_BYTES
+        + 3 * INDEX_BYTES  # shared list deduplicated by identity
+    )
+    # A distinct (equal-valued) array is a distinct payload.
+    other = messages.BatchRequest(
+        subs + [messages.PullRowRequest(0, "m", 9, 3, indices=idx.copy())]
+    )
+    assert other.wire_bytes() == (
+        messages.REQUEST_HEADER_BYTES
+        + 5 * messages.SUBREQUEST_HEADER_BYTES
+        + 2 * 3 * INDEX_BYTES
+    )
+    assert batch.response_bytes() == (
+        messages.RESPONSE_HEADER_BYTES + 4 * 3 * FLOAT_BYTES
+    )
+    # Mixed fire-and-forget subs contribute no response payload.
+    push = messages.PushRequest(0, "m", 0, np.ones(3), indices=idx)
+    assert messages.BatchRequest([push]).response_bytes() is None
+    from repro.common.errors import PSError
+    with pytest.raises(PSError):
+        messages.BatchRequest([])
+    with pytest.raises(PSError):
+        messages.BatchRequest([subs[0],
+                               messages.PullRowRequest(1, "m", 0, 3)])
+    with pytest.raises(PSError):
+        messages.BatchRequest([batch])
+
+
+def test_ops_flow_through_typed_messages(monkeypatch):
+    """Structural check: every client op hands typed Request values to the
+    transport — no closures, no direct server calls."""
+    cluster, master, client = _rig()
+    m = master.create_matrix(20, n_rows=2)
+    seen = []
+    original = client.transport.send_all
+
+    def spy(requests):
+        seen.extend(requests)
+        return original(requests)
+
+    monkeypatch.setattr(client.transport, "send_all", spy)
+    client.pull_row(m, 0)
+    client.push_add(m, 0, np.ones(20))
+    client.pull_block(m, [0, 1])
+    client.aggregate_row(m, 0, "sum")
+    client.execute(lambda arrays: 0.0, [(m, 0)])
+    client.fill_row(m, 1, 1.0)
+    assert seen
+    assert all(isinstance(r, messages.Request) for r in seen)
+    kinds = {type(r) for r in seen}
+    assert messages.PullRowRequest in kinds
+    assert messages.PushRequest in kinds
+    assert messages.AggregateRequest in kinds
+    assert messages.KernelRequest in kinds
+    assert messages.FillRequest in kinds
+
+
+# -- before/after invariant ---------------------------------------------------
+
+#: Captured from the pre-refactor closure-based RPC path (commit db72004)
+#: for this exact workload: 4 executors / 3 servers, seed 7, two SGD
+#: epochs of LR on 80x400 sparse data.  The transport refactor must not
+#: move a single byte or virtual nanosecond on this path.
+GOLDEN_LR_ELAPSED = 0.0033703177499999986
+GOLDEN_LR_TOTAL_BYTES = 55832.0
+GOLDEN_LR_TOTAL_MESSAGES = 124
+GOLDEN_LR_BYTES_BY_TAG = {
+    "collect:result": 640.0,
+    "data-load": 20736.0,
+    "fill:req": 1080.0,
+    "kernel:req": 1488.0,
+    "ps-allocate": 336.0,
+    "pull:req": 7248.0,
+    "pull:resp": 6864.0,
+    "push:req": 11808.0,
+    "routing:req": 448.0,
+    "routing:resp": 576.0,
+    "task-launch": 4608.0,
+}
+GOLDEN_LR_MESSAGES_BY_TAG = {
+    "collect:result": 8,
+    "data-load": 4,
+    "fill:req": 9,
+    "kernel:req": 12,
+    "ps-allocate": 3,
+    "pull:req": 24,
+    "pull:resp": 24,
+    "push:req": 24,
+    "routing:req": 4,
+    "routing:resp": 4,
+    "task-launch": 8,
+}
+
+
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_lr_epoch_is_identical_to_prerefactor_path(coalesce):
+    """The LR epoch's row ops are singleton-per-server, so the refactored
+    transport must reproduce the pre-refactor wire traffic and makespan
+    exactly — with coalescing on AND off."""
+    ctx = make_context(n_executors=4, n_servers=3, seed=7,
+                       coalesce_requests=coalesce)
+    rows, _ = sparse_classification(80, 400, 8, seed=7)
+    result = train_logistic_regression(ctx, rows, 400, optimizer="sgd",
+                                       n_iterations=2, batch_fraction=0.5,
+                                       seed=7)
+    assert dict(ctx.metrics.bytes_by_tag) == GOLDEN_LR_BYTES_BY_TAG
+    assert dict(ctx.metrics.messages_by_tag) == GOLDEN_LR_MESSAGES_BY_TAG
+    assert ctx.metrics.total_bytes() == GOLDEN_LR_TOTAL_BYTES
+    assert ctx.metrics.total_messages() == GOLDEN_LR_TOTAL_MESSAGES
+    assert ctx.elapsed() == pytest.approx(GOLDEN_LR_ELAPSED, rel=1e-9)
+    assert result.final_loss == pytest.approx(0.6760745795596123, rel=1e-9)
+    # Nothing on this path ever coalesced.
+    assert "coalesced-batches" not in ctx.metrics.counters
