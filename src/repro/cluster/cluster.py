@@ -73,6 +73,18 @@ class Cluster:
         #: Callbacks the scheduler runs after every stage barrier — the
         #: virtual-time hook that drives periodic checkpoint sweeps.
         self.stage_end_hooks = []
+        #: Callbacks fired when a worker's logical clock ticks (SSP/ASP):
+        #: ``hook(node_id, new_clock)``.  Worker-side parameter caches
+        #: register here to run their version-vector renewal RPC.
+        self.clock_advance_hooks = []
+        # Imported lazily: the repro.ps package init pulls in modules that
+        # import this module back (e.g. ps.master needs DRIVER), so a
+        # top-level import would run against a partially-initialized
+        # repro.cluster.cluster.  By instance-construction time both
+        # packages are fully loaded.
+        from repro.ps.consistency import make_consistency
+
+        self.consistency = make_consistency(self.config)
         self._nodes = {}
         self._add_node(DRIVER, ROLE_DRIVER)
         for index in range(self.config.n_executors):
@@ -138,6 +150,13 @@ class Cluster:
         if node.role != ROLE_EXECUTOR:
             raise ClusterError("%r is not an executor" % (node_id,))
         node.alive = True
+
+    # -- consistency ------------------------------------------------------
+
+    def notify_clock_advance(self, node_id, clock_value):
+        """Fan a worker's logical-clock tick out to registered hooks."""
+        for hook in self.clock_advance_hooks:
+            hook(node_id, clock_value)
 
     # -- cost charging ----------------------------------------------------
 

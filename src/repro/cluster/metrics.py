@@ -40,6 +40,15 @@ class MetricsRegistry:
         self.requests_by_server_tag = defaultdict(int)
         self.shard_requests = defaultdict(int)
         self.shard_values = defaultdict(float)
+        # Per-shard wire volume (request + response bytes attributed by the
+        # transport from the message formulas) — tells whether a hot shard
+        # is hot by byte cost, not just request count.
+        self.shard_bytes = defaultdict(float)
+        # Worker-cache accounting, per node: hits served locally, misses
+        # that went to the wire, and the wire bytes the hits avoided.
+        self.cache_hits = defaultdict(int)
+        self.cache_misses = defaultdict(int)
+        self.cache_bytes_saved = defaultdict(float)
         self.latency = {}
 
     # -- recording ---------------------------------------------------------
@@ -71,11 +80,27 @@ class MetricsRegistry:
         self.requests_by_server_tag[(node_id, tag)] += 1
 
     def record_shard_access(self, matrix_id, server_index, n_values,
-                            n_requests=1):
-        """Count an access of *n_values* parameters on one matrix shard."""
+                            n_requests=1, nbytes=0.0):
+        """Count an access of *n_values* parameters on one matrix shard.
+
+        ``nbytes`` is the wire volume (request + response) the access cost,
+        as priced by the message formulas — 0 for callers that only track
+        counts.
+        """
         key = (matrix_id, int(server_index))
         self.shard_requests[key] += n_requests
         self.shard_values[key] += float(n_values)
+        if nbytes:
+            self.shard_bytes[key] += float(nbytes)
+
+    def record_cache_hit(self, node_id, bytes_saved=0.0):
+        """One worker-cache hit on *node_id*, avoiding *bytes_saved* wire."""
+        self.cache_hits[node_id] += 1
+        self.cache_bytes_saved[node_id] += float(bytes_saved)
+
+    def record_cache_miss(self, node_id):
+        """One worker-cache miss on *node_id* (the pull went to the wire)."""
+        self.cache_misses[node_id] += 1
 
     def observe(self, tag, seconds):
         """Feed one latency/duration observation into *tag*'s histogram."""
@@ -169,6 +194,10 @@ class MetricsRegistry:
             "requests_by_server": dict(self.requests_by_server),
             "shard_requests": dict(self.shard_requests),
             "shard_values": dict(self.shard_values),
+            "shard_bytes": dict(self.shard_bytes),
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "cache_bytes_saved": dict(self.cache_bytes_saved),
         }
 
     @staticmethod
@@ -212,5 +241,9 @@ class MetricsRegistry:
         self.requests_by_server_tag.clear()
         self.shard_requests.clear()
         self.shard_values.clear()
+        self.shard_bytes.clear()
+        self.cache_hits.clear()
+        self.cache_misses.clear()
+        self.cache_bytes_saved.clear()
         self.latency = {}
         return snap

@@ -167,6 +167,17 @@ class ClusterConfig:
     amortization (Section 5.1).  Turn it off for A/B measurements of the
     coalescing win; ops that already issue a single message per server are
     unaffected by the knob.
+
+    ``consistency`` selects the execution model (``repro.ps.consistency``):
+
+    - ``"bsp"`` (default): Spark's stage barrier, exactly the paper's
+      behaviour — bit-identical to a pre-consistency-layer run;
+    - ``"ssp"``: stale-synchronous parallel with staleness bound
+      ``staleness`` — a worker beginning logical clock ``c`` blocks until
+      every worker completed clock ``c - staleness - 1``, and worker-side
+      parameter caches may serve reads up to ``staleness`` clocks old;
+    - ``"asp"``: fully asynchronous — no blocking; ``staleness`` (if > 0)
+      only sizes the worker cache's reuse window.
     """
 
     n_executors: int = 20
@@ -175,6 +186,8 @@ class ClusterConfig:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     failures: FailureConfig = field(default_factory=FailureConfig)
     coalesce_requests: bool = True
+    consistency: str = "bsp"
+    staleness: int = 0
     seed: int = 0
 
     def __post_init__(self):
@@ -184,3 +197,12 @@ class ClusterConfig:
             )
         if self.n_servers < 0:
             raise ConfigError("n_servers must be >= 0, got %r" % (self.n_servers,))
+        if self.consistency not in ("bsp", "ssp", "asp"):
+            raise ConfigError(
+                "consistency must be 'bsp', 'ssp' or 'asp', got %r"
+                % (self.consistency,)
+            )
+        if self.staleness < 0:
+            raise ConfigError(
+                "staleness must be >= 0, got %r" % (self.staleness,)
+            )

@@ -8,7 +8,7 @@ from repro.core.context import PS2Context
 
 def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  strict_colocation=False, node_flops=None, failures=None,
-                 coalesce_requests=True):
+                 coalesce_requests=True, consistency="bsp", staleness=0):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -31,6 +31,10 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
 
     ``coalesce_requests`` exposes the PS transport's per-server batching
     knob for A/B experiments on the header-amortization win.
+
+    ``consistency`` / ``staleness`` select the execution model for the
+    staleness-ablation experiments: ``"bsp"`` (default, the paper's
+    behaviour), ``"ssp"`` with the given staleness bound, or ``"asp"``.
     """
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
@@ -42,5 +46,7 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         if failures is not None
         else FailureConfig(task_failure_prob=task_failure_prob),
         coalesce_requests=coalesce_requests,
+        consistency=consistency,
+        staleness=staleness,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

@@ -108,6 +108,10 @@ def train_embedding_pairs(ctx, pairs, n_vertices, embedding_dim=32,
         batch = pairs_rdd.sample(fraction, seed=seed * 997 + iteration)
 
         def pair_task(task_ctx, iterator):
+            # No-ops under BSP; the SSP gate and cache-renewal tick under
+            # relaxed consistency (the pull/push realization benefits most:
+            # its full-row embedding pulls are exactly what the cache holds).
+            task_ctx.sync_clock()
             rng = RngRegistry(seed * 31 + iteration).get(
                 "neg-%d" % task_ctx.partition_id
             )
@@ -121,6 +125,7 @@ def train_embedding_pairs(ctx, pairs, n_vertices, embedding_dim=32,
                     loss_sum += update(task_ctx, embeddings, n_vertices, u,
                                        neg, False, learning_rate)
                 count += 1
+            task_ctx.advance_clock()
             return (loss_sum, count)
 
         stats = batch.map_partitions_with_context(

@@ -54,14 +54,20 @@ def train_linear_ps2(ctx, rows, dim, loss="logistic", optimizer=None,
         batch = data.sample(batch_fraction, seed=seed * 10000 + iteration)
 
         def gradient_task(task_ctx, iterator):
+            # Consistency gate / logical-clock tick: exact no-ops under BSP
+            # (the stage barrier already synchronizes), the SSP wait and the
+            # worker-cache renewal point under relaxed consistency.
+            task_ctx.sync_clock()
             batch_rows = list(iterator)
             if not batch_rows:
+                task_ctx.advance_clock()
                 return (0.0, 0)
             union = batch_index_union(batch_rows)
             union_weights = weight.pull(indices=union, task_ctx=task_ctx)
             grad_values, loss_sum = grad_fn(batch_rows, union, union_weights)
             task_ctx.charge_flops(losses.grad_flops(batch_rows), tag="gradient")
             gradient.add(grad_values, indices=union, task_ctx=task_ctx)
+            task_ctx.advance_clock()
             return (loss_sum, len(batch_rows))
 
         stats = batch.map_partitions_with_context(

@@ -72,14 +72,23 @@ def server_table(cluster):
 
 
 def hot_shard_table(metrics, factor=1.5):
-    """Shards whose traffic exceeds *factor* x their matrix's mean."""
+    """Shards whose traffic exceeds *factor* x their matrix's mean.
+
+    The ``bytes`` column is the shard's wire volume (request + response,
+    from the message formulas) — the number that says whether a hot shard
+    is worth caching, since a shard can be hot by request count while
+    moving few bytes (and vice versa).
+    """
     hot = metrics.hot_shards(factor=factor)
     peak, mean, ratio = metrics.load_imbalance()
     if hot:
         table = _format_rows(
-            ["matrix", "server", "requests", "values", "x_mean"],
+            ["matrix", "server", "requests", "values", "bytes", "x_mean"],
             [
                 (matrix_id, server_index, requests, "%.0f" % values,
+                 "%.0f" % metrics.shard_bytes.get(
+                     (matrix_id, server_index), 0.0
+                 ),
                  "%.2f" % shard_ratio)
                 for matrix_id, server_index, requests, values, shard_ratio
                 in hot
@@ -124,6 +133,64 @@ def transport_table(metrics):
     return "\n".join(lines)
 
 
+def consistency_table(cluster):
+    """Staleness histogram and worker-cache hit rates (SSP/ASP runs).
+
+    Under BSP both are structurally empty (no logical clocks, no cache);
+    the placeholder lines keep the report shape stable across models.
+    """
+    metrics = cluster.metrics
+    model = cluster.consistency
+    lines = ["model: %s" % model.name]
+    staleness = getattr(model, "staleness", None)
+    if staleness is not None:
+        lines[0] += " (staleness=%d)" % staleness
+
+    rows = []
+    for tag in ("staleness-wait", "staleness-clocks"):
+        hist = metrics.latency.get(tag)
+        if hist is None:
+            continue
+        s = hist.summary()
+        rows.append((
+            tag, s["count"], "%.6f" % s["p50"], "%.6f" % s["p95"],
+            "%.6f" % s["max"],
+        ))
+    if rows:
+        lines.append(_format_rows(
+            ["observation", "count", "p50", "p95", "max"], rows
+        ))
+    else:
+        lines.append("(no staleness observations)")
+    waits = metrics.counters.get("staleness-waits", 0)
+    if waits:
+        lines.append("ssp gate blocked a worker %d time(s)" % waits)
+
+    nodes = sorted(set(metrics.cache_hits) | set(metrics.cache_misses))
+    if nodes:
+        cache_rows = []
+        for node_id in nodes:
+            hits = metrics.cache_hits.get(node_id, 0)
+            misses = metrics.cache_misses.get(node_id, 0)
+            total = hits + misses
+            cache_rows.append((
+                node_id, hits, misses,
+                "%.1f%%" % (100.0 * hits / total if total else 0.0),
+                "%.0f" % metrics.cache_bytes_saved.get(node_id, 0.0),
+            ))
+        lines.append(_format_rows(
+            ["worker", "hits", "misses", "hit_rate", "bytes_saved"],
+            cache_rows,
+        ))
+    else:
+        lines.append("(worker cache inactive)")
+    fences = metrics.counters.get("cache-epoch-fences", 0)
+    if fences:
+        lines.append("recovery epoch fences dropped cached rows %d time(s)"
+                     % fences)
+    return "\n".join(lines)
+
+
 def render_report(cluster, title="observability report"):
     """The full text report for one cluster."""
     tracer = getattr(cluster, "tracer", None)
@@ -142,6 +209,9 @@ def render_report(cluster, title="observability report"):
         "",
         "-- transport coalescing --",
         transport_table(cluster.metrics),
+        "",
+        "-- consistency & worker cache --",
+        consistency_table(cluster),
     ]
     if tracer is not None and tracer.enabled:
         by_cat = {}

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.common.errors import PSError
 from repro.ps import messages
+from repro.ps.cache import WorkerCache
 from repro.ps.partitioner import ColumnLayout, RowLayout
 from repro.ps.transport import Transport
 
@@ -56,6 +57,22 @@ class PSClient:
         self.node_id = node_id
         self.transport = Transport(cluster, master, node_id,
                                    retry_policy=retry_policy)
+        # Under relaxed consistency every *executor* client gets a
+        # staleness-bounded parameter cache (the coordinator never does:
+        # driver-side reads — loss evaluation, aggregates — must see the
+        # authoritative server state).  Under BSP ``cache_bound()`` is
+        # ``None`` and the client takes the exact pre-cache code paths.
+        self.cache = None
+        model = getattr(cluster, "consistency", None)
+        if model is not None and model.cache_bound() is not None:
+            from repro.cluster.cluster import DRIVER
+
+            if node_id != DRIVER:
+                self.cache = WorkerCache(cluster, node_id, model,
+                                         self.transport)
+                cluster.clock_advance_hooks.append(
+                    self.cache.on_clock_advance
+                )
 
     @property
     def retry_policy(self):
@@ -71,6 +88,8 @@ class PSClient:
     def invalidate(self, matrix_id=None):
         """Drop cached routing for *matrix_id* (or for every matrix)."""
         self.transport.invalidate(matrix_id)
+        if self.cache is not None:
+            self.cache.invalidate(matrix_id)
 
     @contextmanager
     def _op(self, op, matrix_id):
@@ -79,10 +98,15 @@ class PSClient:
         Opens a span on the client node (children: routing fetches, NIC
         bookings, server CPU slots) and feeds the op's client-observed
         duration — issue to last response, as the virtual clock saw it —
-        into the per-op latency histogram.  Never advances any clock.
+        into the per-op latency histogram.  An op whose transport attempts
+        hit the retry path is recorded under ``<op>.retried`` instead, so
+        backoff waits never inflate the headline percentiles.  Never
+        advances any clock.
         """
         clock = self.cluster.clock
+        metrics = self.cluster.metrics
         start = clock.now(self.node_id)
+        retries_before = metrics.counters.get("op-retries", 0)
         tracer = self.cluster.tracer
         if tracer.enabled:
             with tracer.span(self.node_id, op, cat="op",
@@ -90,7 +114,11 @@ class PSClient:
                 yield
         else:
             yield
-        self.cluster.metrics.observe(op, clock.now(self.node_id) - start)
+        duration = clock.now(self.node_id) - start
+        if metrics.counters.get("op-retries", 0) > retries_before:
+            metrics.observe(op + ".retried", duration)
+        else:
+            metrics.observe(op, duration)
         # Virtual-time hook for the periodic checkpoint sweep: pure-PS
         # workloads (no sparklite stages) still sweep on schedule.
         self.master.maybe_checkpoint()
@@ -111,6 +139,71 @@ class PSClient:
 
     # -- row access: pull ----------------------------------------------------
 
+    def _dense_pull_wire_bytes(self, layout, row):
+        """Wire cost (request + response) of a full dense pull of *row*."""
+        return sum(
+            messages.dense_pull_request_bytes()
+            + messages.dense_pull_response_bytes(stop - start)
+            for _server, start, stop in layout.shards_for_row(row)
+        )
+
+    def _cache_full_row(self, matrix_id, row, layout):
+        """Miss path: pull the whole row dense, cache it, return it.
+
+        A sparse miss promotes to a full-row pull (NuPS-style replication
+        of the parameters this worker keeps touching): the extra bytes buy
+        the next ``bound`` clocks of zero-traffic hits.
+        """
+        self.cluster.metrics.record_cache_miss(self.node_id)
+        shards = layout.shards_for_row(row)
+        requests = [
+            messages.PullRowRequest(server_index, matrix_id, row,
+                                    stop - start)
+            for server_index, start, stop in shards
+        ]
+        values, arrivals = self.transport.send_all(requests)
+        result = np.empty(layout.dim)
+        for (server_index, start, stop), block in zip(shards, values):
+            result[start:stop] = block
+        self._await(arrivals)
+        # The per-server version tokens ride the pull responses (header
+        # slack — bookkeeping only, no extra bytes or clock movement).
+        tokens = {
+            server_index: self.master.server(server_index).version_token(
+                matrix_id, row
+            )
+            for server_index, _start, _stop in shards
+        }
+        self.cache.store(matrix_id, row, result, tokens)
+        return result
+
+    def _pull_row_cached(self, matrix_id, row, indices):
+        """Serve a pull from the worker cache when the bound permits."""
+        layout = self._layout(matrix_id)
+        metrics = self.cluster.metrics
+        entry = self.cache.lookup(matrix_id, row)
+        if entry is not None:
+            # A hit is an executor-local memory read: no transfer() call,
+            # so NIC timelines and byte counters genuinely do not move.
+            metrics.observe(
+                "staleness-clocks",
+                float(self.cache.clock() - entry.pull_clock),
+            )
+            if indices is None:
+                saved = self._dense_pull_wire_bytes(layout, row)
+                result = entry.values.copy()
+            else:
+                idx = np.asarray(indices, dtype=np.int64)
+                saved = (messages.sparse_pull_request_bytes(idx.size)
+                         + messages.sparse_pull_response_bytes(idx.size))
+                result = entry.values[idx]
+            metrics.record_cache_hit(self.node_id, saved)
+            return result
+        result = self._cache_full_row(matrix_id, row, layout)
+        if indices is None:
+            return result
+        return result[np.asarray(indices, dtype=np.int64)]
+
     def pull_row(self, matrix_id, row, indices=None):
         """Pull one model row (dense) or selected columns of it (sparse).
 
@@ -118,7 +211,14 @@ class PSClient:
         Sparse: returns the values for *indices*, aligned with the input
         order.  Requests fan out to every owning server in parallel; the
         client resumes when the last response lands.
+
+        With a worker cache (SSP/ASP executors), reads within the staleness
+        bound are served from the executor-local copy at zero network cost;
+        misses promote to a full-row pull that refills the cache.
         """
+        if self.cache is not None:
+            with self._op("pull", matrix_id):
+                return self._pull_row_cached(matrix_id, row, indices)
         with self._op("pull", matrix_id):
             layout = self._layout(matrix_id)
             if indices is None:
@@ -160,6 +260,10 @@ class PSClient:
         with self._op("push", matrix_id):
             layout = self._layout(matrix_id)
             values = np.asarray(values, dtype=float)
+            if self.cache is not None:
+                # Write-through: the worker's own updates stay visible in
+                # its cached copy (read-your-writes within the bound).
+                self.cache.apply_push(matrix_id, row, values, indices, mode)
             if indices is None:
                 if values.size != layout.dim:
                     raise PSError(
@@ -220,6 +324,23 @@ class PSClient:
         """
         with self._op("pull-range", matrix_id):
             layout = self._layout(matrix_id)
+            if self.cache is not None:
+                entry = self.cache.lookup(matrix_id, row)
+                if entry is not None:
+                    self.cluster.metrics.observe(
+                        "staleness-clocks",
+                        float(self.cache.clock() - entry.pull_clock),
+                    )
+                    self.cluster.metrics.record_cache_hit(
+                        self.node_id,
+                        messages.dense_pull_request_bytes()
+                        + messages.dense_pull_response_bytes(
+                            int(stop) - int(start)
+                        ),
+                    )
+                    return entry.values[int(start):int(stop)].copy()
+                full = self._cache_full_row(matrix_id, row, layout)
+                return full[int(start):int(stop)].copy()
             overlaps = self._range_shards(layout, row, int(start), int(stop))
             requests = [
                 messages.PullRangeRequest(server_index, matrix_id, row,
@@ -238,6 +359,11 @@ class PSClient:
         with self._op("push-range", matrix_id):
             layout = self._layout(matrix_id)
             values = np.asarray(values, dtype=float)
+            if self.cache is not None:
+                self.cache.apply_push(
+                    matrix_id, row, values,
+                    np.arange(int(start), int(stop), dtype=np.int64), mode,
+                )
             requests = [
                 messages.PushRangeRequest(
                     server_index, matrix_id, row, lo, hi,

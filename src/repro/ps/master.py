@@ -217,7 +217,11 @@ class PSMaster:
         """
         failed = self.servers[server_index]
         recover_start = self.cluster.clock.now(failed.node_id)
-        server = PSServer(self.cluster, failed.node_id, server_index)
+        # Epoch continuity: the replacement's version tokens must never
+        # equal the failed process's — its state may have rolled back to a
+        # checkpoint, and worker caches fence on the epoch to detect that.
+        server = PSServer(self.cluster, failed.node_id, server_index,
+                          epoch=failed.epoch + 1)
         server.revive()  # resets the CPU timeline to the node's current time
         self.servers[server_index] = server
         checkpoint_time = self.checkpoints.recover_server(server)

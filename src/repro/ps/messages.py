@@ -360,6 +360,40 @@ class FillRequest(Request):
         return FLOAT_BYTES  # the fill value itself
 
 
+class ClockAdvanceRequest(Request):
+    """A worker's logical-clock tick: exchange version vectors for cached rows.
+
+    Sent by a :class:`~repro.ps.cache.WorkerCache` at every clock advance,
+    carrying the worker's new clock plus the ``(matrix_id, row)`` keys it
+    holds cached on this server; the server replies with its current
+    ``(epoch, counter)`` version token per key.  The cache drops entries
+    whose server epoch changed (the server was recovered — its state may
+    have rolled back to a checkpoint, so age-based staleness accounting is
+    void) and lets the rest age out under the staleness bound.
+
+    ``matrix_id`` is ``None``: the message is a control-plane exchange, not
+    an access of any one matrix — the transport skips routing resolution
+    and hot-shard accounting for it, exactly like routing RPCs.
+    """
+
+    __slots__ = ("keys", "clock")
+
+    op = "clock-advance"
+
+    def __init__(self, server_index, keys, clock, tag="clock-advance"):
+        super().__init__(server_index, None, tag, 0)
+        self.keys = list(keys)
+        self.clock = int(clock)
+
+    def payload_bytes(self):
+        # The clock value plus one (matrix_id, row) pair per cached key.
+        return INDEX_BYTES + len(self.keys) * 2 * INDEX_BYTES
+
+    def response_bytes(self):
+        # One packed (epoch, counter) token per key.
+        return RESPONSE_HEADER_BYTES + len(self.keys) * FLOAT_BYTES
+
+
 class BatchRequest(Request):
     """Envelope coalescing several requests to one server into one RPC.
 

@@ -49,7 +49,7 @@ class RowShard:
 class PSServer:
     """One parameter server process."""
 
-    def __init__(self, cluster, node_id, server_index):
+    def __init__(self, cluster, node_id, server_index, epoch=0):
         self.cluster = cluster
         self.node_id = node_id
         self.server_index = int(server_index)
@@ -58,6 +58,24 @@ class PSServer:
         self.cpu = TimelineResource()
         self.last_completion = 0.0
         self._arrival = None
+        #: Recovery epoch: bumped whenever a replacement process takes over
+        #: this server index (the master passes ``failed.epoch + 1``), so a
+        #: client-cached version token can never falsely match across a
+        #: crash — recovered state may have rolled back to a checkpoint.
+        self.epoch = int(epoch)
+        #: Per-(matrix_id, row) mutation counters; together with the epoch
+        #: they form the version token worker caches validate against.
+        self.versions = {}
+
+    # -- version vectors ----------------------------------------------------
+
+    def _bump_version(self, matrix_id, row):
+        key = (matrix_id, int(row))
+        self.versions[key] = self.versions.get(key, 0) + 1
+
+    def version_token(self, matrix_id, row):
+        """The ``(epoch, counter)`` token for one row; equality-only."""
+        return (self.epoch, self.versions.get((matrix_id, int(row)), 0))
 
     # -- request service model ----------------------------------------------
 
@@ -154,6 +172,14 @@ class PSServer:
 
     def _serve_fill(self, request):
         self.fill(request.matrix_id, request.row, request.value)
+
+    def _serve_clock_advance(self, request):
+        self._check_alive()
+        tokens = [
+            self.version_token(matrix_id, row) for matrix_id, row in request.keys
+        ]
+        self._service(max(1.0, float(len(request.keys))), "ps-clock")
+        return tokens
 
     def _serve_batch(self, request):
         return [self.dispatch(sub) for sub in request.requests]
@@ -269,6 +295,7 @@ class PSServer:
         else:
             np.add.at(shard.values, shard.local(global_indices), values)
             n = len(values)
+        self._bump_version(matrix_id, row)
         self._service(ELEMENTWISE_FLOPS * max(1, n), "ps-add")
 
     def assign(self, matrix_id, row, values, global_indices=None):
@@ -280,12 +307,14 @@ class PSServer:
         else:
             shard.values[shard.local(global_indices)] = values
             n = len(values)
+        self._bump_version(matrix_id, row)
         self._service(max(1, n), "ps-assign")
 
     def fill(self, matrix_id, row, value):
         """Set every element of the local shard to *value*."""
         shard = self.shard(matrix_id, row)
         shard.values.fill(float(value))
+        self._bump_version(matrix_id, row)
         self._service(max(1, shard.values.size), "ps-fill")
 
     # -- server-side aggregates --------------------------------------------
@@ -326,6 +355,10 @@ class PSServer:
                 % (self.node_id, sorted(ranges))
             )
         arrays = [shard.values for shard in shards]
+        # Kernels receive operand arrays by reference and may mutate any of
+        # them, so conservatively bump every operand's version.
+        for matrix_id, row in operands:
+            self._bump_version(matrix_id, row)
         if flops is None:
             width = arrays[0].size if arrays else 0
             flops = KERNEL_FLOPS_PER_ELEMENT * max(1, width) * max(1, len(arrays))
@@ -370,5 +403,6 @@ _HANDLERS = {
     messages.AggregateRequest: PSServer._serve_aggregate,
     messages.KernelRequest: PSServer._serve_kernel,
     messages.FillRequest: PSServer._serve_fill,
+    messages.ClockAdvanceRequest: PSServer._serve_clock_advance,
     messages.BatchRequest: PSServer._serve_batch,
 }

@@ -185,7 +185,10 @@ class Transport:
 
         A batch records one access per distinct matrix it touches, with the
         summed value count — matching the pre-coalescing fat block request
-        it replaces.
+        it replaces.  Byte volume (request + response) is attributed from
+        the message's own wire formulas; a batch attributes each
+        sub-request its *standalone-equivalent* bytes, so per-shard volume
+        stays comparable across the coalescing knob.
         """
         metrics = self.cluster.metrics
         if isinstance(message, messages.BatchRequest):
@@ -193,16 +196,20 @@ class Transport:
             for request in message.requests:
                 if request.matrix_id is None:
                     continue
+                n_values, nbytes = by_matrix.get(request.matrix_id, (0, 0.0))
                 by_matrix[request.matrix_id] = (
-                    by_matrix.get(request.matrix_id, 0) + request.n_values
+                    n_values + request.n_values,
+                    nbytes + request.wire_bytes()
+                    + (request.response_bytes() or 0),
                 )
-            for matrix_id, n_values in by_matrix.items():
+            for matrix_id, (n_values, nbytes) in by_matrix.items():
                 metrics.record_shard_access(
-                    matrix_id, message.server_index, n_values
+                    matrix_id, message.server_index, n_values, nbytes=nbytes
                 )
         elif message.matrix_id is not None:
             metrics.record_shard_access(
-                message.matrix_id, message.server_index, message.n_values
+                message.matrix_id, message.server_index, message.n_values,
+                nbytes=message.wire_bytes() + (message.response_bytes() or 0),
             )
 
     def _handle_failure(self, exc, server_index, matrix_id, attempt):

@@ -60,13 +60,21 @@ class Scheduler:
         failures = self.cluster.failures
         tracer = self.cluster.tracer
         clock = self.cluster.clock
+        # The stage barrier is a consistency-policy decision: under BSP
+        # (model.barrier) executors start stages from the driver's clock and
+        # the driver blocks on every result; under SSP/ASP the driver
+        # pre-dispatches work (task descriptions still pay their bytes, but
+        # deliver=False: they do not gate the executor) and each worker is
+        # gated only by the model's own sync rule (TaskContext.sync_clock).
+        model = self.cluster.consistency
         stage_start = clock.now(DRIVER)
 
         for partition_id in range(rdd.get_num_partitions()):
             executor = self.executor_for(partition_id)
             # Executors run their queued tasks after the driver submitted the
             # stage, but in parallel with each other.
-            self.cluster.clock.set_at_least(executor, stage_start)
+            if model.barrier:
+                self.cluster.clock.set_at_least(executor, stage_start)
             # Apply scheduled executor crashes that are due by now: the dead
             # executor's partitions redistribute over the survivors
             # (Section 5.3 — "launches a new executor and reloads that
@@ -74,7 +82,8 @@ class Scheduler:
             while failures.due_executor_failures(executor, clock.now(executor)):
                 self.cluster.fail_executor(executor)
                 executor = self.executor_for(partition_id)
-                self.cluster.clock.set_at_least(executor, stage_start)
+                if model.barrier:
+                    self.cluster.clock.set_at_least(executor, stage_start)
             previous = self._placements.get(partition_id)
             if previous is not None and previous != executor:
                 # The partition moved (executor failure): reload its input.
@@ -88,7 +97,8 @@ class Scheduler:
             while True:
                 self.tasks_launched += 1
                 network.transfer(
-                    DRIVER, executor, TASK_DESCRIPTION_BYTES, tag="task-launch"
+                    DRIVER, executor, TASK_DESCRIPTION_BYTES,
+                    tag="task-launch", deliver=model.barrier,
                 )
                 self.cluster.charge_seconds(
                     executor, TASK_OVERHEAD_SECONDS, tag="task-overhead"
@@ -129,7 +139,13 @@ class Scheduler:
                             % (partition_id, stage_id, failures.max_task_retries)
                         )
                     continue
-                committed.append(ctx)
+                if model.commit_at_barrier:
+                    committed.append(ctx)
+                else:
+                    # Async pipelining: the task's deferred pushes apply as
+                    # soon as it succeeds (still after the retry decision,
+                    # so still exactly-once under task retry).
+                    ctx.commit()
                 break
             if gather_results:
                 arrivals.append(
@@ -152,8 +168,11 @@ class Scheduler:
 
         # Stage barrier: the driver proceeds only once every result landed.
         # (Results are gathered with deliver=False so that tasks run in
-        # parallel; syncing per-result would serialize the stage.)
-        if arrivals:
+        # parallel; syncing per-result would serialize the stage.)  Under
+        # SSP/ASP the driver's per-stage aggregation is pipelined control
+        # work off the workers' critical path: result bytes are still
+        # charged, but the driver clock does not chase the slowest worker.
+        if arrivals and model.barrier:
             clock.set_at_least(DRIVER, max(arrivals))
         stage_end = clock.now(DRIVER)
         self.cluster.metrics.observe("stage", stage_end - stage_start)

@@ -29,6 +29,25 @@ class TaskContext:
         """Charge an explicit duration to this task's executor."""
         self.cluster.charge_seconds(self.executor, seconds, tag=tag)
 
+    def sync_clock(self):
+        """Gate this task under the cluster's consistency model.
+
+        Call at task start.  Under BSP this is an exact no-op (the stage
+        barrier already synchronized); under SSP it blocks the executor —
+        charging the wait to its virtual clock — until the staleness bound
+        permits this worker's next logical clock to begin.
+        """
+        self.cluster.consistency.sync(self.cluster, self.executor)
+
+    def advance_clock(self):
+        """Tick this worker's logical clock (call at task end).
+
+        Under BSP an exact no-op.  Under SSP/ASP it records the clock's
+        completion time for other workers' gates and fires the cluster's
+        clock-advance hooks (worker-cache version renewal).
+        """
+        self.cluster.consistency.advance(self.cluster, self.executor)
+
     def defer(self, effect):
         """Register a zero-argument callable to run iff the task commits."""
         self._deferred.append(effect)

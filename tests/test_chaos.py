@@ -353,3 +353,68 @@ def test_fault_tolerance_experiment_bounds_regression():
     assert summary["sweeps"] >= 1
     assert summary["regression_bounded"]
     assert summary["chaos"].final_loss < summary["chaos"].history[0][1]
+
+
+# -- relaxed consistency under failures ---------------------------------------
+
+
+def test_ssp_server_crash_fences_stale_cache_entries():
+    """Crash a server mid-SSP-epoch: the recovered server's bumped epoch
+    must fence every cached row it backed, so no read ever serves state
+    from before the crash as if it were merely *staleness*-bounded stale.
+    (The PR-2 failure-model guarantee restated for the worker cache.)"""
+    cluster = Cluster(ClusterConfig(
+        n_executors=4, n_servers=3, seed=42,
+        consistency="ssp", staleness=3,
+    ))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    master.checkpoint_all()
+
+    cached = client.pull_row(m, 0)  # miss: fills the cache at clock 0
+    assert np.allclose(cached, np.arange(30.0))
+    assert client.cache.lookup(m, 0) is not None
+
+    failed = master.server(1)
+    failed.crash()
+
+    # The worker's clock tick triggers the version-vector exchange; the
+    # renewal RPC to the dead server is retried, which recovers it with a
+    # bumped epoch -- and the epoch mismatch drops the cached row even
+    # though its clock-age (1 <= staleness 3) would still permit hits.
+    cluster.consistency.advance(cluster, client.node_id)
+    assert master.server(1) is not failed
+    assert client.cache.lookup(m, 0) is None
+    assert cluster.metrics.counters["cache-epoch-fences"] >= 1
+    assert cluster.metrics.counters["server-recoveries"] == 1
+
+    # The next pull is a miss that re-reads the *recovered* (checkpointed)
+    # state -- never a stale hit from the pre-crash cache.
+    misses_before = cluster.metrics.cache_misses[client.node_id]
+    fresh = client.pull_row(m, 0)
+    assert cluster.metrics.cache_misses[client.node_id] == misses_before + 1
+    assert np.allclose(fresh, np.arange(30.0))
+
+
+def test_ssp_training_survives_scheduled_server_crash():
+    """End-to-end: SSP training through a mid-run server crash still
+    completes, recovers the server, and stays within the staleness
+    contract (every cache hit's age <= the bound)."""
+    rows, _ = sparse_classification(120, 48, 10, seed=7)
+    ctx = make_context(
+        n_executors=4, n_servers=3, seed=42,
+        consistency="ssp", staleness=2,
+        failures=FailureConfig(
+            server_failure_times=((1, 1e-4),), checkpoint_interval=5e-5,
+        ),
+    )
+    result = train_logistic_regression(ctx, rows, 48, n_iterations=6,
+                                       optimizer="sgd", seed=1)
+    metrics = ctx.cluster.metrics
+    assert result.iterations == 6
+    assert metrics.counters["server-recoveries"] >= 1
+    hist = metrics.latency.get("staleness-clocks")
+    if hist is not None:
+        assert hist.summary()["max"] <= 2.0

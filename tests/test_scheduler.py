@@ -144,3 +144,105 @@ def test_broadcast_estimates_size(cluster):
 
     bc = Broadcast(cluster, np.zeros(100))
     assert bc.nbytes == 800
+
+
+# -- tree combine --------------------------------------------------------------
+
+def _placed(cluster, values):
+    executors = cluster.alive_executors
+    return [(executors[i % len(executors)], v) for i, v in enumerate(values)]
+
+
+def test_tree_combine_depth3_is_correct_and_fully_reduces():
+    """At depth 3 eight partials reduce 8 -> 4 -> 2 -> 1 executor-side, so
+    exactly ONE partial crosses to the driver."""
+    cluster = Cluster(ClusterConfig(n_executors=4, n_servers=1, seed=42))
+    scheduler = SparkContext(cluster).scheduler
+    values = [1, 2, 3, 4, 5, 6, 7, 8]
+    result = scheduler.tree_combine(
+        _placed(cluster, values), 0, lambda a, b: a + b, depth=3
+    )
+    assert result == sum(values)
+    # 4 + 2 + 1 executor-side merges, then one survivor ships to the driver.
+    assert cluster.metrics.messages_by_tag["tree-combine"] == 8
+    from repro.cluster.cluster import DRIVER
+
+    driver_msgs = sum(
+        1 for (node, _tag), n in cluster.metrics.requests_by_server_tag.items()
+        if node == DRIVER
+    )
+    assert driver_msgs == 0  # combining is executor work, not server work
+
+
+def test_tree_combine_deeper_ships_less_to_the_driver():
+    from repro.cluster.cluster import DRIVER
+
+    values = list(range(8))
+    received = {}
+    for depth in (2, 3):
+        cluster = Cluster(ClusterConfig(n_executors=4, n_servers=1, seed=42))
+        scheduler = SparkContext(cluster).scheduler
+        result = scheduler.tree_combine(
+            _placed(cluster, values), 0, lambda a, b: a + b, depth=depth
+        )
+        assert result == sum(values)
+        received[depth] = cluster.metrics.bytes_received[DRIVER]
+    # Depth 2 leaves two survivors for the driver merge; depth 3 leaves one.
+    assert received[3] < received[2]
+
+
+def test_tree_combine_odd_count_carries_leftover():
+    cluster = Cluster(ClusterConfig(n_executors=4, n_servers=1, seed=42))
+    scheduler = SparkContext(cluster).scheduler
+    values = [10, 20, 30, 40, 50]
+    result = scheduler.tree_combine(
+        _placed(cluster, values), 0, lambda a, b: a + b, depth=3
+    )
+    assert result == sum(values)
+    # 5 -> 3 (2 merges) -> 2 (1 merge) -> 1 (1 merge), + 1 driver ship.
+    assert cluster.metrics.messages_by_tag["tree-combine"] == 5
+
+
+# -- stage-end hooks -----------------------------------------------------------
+
+def test_stage_end_hooks_fire_after_barrier_and_commits():
+    """Hooks run once per stage, strictly after every deferred task effect
+    committed and after the driver's stage barrier."""
+    sc = make_sc()
+    cluster = sc.cluster
+    order = []
+    barrier_times = []
+
+    def hook():
+        order.append("hook")
+        from repro.cluster.cluster import DRIVER
+
+        barrier_times.append(cluster.clock.now(DRIVER))
+
+    cluster.stage_end_hooks.append(hook)
+
+    def fn(ctx, iterator):
+        items = list(iterator)
+        ctx.defer(lambda: order.append("commit"))
+        return [len(items)]
+
+    sc.parallelize(range(8), 4).map_partitions_with_context(fn).collect()
+    # All four commits land before the (single) hook invocation.
+    assert order == ["commit"] * 4 + ["hook"]
+    # The hook observed the post-barrier driver clock: no earlier than any
+    # task's completion on its executor.
+    executor_times = [
+        cluster.clock.now(e) for e in cluster.executors
+    ]
+    assert barrier_times[0] >= max(executor_times)
+
+
+def test_stage_end_hooks_fire_every_stage():
+    sc = make_sc()
+    fired = []
+    sc.cluster.stage_end_hooks.append(lambda: fired.append(1))
+    rdd = sc.parallelize(range(8), 4)
+    rdd.collect()
+    rdd.sum()
+    rdd.count()
+    assert len(fired) == 3
