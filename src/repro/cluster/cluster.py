@@ -77,6 +77,10 @@ class Cluster:
         #: ``hook(node_id, new_clock)``.  Worker-side parameter caches
         #: register here to run their version-vector renewal RPC.
         self.clock_advance_hooks = []
+        #: The hot-key replication manager, installed by the PS master when
+        #: ``config.replication`` is on; ``None`` keeps every transport and
+        #: server path bit-identical to a pre-replication build.
+        self.replication = None
         # Imported lazily: the repro.ps package init pulls in modules that
         # import this module back (e.g. ps.master needs DRIVER), so a
         # top-level import would run against a partially-initialized

@@ -134,27 +134,47 @@ class MetricsRegistry:
         hist = self.latency.get(tag)
         return hist.percentile(q) if hist is not None else 0.0
 
+    def shard_heat(self):
+        """The unified per-shard access metric: ``{(matrix, server): heat}``.
+
+        THE one counter source both the hot-shard telemetry
+        (:meth:`hot_shards`, the report's table) and the replication
+        classifier consume, so policy and telemetry cannot drift: when any
+        access recorded wire bytes, heat is the shard's request+response
+        byte volume (the number that says what a shard actually *costs*);
+        otherwise — callers that only track counts, e.g. unit fixtures —
+        it falls back to raw request counts.  The rule is global per
+        registry, never mixed per key.
+        """
+        if self.shard_bytes:
+            return dict(self.shard_bytes)
+        return {key: float(n) for key, n in self.shard_requests.items()}
+
     def hot_shards(self, factor=2.0):
-        """Shards whose request count exceeds *factor* x their matrix mean.
+        """Shards whose heat exceeds *factor* x their matrix's mean heat.
 
         Returns ``[(matrix_id, server_index, requests, values, ratio)]``
-        sorted by descending ratio — the NuPS-style skew signal: under a
-        uniform workload every shard of a matrix sees ~the same traffic, so
-        a shard far above its matrix's mean marks hot parameters.
+        sorted by descending heat ratio — the NuPS-style skew signal: under
+        a uniform workload every shard of a matrix sees ~the same traffic,
+        so a shard far above its matrix's mean marks hot parameters.  The
+        ranking metric is :meth:`shard_heat` — byte volume when recorded,
+        request counts otherwise — the same signal the replication
+        classifier acts on.
         """
         by_matrix = defaultdict(list)
-        for (matrix_id, server_index), requests in self.shard_requests.items():
-            by_matrix[matrix_id].append((server_index, requests))
+        for (matrix_id, server_index), heat in self.shard_heat().items():
+            by_matrix[matrix_id].append((server_index, heat))
         hot = []
         for matrix_id, shards in by_matrix.items():
-            mean = sum(n for _s, n in shards) / len(shards)
+            mean = sum(h for _s, h in shards) / len(shards)
             if mean <= 0:
                 continue
-            for server_index, requests in shards:
-                ratio = requests / mean
+            for server_index, heat in shards:
+                ratio = heat / mean
                 if ratio >= factor:
                     hot.append((
-                        matrix_id, server_index, requests,
+                        matrix_id, server_index,
+                        self.shard_requests.get((matrix_id, server_index), 0),
                         self.shard_values[(matrix_id, server_index)], ratio,
                     ))
         hot.sort(key=lambda item: item[4], reverse=True)

@@ -67,6 +67,20 @@ class NetworkModel:
             self._nic_recv[node_id].busy_seconds(),
         )
 
+    def nic_horizon(self, node_id):
+        """(send_horizon, recv_horizon): when each NIC queue drains.
+
+        The horizon is the end of the last reservation on that direction's
+        timeline — an instantaneous backlog signal ("when would a new
+        message get the wire"), unlike :meth:`nic_utilization`, which is a
+        cumulative total.  The replica read router compares horizons to
+        find the nearest-by-queue server.
+        """
+        return (
+            self._nic_send[node_id].horizon(),
+            self._nic_recv[node_id].horizon(),
+        )
+
     def transfer(self, src, dst, nbytes, tag="transfer", deliver=True,
                  depart_at=None, messages=1):
         """Ship *nbytes* (payload; envelope added here) from *src* to *dst*.

@@ -178,6 +178,23 @@ class ClusterConfig:
       parameter caches may serve reads up to ``staleness`` clocks old;
     - ``"asp"``: fully asynchronous — no blocking; ``staleness`` (if > 0)
       only sizes the worker cache's reuse window.
+
+    ``replication`` selects the NuPS-style hot-key replication policy
+    (``repro.ps.replication``):
+
+    - ``"off"`` (default): no replication manager is constructed at all —
+      every code path is bit-identical to a pre-replication run;
+    - ``"topk"``: at every rebalance sweep, the hottest
+      ``hot_key_fraction`` of (matrix, server) shard keys — ranked by the
+      same unified heat metric the hot-shard telemetry reports — are
+      replicated;
+    - ``"threshold"``: a shard key is replicated while its per-sweep heat
+      delta exceeds ``1 / hot_key_fraction`` times its matrix's mean delta
+      (an online threshold rather than a fixed count).
+
+    ``replication_factor`` is the number of replicas per hot key (0 means
+    "all other servers"); ``rebalance_interval`` is the virtual-seconds
+    period of the rebalance sweep (0 sweeps at every stage end).
     """
 
     n_executors: int = 20
@@ -188,6 +205,10 @@ class ClusterConfig:
     coalesce_requests: bool = True
     consistency: str = "bsp"
     staleness: int = 0
+    replication: str = "off"
+    hot_key_fraction: float = 0.1
+    replication_factor: int = 0
+    rebalance_interval: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
@@ -205,4 +226,24 @@ class ClusterConfig:
         if self.staleness < 0:
             raise ConfigError(
                 "staleness must be >= 0, got %r" % (self.staleness,)
+            )
+        if self.replication not in ("off", "topk", "threshold"):
+            raise ConfigError(
+                "replication must be 'off', 'topk' or 'threshold', got %r"
+                % (self.replication,)
+            )
+        if not 0.0 < self.hot_key_fraction <= 1.0:
+            raise ConfigError(
+                "hot_key_fraction must be in (0, 1], got %r"
+                % (self.hot_key_fraction,)
+            )
+        if self.replication_factor < 0:
+            raise ConfigError(
+                "replication_factor must be >= 0, got %r"
+                % (self.replication_factor,)
+            )
+        if self.rebalance_interval < 0:
+            raise ConfigError(
+                "rebalance_interval must be >= 0, got %r"
+                % (self.rebalance_interval,)
             )

@@ -8,7 +8,9 @@ from repro.core.context import PS2Context
 
 def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  strict_colocation=False, node_flops=None, failures=None,
-                 coalesce_requests=True, consistency="bsp", staleness=0):
+                 coalesce_requests=True, consistency="bsp", staleness=0,
+                 replication="off", hot_key_fraction=0.1,
+                 replication_factor=0, rebalance_interval=0.0):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -35,6 +37,11 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     ``consistency`` / ``staleness`` select the execution model for the
     staleness-ablation experiments: ``"bsp"`` (default, the paper's
     behaviour), ``"ssp"`` with the given staleness bound, or ``"asp"``.
+
+    ``replication`` / ``hot_key_fraction`` / ``replication_factor`` /
+    ``rebalance_interval`` configure the NuPS-style hot-key replication
+    manager for the skew-ablation experiments; the default ``"off"``
+    constructs no manager at all (bit-identical to a pre-replication run).
     """
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
@@ -48,5 +55,9 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         coalesce_requests=coalesce_requests,
         consistency=consistency,
         staleness=staleness,
+        replication=replication,
+        hot_key_fraction=hot_key_fraction,
+        replication_factor=replication_factor,
+        rebalance_interval=rebalance_interval,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

@@ -10,7 +10,7 @@ from repro.ml.deepwalk import (
 from repro.ml.line import train_line
 from repro.ml.gbdt import GBDTModel, train_gbdt
 from repro.ml.lda import train_lda
-from repro.ml.linear import train_linear_ps2
+from repro.ml.linear import serve_linear_ps2, train_linear_ps2
 from repro.ml.lr import accuracy, evaluate_logistic_loss, train_logistic_regression
 from repro.ml.results import TrainResult, speedup
 from repro.ml.svm import hinge_accuracy, train_svm
@@ -26,6 +26,7 @@ __all__ = [
     "GBDTModel",
     "train_gbdt",
     "train_lda",
+    "serve_linear_ps2",
     "train_linear_ps2",
     "accuracy",
     "evaluate_logistic_loss",

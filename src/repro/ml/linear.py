@@ -28,13 +28,21 @@ _LOSS_FUNCTIONS = {
 
 def train_linear_ps2(ctx, rows, dim, loss="logistic", optimizer=None,
                      n_iterations=20, batch_fraction=0.1, seed=0,
-                     target_loss=None, checkpoint_every=None, system="PS2"):
+                     target_loss=None, checkpoint_every=None, system="PS2",
+                     pool_rows=8):
     """Train a linear model (LR or SVM) with PS2 + DCVs.
 
     *rows* is a list of :class:`~repro.linalg.sparse.SparseRow`; *dim* the
     feature dimension.  Returns a :class:`TrainResult` whose history holds
     ``(virtual_seconds, mean_batch_loss)`` per iteration; extras carry the
     bound optimizer (whose ``weight`` DCV is the trained model).
+
+    ``pool_rows`` sizes the co-located DCV pool backing the model.  The
+    default (8) fits any optimizer here (Adam + L-BFGS history); SGD only
+    ever acquires weight + gradient, and a run that will be subject to
+    hot-key replication wants the pool no larger than needed — a replica
+    install ships every pool row of the shard, so unused slots are pure
+    migration bytes.
     """
     if loss not in _LOSS_FUNCTIONS:
         raise ConfigError("unknown loss %r (have %s)" % (loss, sorted(_LOSS_FUNCTIONS)))
@@ -45,7 +53,7 @@ def train_linear_ps2(ctx, rows, dim, loss="logistic", optimizer=None,
         optimizer = make_optimizer(optimizer)
 
     data = ctx.parallelize(rows).cache()
-    weight = ctx.dense(dim, rows=8, name="weight")
+    weight = ctx.dense(dim, rows=pool_rows, name="weight")
     gradient = optimizer.bind(weight)
 
     result = TrainResult(system=system, workload="%s-%s" % (loss, optimizer.name))
@@ -93,4 +101,59 @@ def train_linear_ps2(ctx, rows, dim, loss="logistic", optimizer=None,
     result.elapsed = ctx.elapsed()
     result.extras["optimizer"] = optimizer
     result.extras["weight"] = weight
+    return result
+
+
+_LOSS_ONLY = {
+    "logistic": losses.logistic_loss_batch,
+    "hinge": lambda rows, union, weights: losses.hinge_grad_batch(
+        rows, union, weights
+    )[1],
+}
+
+
+def serve_linear_ps2(ctx, rows, weight, loss="logistic", n_passes=1,
+                     system="PS2"):
+    """Score a trained linear model over *rows*, *n_passes* times.
+
+    The serving half of a train-then-serve pipeline: every pass pulls,
+    sparsely, the weights each partition's rows touch and computes the
+    loss locally — **pure reads**, no gradient pushes.  This is the
+    read-dominated access pattern hot-key replication pays off on (the
+    model rows stop changing, so replica fan-out traffic drops to zero
+    while pull load still concentrates on the skew-hot shard).
+
+    *weight* is the trained DCV (``result.extras["weight"]``).  Returns a
+    :class:`TrainResult` whose history holds ``(virtual_seconds,
+    mean_loss)`` per pass.
+    """
+    if loss not in _LOSS_ONLY:
+        raise ConfigError("unknown loss %r (have %s)" % (loss, sorted(_LOSS_ONLY)))
+    loss_fn = _LOSS_ONLY[loss]
+    data = ctx.parallelize(rows).cache()
+    result = TrainResult(system=system, workload="%s-serve" % loss)
+
+    def score_task(task_ctx, iterator):
+        task_ctx.sync_clock()
+        part_rows = list(iterator)
+        if not part_rows:
+            task_ctx.advance_clock()
+            return (0.0, 0)
+        union = batch_index_union(part_rows)
+        union_weights = weight.pull(indices=union, task_ctx=task_ctx)
+        loss_sum = loss_fn(part_rows, union, union_weights)
+        task_ctx.charge_flops(losses.grad_flops(part_rows) // 2, tag="serve")
+        task_ctx.advance_clock()
+        return (loss_sum, len(part_rows))
+
+    for _ in range(n_passes):
+        stats = data.map_partitions_with_context(
+            lambda task_ctx, it: [score_task(task_ctx, it)]
+        ).collect()
+        total = sum(s[1] for s in stats)
+        result.record(
+            ctx.elapsed(),
+            sum(s[0] for s in stats) / total if total else 0.0,
+        )
+    result.elapsed = ctx.elapsed()
     return result

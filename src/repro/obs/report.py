@@ -191,6 +191,63 @@ def consistency_table(cluster):
     return "\n".join(lines)
 
 
+def replication_table(cluster):
+    """Hot-key replication activity: replica map, routing and fan-out.
+
+    With replication off the section is a stable one-line placeholder, so
+    the report keeps its shape across the knob.  The replica map rows list
+    the currently replicated (matrix, primary) shard keys with their valid
+    replica sets; the counters below tell how the machinery behaved —
+    reads rerouted to replicas, mutations fanned out, fan-outs fenced or
+    skipped by the version machinery, promotions/demotions per sweep.
+    """
+    manager = getattr(cluster, "replication", None)
+    if manager is None:
+        return "(replication off)"
+    metrics = cluster.metrics
+    lines = [
+        "mode: %s (fraction=%.2f, factor=%d, interval=%s)" % (
+            manager.mode, manager.hot_key_fraction,
+            manager.replication_factor, _seconds(manager.rebalance_interval),
+        )
+    ]
+    keys = manager.replicated_keys()
+    if keys:
+        lines.append(_format_rows(
+            ["matrix", "primary", "replicas"],
+            [
+                (matrix_id, primary_index,
+                 ",".join(str(r) for r in
+                          manager.replica_set(matrix_id, primary_index))
+                 or "(stale)")
+                for matrix_id, primary_index in keys
+            ],
+        ))
+    else:
+        lines.append("(no keys currently replicated)")
+    counters = metrics.counters
+    lines.append(
+        "sweeps=%d promotions=%d demotions=%d reinstalls=%d"
+        % (counters.get("rebalance-sweeps", 0),
+           counters.get("replica-promotions", 0),
+           counters.get("replica-demotions", 0),
+           counters.get("replica-reinstalls", 0))
+    )
+    lines.append(
+        "replica reads=%d fan-outs=%d (fenced=%d skipped=%d)"
+        % (counters.get("replica-reads", 0),
+           counters.get("replica-fanouts", 0),
+           counters.get("replica-fanout-fenced", 0),
+           counters.get("replica-fanout-skipped", 0))
+    )
+    lines.append(
+        "migration bytes=%.0f replica state bytes=%.0f"
+        % (metrics.bytes_for_tag("replica-migrate"),
+           manager.replica_bytes())
+    )
+    return "\n".join(lines)
+
+
 def render_report(cluster, title="observability report"):
     """The full text report for one cluster."""
     tracer = getattr(cluster, "tracer", None)
@@ -212,6 +269,9 @@ def render_report(cluster, title="observability report"):
         "",
         "-- consistency & worker cache --",
         consistency_table(cluster),
+        "",
+        "-- hot-key replication --",
+        replication_table(cluster),
     ]
     if tracer is not None and tracer.enabled:
         by_cat = {}

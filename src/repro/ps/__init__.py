@@ -4,8 +4,9 @@ from repro.ps.checkpoint import CheckpointManager, STORAGE_BANDWIDTH
 from repro.ps.client import PSClient
 from repro.ps.master import MatrixInfo, PSMaster
 from repro.ps.partitioner import ColumnLayout, RowLayout
+from repro.ps.replication import HotKeyManager
 from repro.ps.retry import MAX_SERVER_RETRIES, RetryPolicy
-from repro.ps.server import PSServer, RowShard
+from repro.ps.server import PSServer, ReplicaEntry, RowShard
 
 __all__ = [
     "CheckpointManager",
@@ -17,6 +18,8 @@ __all__ = [
     "PSMaster",
     "ColumnLayout",
     "RowLayout",
+    "HotKeyManager",
     "PSServer",
+    "ReplicaEntry",
     "RowShard",
 ]

@@ -29,6 +29,16 @@ bound are evicted at the tick (they can never serve a hit again).
 
 The renewal RPC pays full wire costs through the typed transport — the
 cache's coherence traffic is part of the cost model, not free.
+
+Interaction with hot-key replication: cache tokens are **primary** tokens.
+A cached row's ``tokens`` map keys the primary server indices from the
+routing table, and the renewal RPC always targets the primaries — never a
+replica.  This keeps the fencing story single-sourced: replicas carry
+their own install-epoch fence (validated server-side per read and per
+fan-out apply, see :mod:`repro.ps.replication`), and a replica is only
+ever readable while its install epoch equals the primary's current epoch,
+so a primary-token equality check subsumes every replica the row may have
+been served from.
 """
 
 from __future__ import annotations

@@ -119,9 +119,11 @@ class PSClient:
             metrics.observe(op + ".retried", duration)
         else:
             metrics.observe(op, duration)
-        # Virtual-time hook for the periodic checkpoint sweep: pure-PS
-        # workloads (no sparklite stages) still sweep on schedule.
+        # Virtual-time hooks for the periodic checkpoint and replication
+        # rebalance sweeps: pure-PS workloads (no sparklite stages) still
+        # sweep on schedule.
         self.master.maybe_checkpoint()
+        self.master.maybe_rebalance()
 
     def _await(self, arrivals):
         """Block the client until the last outstanding response lands."""

@@ -27,6 +27,15 @@ worker's clock ``c - 1`` (and older) are already known — the SSP gate is
 exactly computable.  A worker whose target clock has not been simulated
 yet (only possible for workers that never ran, e.g. idle executors) simply
 does not contribute to the gate.
+
+Interaction with hot-key replication: the consistency machinery's fencing
+tokens cover replicas *by construction*.  The per-row ``(epoch, counter)``
+tokens workers validate are always the **primary's**; a replica is only
+readable while its install epoch equals the primary's current epoch and
+its row counters track the primary's fan-out stream (see
+:mod:`repro.ps.replication`), so under BSP replica reads are value-equal
+to primary reads, and under SSP/ASP a replica can never be staler than
+the bound the primary tokens already enforce.
 """
 
 from __future__ import annotations

@@ -74,6 +74,16 @@ class PSMaster:
         self.checkpoint_sweep_times = []
         if self._next_sweep is not None:
             cluster.stage_end_hooks.append(self.maybe_checkpoint)
+        #: The hot-key replication manager — ``None`` with the knob off, so
+        #: every transport/server fast path stays bit-identical to a
+        #: pre-replication build (the golden-run guarantee).
+        self.replication = None
+        if getattr(cluster.config, "replication", "off") != "off":
+            from repro.ps.replication import HotKeyManager
+
+            self.replication = HotKeyManager(cluster, self)
+            cluster.replication = self.replication
+            cluster.stage_end_hooks.append(self._rebalance_at_stage_end)
 
     @property
     def n_servers(self):
@@ -131,10 +141,12 @@ class PSMaster:
         return matrix_id
 
     def free_matrix(self, matrix_id):
-        """Release every shard of *matrix_id*."""
+        """Release every shard of *matrix_id* (replicas included)."""
         self._matrices.pop(matrix_id, None)
         for server in self.servers:
             server.drop_matrix(matrix_id)
+        if self.replication is not None:
+            self.replication.on_matrix_freed(matrix_id)
 
     def info(self, matrix_id):
         try:
@@ -172,6 +184,23 @@ class PSMaster:
             self.cluster.clock.global_time() + self.checkpoint_interval
         )
         return True
+
+    def _rebalance_at_stage_end(self):
+        """Stage-barrier trigger for the replication rebalance sweep."""
+        return self.replication.maybe_rebalance(at_stage_end=True)
+
+    def maybe_rebalance(self):
+        """Poll the replication rebalance sweep (virtual-time gated).
+
+        Called after every client PS op, mirroring
+        :meth:`maybe_checkpoint`, so pure-PS workloads sweep without a
+        sparklite stage barrier.  A no-op (``False``) when replication is
+        off or when ``rebalance_interval`` is 0 — interval-0 sweeps run
+        only at stage ends.
+        """
+        if self.replication is None:
+            return False
+        return self.replication.maybe_rebalance()
 
     def _reconcile(self, server):
         """Bring *server*'s shard set in line with the matrix metadata.
@@ -230,6 +259,11 @@ class PSMaster:
             DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-recover"
         )
         self.cluster.metrics.increment("server-recoveries")
+        if self.replication is not None:
+            # Refresh the replica topology at the new epoch: replicas OF
+            # this server's shards are stale (the primary may have rolled
+            # back), and replicas it HOSTED died with its state.
+            self.replication.on_server_recovered(server_index)
         tracer = self.cluster.tracer
         if tracer.enabled:
             tracer.record(

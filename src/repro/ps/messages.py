@@ -118,9 +118,16 @@ class Request:
 
     ``n_values`` is the number of parameter values the request touches
     (hot-shard telemetry, not wire bytes).
+
+    ``replica_of`` is ``None`` for a normal request; the replication
+    manager sets it to the *primary* server index when it reroutes a read
+    to a replica — the serving server uses it to look up its replica copy,
+    and the hot-shard telemetry keeps attributing the access to the
+    logical (primary) shard key so routing cannot drain the very heat
+    signal that created the replica.
     """
 
-    __slots__ = ("server_index", "matrix_id", "tag", "n_values")
+    __slots__ = ("server_index", "matrix_id", "tag", "n_values", "replica_of")
 
     op = "?"
 
@@ -129,6 +136,7 @@ class Request:
         self.matrix_id = matrix_id
         self.tag = tag
         self.n_values = int(n_values)
+        self.replica_of = None
 
     # -- wire accounting ---------------------------------------------------
 
@@ -392,6 +400,56 @@ class ClockAdvanceRequest(Request):
     def response_bytes(self):
         # One packed (epoch, counter) token per key.
         return RESPONSE_HEADER_BYTES + len(self.keys) * FLOAT_BYTES
+
+
+class ReplicatedPushRequest(Request):
+    """Fan a mutation out to one replica of a hot shard (fire-and-forget).
+
+    Wraps the *inner* mutation message (push / push-range / fill / kernel)
+    that was applied to the primary and re-targets it at a replica holder.
+    The envelope carries the fencing token that merges replication with
+    the PR-4 version machinery: the primary's ``epoch`` at fan-out time
+    plus the primary's post-apply per-row mutation ``versions`` (aligned
+    with :meth:`version_keys`).  A replica applies the inner mutation only
+    when its install epoch matches and its row counters are behind the
+    recorded versions — so a redelivery after a crash-triggered re-install
+    (which already copied the mutated primary state) is skipped instead of
+    double-applied, and a fan-out raced by a primary recovery (whose
+    rollback also lost the mutation) is fenced instead of resurrected.
+
+    ``matrix_id`` is ``None``: like clock-advance renewals, fan-out is
+    induced (not demand) traffic — the transport skips routing resolution
+    and hot-shard accounting for it, so replication can never feed its own
+    heat signal.
+    """
+
+    __slots__ = ("inner", "primary_index", "epoch", "versions")
+
+    op = "replica-push"
+
+    def __init__(self, server_index, inner, primary_index, epoch, versions,
+                 tag="replica-push"):
+        if isinstance(inner, (BatchRequest, ReplicatedPushRequest)):
+            raise PSError("cannot fan out %r" % (type(inner).__name__,))
+        super().__init__(server_index, None, tag, 0)
+        self.inner = inner
+        self.primary_index = int(primary_index)
+        self.epoch = int(epoch)
+        #: ``{(matrix_id, row): counter}`` — the primary's post-apply
+        #: mutation counters for every row the inner message touches.
+        self.versions = dict(versions)
+
+    def version_keys(self):
+        """The ``(matrix_id, row)`` keys the inner mutation touches."""
+        return list(self.versions)
+
+    def payload_bytes(self):
+        # Primary index + epoch + one version token per touched row, then
+        # the inner mutation verbatim (its shared component is not shared
+        # across fan-out targets, so it rides as private payload here).
+        return (2 * INDEX_BYTES + len(self.versions) * INDEX_BYTES
+                + self.inner.shared_payload_bytes()
+                + self.inner.payload_bytes())
 
 
 class BatchRequest(Request):

@@ -60,12 +60,30 @@ class ColumnLayout:
         """Column range ``(start, stop)`` at partition *position*."""
         return int(self.bounds[position]), int(self.bounds[position + 1])
 
-    def server_of(self, column):
-        """The server owning *column*."""
+    def position_of(self, column):
+        """The partition position holding *column*."""
         if not 0 <= column < self.dim:
             raise ConfigError("column %r out of range [0, %d)" % (column, self.dim))
-        position = int(np.searchsorted(self.bounds, column, side="right") - 1)
-        return self._server_at_position(position)
+        return int(np.searchsorted(self.bounds, column, side="right") - 1)
+
+    def server_of(self, column):
+        """The server owning *column* — the unique primary: replication
+        adds read replicas on top of this mapping but never moves primary
+        ownership, so every column is owned by exactly one server."""
+        return self._server_at_position(self.position_of(column))
+
+    def owned_ranges(self, server_index):
+        """The ``(start, stop)`` column ranges *server_index* owns.
+
+        With ``dim >= n_servers`` each server owns exactly one non-empty
+        range; tiny matrices can leave trailing servers empty.
+        """
+        return [
+            self.range_of_position(p)
+            for p in range(self.n_servers)
+            if self._server_at_position(p) == int(server_index)
+            and self.bounds[p + 1] > self.bounds[p]
+        ]
 
     def shards_for_row(self, row):
         """All ``(server_index, start, stop)`` shards of any row."""

@@ -1,0 +1,487 @@
+"""Hot-key replication: classify, replicate, route, fan out, rebalance.
+
+Skewed workloads (power-law features in LR, degree-skewed graphs, word
+counts in LDA) hammer one server even under PS2's column partitioning —
+the non-uniform-access problem NuPS (Renz-Wieland et al.) attacks with
+*selective* replication of the hot keys.  This module closes the loop
+between PR 1's hot-shard telemetry and the routing/consistency machinery:
+
+- **Classification** consumes :meth:`MetricsRegistry.shard_heat` — the
+  same unified counter the report's hot-shard table ranks by, so policy
+  and telemetry cannot drift.  Each rebalance sweep classifies on the
+  heat *delta* since the previous sweep (a shard that was hot an hour of
+  virtual time ago but cooled off gets de-replicated).  Two modes:
+  ``topk`` replicates the hottest ``hot_key_fraction`` of shard keys;
+  ``threshold`` replicates keys whose delta exceeds ``1 /
+  hot_key_fraction`` times their matrix's mean delta.
+
+- **Replication** copies a hot (matrix, primary) shard key's rows to
+  ``replication_factor`` other servers (0 means all of them), charging
+  the migration bytes to the NIC model under the ``replica-migrate`` tag.
+  Each installed replica records the primary's recovery epoch — the
+  PR-4 fencing token — and the primary's per-row mutation counters.
+
+- **Routing** (:meth:`HotKeyManager.route_read`) reroutes pull/aggregate
+  requests to the *nearest-by-queue* holder (primary or valid replica,
+  earliest NIC-timeline horizon).  The request keeps attributing its
+  heat to the primary shard key via ``replica_of``, so rerouting can
+  never drain the very signal that created the replica.
+
+- **Write fan-out**: after the transport applies a mutation to the
+  primary, the manager emits one typed
+  :class:`~repro.ps.messages.ReplicatedPushRequest` per replica carrying
+  the primary's epoch and post-apply row counters.  Replicas apply
+  idempotently (counters already caught up — e.g. by a crash-triggered
+  re-install — skip the apply) and fenced (an epoch mismatch means the
+  primary recovered and may have rolled back; the stale fan-out must not
+  resurrect lost state).
+
+- **Rebalance** runs on virtual time through the same hook machinery as
+  the checkpoint sweep: at every stage end when ``rebalance_interval``
+  is 0, else whenever the interval has elapsed (also polled after every
+  client PS op, so pure-PS workloads sweep too).
+
+With ``ClusterConfig.replication == "off"`` no manager is constructed
+and every transport/server path is bit-identical to a pre-replication
+build — the golden-run guarantee the test matrix locks down.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import MatrixNotFoundError, ServerDownError
+from repro.common.sizeof import INDEX_BYTES
+from repro.ps import messages
+
+#: Request types a replica may serve (reads — never mutations).
+READ_TYPES = (messages.PullRowRequest, messages.PullRangeRequest,
+              messages.AggregateRequest)
+
+#: Mutation types whose effect must fan out to replicas.
+MUTATION_TYPES = (messages.PushRequest, messages.PushRangeRequest,
+                  messages.FillRequest, messages.KernelRequest)
+
+
+class HotKeyManager:
+    """Coordinator-resident hot-key replication policy and metadata.
+
+    ``replicas`` is the authoritative replica map:
+    ``{(matrix_id, primary_index): {replica_index: install_epoch}}``.
+    An entry is *valid* — usable for routing and fan-out — only while its
+    install epoch equals the primary's current recovery epoch; recovery
+    refreshes the map (see :meth:`on_server_recovered`), so a stale entry
+    only exists transiently between a crash and its recovery, and both
+    the read router and the server-side apply fence it out.
+    """
+
+    def __init__(self, cluster, master):
+        self.cluster = cluster
+        self.master = master
+        config = cluster.config
+        self.mode = config.replication
+        self.hot_key_fraction = float(config.hot_key_fraction)
+        self.replication_factor = int(config.replication_factor)
+        self.rebalance_interval = float(config.rebalance_interval)
+        self._next_sweep = self.rebalance_interval
+        self.replicas = {}
+        #: Heat totals as of the last sweep; sweeps classify on the delta.
+        self._last_heat = {}
+        #: Virtual times at which rebalance sweeps ran (telemetry).
+        self.rebalance_sweep_times = []
+
+    # -- introspection ------------------------------------------------------
+
+    def replica_set(self, matrix_id, primary_index):
+        """Sorted *valid* replica indices for one shard key (for tests
+        and the report): entries at the primary's current epoch whose
+        holder is up and still has the copy installed."""
+        key = (matrix_id, int(primary_index))
+        targets = self.replicas.get(key)
+        if not targets:
+            return []
+        primary = self.master.server(primary_index)
+        return sorted(
+            replica_index
+            for replica_index, epoch in targets.items()
+            if epoch == primary.epoch
+            and self.master.server(replica_index).alive
+            and self.master.server(replica_index).has_replica(
+                matrix_id, primary_index, epoch
+            )
+        )
+
+    def replicated_keys(self):
+        """Sorted shard keys currently carrying at least one replica."""
+        return sorted(self.replicas)
+
+    def replica_bytes(self):
+        """Total bytes of replica state across live servers."""
+        return sum(
+            server.replica_bytes()
+            for server in self.master.servers
+            if server.alive
+        )
+
+    # -- read routing -------------------------------------------------------
+
+    def _queue_load(self, server):
+        """When the server's NIC queues drain — the backlog read routing
+        minimizes.
+
+        Uses the NIC timeline *horizons* (end of the last reservation in
+        each direction), not cumulative busy totals.  Cumulative totals
+        equalize long-run byte volume but go blind within a burst: once
+        the replicas' lifetime totals catch up to the primary's, every
+        read of the next burst lands on the primary again and queues,
+        even though the replicas are idle *right now*.  The horizon is
+        the instantaneous "when would this server take one more message"
+        signal, and it self-balances: each rerouted read extends the
+        serving replica's horizon, steering the next read elsewhere.
+        """
+        send_horizon, recv_horizon = self.cluster.network.nic_horizon(
+            server.node_id
+        )
+        return max(send_horizon, recv_horizon)
+
+    def route_read(self, request):
+        """Reroute one read to the nearest-by-queue holder, in place.
+
+        Candidates are the primary plus every valid replica; "nearest" is
+        the earliest NIC queue drain (:meth:`_queue_load`; ties break
+        toward the lower server index, primary first).  A rerouted
+        request gets ``replica_of`` set to the primary index: the serving
+        server uses it to address its replica store, and the shard
+        telemetry keeps charging the access to the primary key.
+        Mutations and control-plane messages pass through untouched.
+        """
+        if not isinstance(request, READ_TYPES) or request.replica_of is not None:
+            return request
+        primary_index = request.server_index
+        targets = self.replicas.get((request.matrix_id, primary_index))
+        if not targets:
+            return request
+        primary = self.master.server(primary_index)
+        best = (self._queue_load(primary), primary_index)
+        for replica_index in sorted(targets):
+            if targets[replica_index] != primary.epoch:
+                continue
+            server = self.master.server(replica_index)
+            if not server.alive or not server.has_replica(
+                request.matrix_id, primary_index, primary.epoch
+            ):
+                continue
+            candidate = (self._queue_load(server), replica_index)
+            if candidate < best:
+                best = candidate
+        if best[1] != primary_index:
+            request.server_index = best[1]
+            request.replica_of = primary_index
+            self.cluster.metrics.increment("replica-reads")
+        return request
+
+    # -- write fan-out ------------------------------------------------------
+
+    def fan_out_messages(self, requests):
+        """Replica copies of every mutation in *requests*, post-apply.
+
+        Called by the transport after the originals were transmitted and
+        served, so the primaries' per-row counters already reflect the
+        mutations — each fan-out message snapshots those counters plus
+        the primary's epoch as its idempotence/fencing token.  Assumes
+        one client op never sends two mutations for the same
+        (matrix, row, server), which holds for every client op by
+        construction (one message per (row, shard)).
+        """
+        if not self.replicas:
+            return []
+        extras = []
+        for request in requests:
+            if isinstance(request, messages.KernelRequest):
+                extras.extend(self._fan_out_kernel(request))
+            elif isinstance(request, (messages.PushRequest,
+                                      messages.PushRangeRequest,
+                                      messages.FillRequest)):
+                extras.extend(self._fan_out_mutation(request))
+        return extras
+
+    def _valid_targets(self, key, primary):
+        targets = self.replicas.get(key)
+        if not targets:
+            return []
+        return sorted(
+            replica_index
+            for replica_index, epoch in targets.items()
+            if epoch == primary.epoch
+        )
+
+    def _fan_out_mutation(self, request):
+        key = (request.matrix_id, request.server_index)
+        primary = self.master.server(request.server_index)
+        valid = self._valid_targets(key, primary)
+        if not valid:
+            return []
+        row_key = (request.matrix_id, int(request.row))
+        versions = {row_key: primary.versions.get(row_key, 0)}
+        out = [
+            messages.ReplicatedPushRequest(
+                replica_index, request, request.server_index, primary.epoch,
+                versions,
+            )
+            for replica_index in valid
+        ]
+        self.cluster.metrics.increment("replica-fanouts", len(out))
+        return out
+
+    def _fan_out_kernel(self, request):
+        """Kernel fan-out: all-or-nothing across the operand matrices.
+
+        A kernel mutates every operand in one shot, so a replica can only
+        apply it if it holds copies of *all* operand matrices for this
+        primary at the current epoch.  When the replicated operand keys
+        do not share one identical valid replica set, the keys are
+        demoted rather than allowed to silently diverge.
+        """
+        primary_index = request.server_index
+        primary = self.master.server(primary_index)
+        keys = sorted({(m, primary_index) for m, _row in request.operands})
+        replicated = [key for key in keys if self.replicas.get(key)]
+        if not replicated:
+            return []
+        sets = [frozenset(self._valid_targets(key, primary))
+                for key in replicated]
+        common = sets[0]
+        if len(replicated) != len(keys) or not common \
+                or any(s != common for s in sets):
+            for key in replicated:
+                self._demote(key)
+            self.cluster.metrics.increment(
+                "replica-kernel-demotions", len(replicated)
+            )
+            return []
+        versions = {
+            (m, int(row)): primary.versions.get((m, int(row)), 0)
+            for m, row in request.operands
+        }
+        out = [
+            messages.ReplicatedPushRequest(
+                replica_index, request, primary_index, primary.epoch, versions
+            )
+            for replica_index in sorted(common)
+        ]
+        self.cluster.metrics.increment("replica-fanouts", len(out))
+        return out
+
+    # -- rebalance sweep ----------------------------------------------------
+
+    def maybe_rebalance(self, at_stage_end=False):
+        """Run a sweep if it is due; returns whether one ran.
+
+        ``rebalance_interval == 0`` sweeps at every stage end (and only
+        there); a positive interval sweeps on virtual time, polled both
+        at stage ends and after every client PS op — the same dual
+        trigger the checkpoint sweep uses.
+        """
+        if self.rebalance_interval <= 0:
+            if not at_stage_end:
+                return False
+        elif self.cluster.clock.global_time() < self._next_sweep:
+            return False
+        self.rebalance()
+        if self.rebalance_interval > 0:
+            # Re-arm relative to the post-sweep clock: a long stage must
+            # trigger one sweep, not a burst of catch-up sweeps.
+            self._next_sweep = (
+                self.cluster.clock.global_time() + self.rebalance_interval
+            )
+        return True
+
+    def rebalance(self):
+        """One classify/demote/promote sweep over the shard heat deltas."""
+        metrics = self.cluster.metrics
+        heat = metrics.shard_heat()
+        delta = {}
+        for key, value in heat.items():
+            gained = value - self._last_heat.get(key, 0.0)
+            if gained > 0 and self._key_exists(key):
+                delta[key] = gained
+        self._last_heat = dict(heat)
+        if self.master.n_servers >= 2:
+            hot = self._classify(delta)
+            for key in sorted(k for k in self.replicas if k not in hot):
+                self._demote(key)
+            for key in sorted(hot):
+                self._promote(key)
+        metrics.increment("rebalance-sweeps")
+        self.rebalance_sweep_times.append(self.cluster.clock.global_time())
+
+    def _key_exists(self, key):
+        matrix_id, server_index = key
+        if not 0 <= server_index < self.master.n_servers:
+            return False
+        try:
+            self.master.layout(matrix_id)
+        except MatrixNotFoundError:
+            return False
+        return True
+
+    def _classify(self, delta):
+        """The hot shard keys under the configured mode."""
+        if not delta:
+            return set()
+        if self.mode == "topk":
+            k = max(1, int(round(self.hot_key_fraction * len(delta))))
+            ranked = sorted(delta, key=lambda key: (-delta[key], key))
+            return set(ranked[:k])
+        # threshold: hot while the key's delta exceeds 1/fraction times
+        # its matrix's mean delta this window.
+        by_matrix = {}
+        for (matrix_id, _server), gained in delta.items():
+            by_matrix.setdefault(matrix_id, []).append(gained)
+        hot = set()
+        for key, gained in delta.items():
+            gains = by_matrix[key[0]]
+            mean = sum(gains) / len(gains)
+            if gained > mean / self.hot_key_fraction:
+                hot.add(key)
+        return hot
+
+    def _target_count(self):
+        limit = self.master.n_servers - 1
+        if self.replication_factor > 0:
+            return min(self.replication_factor, limit)
+        return limit
+
+    def _promote(self, key):
+        """Ensure *key* has its full valid replica set, installing on the
+        coldest (fewest wire bytes) servers first."""
+        matrix_id, primary_index = key
+        primary = self.master.server(primary_index)
+        if not primary.alive:
+            return
+        kept = set()
+        for replica_index, epoch in sorted(self.replicas.get(key, {}).items()):
+            server = self.master.server(replica_index)
+            if (epoch == primary.epoch and server.alive
+                    and server.has_replica(matrix_id, primary_index, epoch)):
+                kept.add(replica_index)
+            else:
+                self.replicas.get(key, {}).pop(replica_index, None)
+        needed = self._target_count() - len(kept)
+        if needed <= 0:
+            return
+        metrics = self.cluster.metrics
+        candidates = []
+        for index, server in enumerate(self.master.servers):
+            if index == primary_index or index in kept or not server.alive:
+                continue
+            load = (metrics.bytes_sent.get(server.node_id, 0.0)
+                    + metrics.bytes_received.get(server.node_id, 0.0))
+            candidates.append((load, index))
+        promoted = 0
+        for _load, index in sorted(candidates):
+            if promoted >= needed:
+                break
+            if self._install(key, index):
+                promoted += 1
+        if promoted:
+            metrics.increment("replica-promotions", promoted)
+
+    def _install(self, key, replica_index):
+        """Copy the key's rows onto one server, charging migration bytes."""
+        matrix_id, primary_index = key
+        primary = self.master.server(primary_index)
+        target = self.master.server(replica_index)
+        try:
+            rows = primary.matrix_rows(matrix_id)
+            versions = {
+                row_key: counter
+                for row_key, counter in primary.versions.items()
+                if row_key[0] == matrix_id
+            }
+            nbytes = (
+                messages.REQUEST_HEADER_BYTES
+                + sum(shard.values.nbytes for shard in rows.values())
+                + len(rows) * 2 * INDEX_BYTES
+                + len(versions) * INDEX_BYTES
+            )
+            self.cluster.network.transfer(
+                primary.node_id, target.node_id, nbytes, tag="replica-migrate"
+            )
+            target.install_replica(
+                matrix_id, primary_index, rows, versions, primary.epoch
+            )
+        except (MatrixNotFoundError, ServerDownError):
+            return False
+        self.replicas.setdefault(key, {})[replica_index] = primary.epoch
+        return True
+
+    def _demote(self, key):
+        """Drop every replica of *key* (a header-sized control message per
+        holder) and forget the map entry."""
+        matrix_id, primary_index = key
+        targets = self.replicas.pop(key, {})
+        if not targets:
+            return
+        from repro.cluster.cluster import DRIVER
+
+        for replica_index in sorted(targets):
+            server = self.master.server(replica_index)
+            if server.alive:
+                server.drop_replica(matrix_id, primary_index)
+                self.cluster.network.transfer(
+                    DRIVER, server.node_id, messages.REQUEST_HEADER_BYTES,
+                    tag="replica-control",
+                )
+        self.cluster.metrics.increment("replica-demotions")
+
+    # -- lifecycle hooks ----------------------------------------------------
+
+    def on_server_recovered(self, server_index):
+        """Restore the replica topology after :meth:`PSMaster.recover`.
+
+        Two directions: keys whose *primary* is the recovered server get
+        every replica re-installed at the new epoch (the old copies are
+        fenced — the primary may have rolled back to a checkpoint); keys
+        the recovered server *hosted* replicas for are re-installed onto
+        it from their live primaries (the crash wiped its replica store).
+        """
+        server_index = int(server_index)
+        reinstalled = 0
+        for key in sorted(k for k in self.replicas if k[1] == server_index):
+            for replica_index in sorted(self.replicas[key]):
+                if self._install(key, replica_index):
+                    reinstalled += 1
+                else:
+                    self.replicas[key].pop(replica_index, None)
+            if not self.replicas[key]:
+                del self.replicas[key]
+        for key in sorted(
+            k for k in self.replicas
+            if k[1] != server_index and server_index in self.replicas[k]
+        ):
+            if self._install(key, server_index):
+                reinstalled += 1
+            else:
+                self.replicas[key].pop(server_index, None)
+                if not self.replicas[key]:
+                    del self.replicas[key]
+        if reinstalled:
+            self.cluster.metrics.increment("replica-reinstalls", reinstalled)
+
+    def on_matrix_freed(self, matrix_id):
+        """Forget replica metadata for a freed matrix (the servers already
+        purged their stores in ``drop_matrix``)."""
+        for key in sorted(k for k in self.replicas if k[0] == matrix_id):
+            del self.replicas[key]
+
+    def on_direct_write(self, matrix_id, server_index):
+        """Demote a key mutated outside the dispatch/fan-out path.
+
+        Realignment and recovery tooling write through the server storage
+        primitives directly; replicas of the touched shard would silently
+        diverge, so the key is de-replicated (it can win replication back
+        at the next sweep if it stays hot).
+        """
+        key = (matrix_id, int(server_index))
+        if key in self.replicas:
+            self._demote(key)
+            self.cluster.metrics.increment("replica-direct-write-demotions")

@@ -28,6 +28,21 @@ ELEMENTWISE_FLOPS = 2.0
 KERNEL_FLOPS_PER_ELEMENT = 3.0
 
 
+def _aggregate_values(values, kind):
+    """The shard-aggregate math, shared by primary and replica serving."""
+    if kind == "sum":
+        return float(values.sum())
+    if kind == "nnz":
+        return float(np.count_nonzero(values))
+    if kind == "sumsq":
+        return float(np.dot(values, values))
+    if kind == "max":
+        return float(values.max()) if values.size else -np.inf
+    if kind == "min":
+        return float(values.min()) if values.size else np.inf
+    raise PSError("unknown aggregate %r" % (kind,))
+
+
 class RowShard:
     """The slice ``[start, stop)`` of one model row held by one server."""
 
@@ -44,6 +59,25 @@ class RowShard:
 
     def __len__(self):
         return self.stop - self.start
+
+
+class ReplicaEntry:
+    """This server's copy of another server's shards of one matrix.
+
+    ``rows`` maps row -> :class:`RowShard` (the *primary's* column range),
+    ``versions`` carries the primary's per-row mutation counters as of the
+    last install/apply, and ``install_epoch`` is the primary's recovery
+    epoch at install time — the fencing token: a replica whose install
+    epoch trails the primary's current epoch is stale (the primary may
+    have rolled back to a checkpoint) and must not serve reads.
+    """
+
+    __slots__ = ("rows", "versions", "install_epoch")
+
+    def __init__(self, rows, versions, install_epoch):
+        self.rows = rows
+        self.versions = versions
+        self.install_epoch = int(install_epoch)
 
 
 class PSServer:
@@ -66,8 +100,34 @@ class PSServer:
         #: Per-(matrix_id, row) mutation counters; together with the epoch
         #: they form the version token worker caches validate against.
         self.versions = {}
+        #: Hot-key replica copies held FOR other servers, keyed by
+        #: ``(matrix_id, primary_server_index)``.  Kept apart from
+        #: ``_store``: under a column layout this server already owns its
+        #: own shard of every row, so replica shards (the primary's column
+        #: range) can never share the primary store's keying.
+        self.replica_store = {}
+        #: Nesting depth of :meth:`dispatch`.  Mutations that run at depth
+        #: zero were invoked *directly* (realignment, recovery tooling) and
+        #: bypass the transport's replica fan-out, so they must demote any
+        #: replicas of the touched shard instead of letting them diverge.
+        self._dispatch_depth = 0
 
     # -- version vectors ----------------------------------------------------
+
+    def _notify_direct_write(self, matrix_id):
+        """Demote replicas of a shard mutated OUTSIDE the dispatch path.
+
+        Realignment and recovery tooling write through the public storage
+        primitives directly, bypassing the transport's replica fan-out; a
+        replica of the touched shard would silently diverge, so the
+        replication manager de-replicates the key instead.  A no-op at any
+        dispatch depth > 0 (the fan-out covers those) and whenever no
+        manager is configured.
+        """
+        if self._dispatch_depth == 0:
+            manager = getattr(self.cluster, "replication", None)
+            if manager is not None:
+                manager.on_direct_write(matrix_id, self.server_index)
 
     def _bump_version(self, matrix_id, row):
         key = (matrix_id, int(row))
@@ -139,13 +199,27 @@ class PSServer:
                 "server %s has no handler for %r"
                 % (self.node_id, type(request).__name__)
             ) from None
-        return handler(self, request)
+        self._dispatch_depth += 1
+        try:
+            return handler(self, request)
+        finally:
+            self._dispatch_depth -= 1
+
+    def _is_replica_read(self, request):
+        return (request.replica_of is not None
+                and request.replica_of != self.server_index)
 
     def _serve_pull_row(self, request):
+        if self._is_replica_read(request):
+            return self.replica_read(request.matrix_id, request.replica_of,
+                                     request.row, request.indices)
         return self.read(request.matrix_id, request.row, request.indices)
 
     def _serve_pull_range(self, request):
         span = np.arange(request.start, request.stop, dtype=np.int64)
+        if self._is_replica_read(request):
+            return self.replica_read(request.matrix_id, request.replica_of,
+                                     request.row, span)
         return self.read(request.matrix_id, request.row, span)
 
     def _serve_push(self, request):
@@ -164,6 +238,10 @@ class PSServer:
             self.assign(request.matrix_id, request.row, request.values, span)
 
     def _serve_aggregate(self, request):
+        if self._is_replica_read(request):
+            return self.replica_aggregate(request.matrix_id,
+                                          request.replica_of, request.row,
+                                          request.kind)
         return self.aggregate(request.matrix_id, request.row, request.kind)
 
     def _serve_kernel(self, request):
@@ -183,6 +261,36 @@ class PSServer:
 
     def _serve_batch(self, request):
         return [self.dispatch(sub) for sub in request.requests]
+
+    def _serve_replicated_push(self, request):
+        """Apply a fanned-out mutation to this server's replica copies.
+
+        Fencing first (install epoch must match the primary epoch recorded
+        at fan-out time), idempotence second (rows already at or past the
+        recorded primary counters were covered by a fresh re-install), and
+        only then the actual apply — which also advances the replica's row
+        counters to the recorded values so replicas stay in lockstep with
+        the primary's version vector.
+        """
+        self._check_alive()
+        metrics = self.cluster.metrics
+        entries = {}
+        for matrix_id in {m for m, _row in request.versions}:
+            entry = self.replica_store.get((matrix_id, request.primary_index))
+            if entry is None or entry.install_epoch != request.epoch:
+                metrics.increment("replica-fanout-fenced")
+                self._service(1.0, "ps-replica")
+                return None
+            entries[matrix_id] = entry
+        if all(entries[m].versions.get((m, row), 0) >= counter
+               for (m, row), counter in request.versions.items()):
+            metrics.increment("replica-fanout-skipped")
+            self._service(1.0, "ps-replica")
+            return None
+        self._replica_apply(request.inner, entries)
+        for (m, row), counter in request.versions.items():
+            entries[m].versions[(m, row)] = counter
+        return None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -207,6 +315,7 @@ class PSServer:
         """Lose all state (a fraction of the model), as in Section 5.3."""
         self.alive = False
         self._store.clear()
+        self.replica_store.clear()
         self.cluster.metrics.increment("server-crashes")
 
     def revive(self):
@@ -245,8 +354,10 @@ class PSServer:
         rows[int(row)] = RowShard(start, stop, values)
 
     def drop_matrix(self, matrix_id):
-        """Free every shard of *matrix_id* (idempotent)."""
+        """Free every shard of *matrix_id*, replicas included (idempotent)."""
         self._store.pop(matrix_id, None)
+        for key in [k for k in self.replica_store if k[0] == matrix_id]:
+            del self.replica_store[key]
 
     def shard(self, matrix_id, row):
         """The local shard of (*matrix_id*, *row*); raises if absent."""
@@ -274,6 +385,146 @@ class PSServer:
             for shard in rows.values()
         )
 
+    def matrix_rows(self, matrix_id):
+        """All local shards of *matrix_id* (``{row: RowShard}``); raises
+        if this server holds none — the replication manager's source for
+        replica installs."""
+        self._check_alive()
+        try:
+            return self._store[matrix_id]
+        except KeyError:
+            raise MatrixNotFoundError(
+                "server %s has no shards for matrix %r"
+                % (self.node_id, matrix_id)
+            ) from None
+
+    # -- hot-key replica storage -------------------------------------------
+
+    def install_replica(self, matrix_id, primary_index, rows, versions,
+                        install_epoch):
+        """Install (or refresh) a replica of another server's shards.
+
+        *rows* is the primary's ``{row: RowShard}`` for *matrix_id* and
+        *versions* its per-row mutation counters; both are deep-copied in.
+        ``install_epoch`` must be the primary's recovery epoch at copy
+        time — it is the fence replica reads and fan-out applies validate.
+        """
+        self._check_alive()
+        copied = {
+            row: RowShard(shard.start, shard.stop, shard.values.copy())
+            for row, shard in rows.items()
+        }
+        self.replica_store[(matrix_id, int(primary_index))] = ReplicaEntry(
+            copied, dict(versions), install_epoch
+        )
+
+    def drop_replica(self, matrix_id, primary_index):
+        """De-replicate one key (idempotent)."""
+        self.replica_store.pop((matrix_id, int(primary_index)), None)
+
+    def has_replica(self, matrix_id, primary_index, epoch=None):
+        """Whether a replica for the key is installed (and, if *epoch* is
+        given, installed at that primary epoch — i.e. valid to serve)."""
+        entry = self.replica_store.get((matrix_id, int(primary_index)))
+        if entry is None:
+            return False
+        return epoch is None or entry.install_epoch == int(epoch)
+
+    def replica_bytes(self):
+        """Bytes of replica state held (report/capacity accounting)."""
+        return sum(
+            shard.values.nbytes
+            for entry in self.replica_store.values()
+            for shard in entry.rows.values()
+        )
+
+    def _replica_shard(self, matrix_id, primary_index, row):
+        self._check_alive()
+        entry = self.replica_store.get((matrix_id, int(primary_index)))
+        if entry is None:
+            raise MatrixNotFoundError(
+                "server %s holds no replica of matrix %r primary %r"
+                % (self.node_id, matrix_id, primary_index)
+            )
+        try:
+            return entry.rows[int(row)]
+        except KeyError:
+            raise MatrixNotFoundError(
+                "server %s replica of matrix %r primary %r lacks row %r"
+                % (self.node_id, matrix_id, primary_index, row)
+            ) from None
+
+    def replica_read(self, matrix_id, primary_index, row, global_indices=None):
+        """Serve a read from a replica copy (same pricing as :meth:`read`)."""
+        shard = self._replica_shard(matrix_id, primary_index, row)
+        if global_indices is None:
+            values = shard.values.copy()
+        else:
+            values = shard.values[shard.local(global_indices)]
+        self._service(max(1.0, values.size), "ps-read")
+        return values
+
+    def replica_aggregate(self, matrix_id, primary_index, row, kind):
+        """A shard aggregate served from a replica copy."""
+        shard = self._replica_shard(matrix_id, primary_index, row)
+        values = shard.values
+        self._service(ELEMENTWISE_FLOPS * max(1, values.size), "ps-agg")
+        return _aggregate_values(values, kind)
+
+    def _replica_apply(self, inner, entries):
+        """Apply one fanned-out mutation against replica shard arrays."""
+        if isinstance(inner, messages.PushRequest):
+            shard = entries[inner.matrix_id].rows[inner.row]
+            if inner.indices is None:
+                if inner.mode == "add":
+                    shard.values += inner.values
+                else:
+                    shard.values[:] = inner.values
+                n = shard.values.size
+            else:
+                local = shard.local(inner.indices)
+                if inner.mode == "add":
+                    np.add.at(shard.values, local, inner.values)
+                else:
+                    shard.values[local] = inner.values
+                n = len(inner.values)
+            self._service(ELEMENTWISE_FLOPS * max(1, n), "ps-replica")
+        elif isinstance(inner, messages.PushRangeRequest):
+            shard = entries[inner.matrix_id].rows[inner.row]
+            local = shard.local(inner.span())
+            if inner.mode == "add":
+                np.add.at(shard.values, local, inner.values)
+            else:
+                shard.values[local] = inner.values
+            self._service(
+                ELEMENTWISE_FLOPS * max(1, len(inner.values)), "ps-replica"
+            )
+        elif isinstance(inner, messages.FillRequest):
+            shard = entries[inner.matrix_id].rows[inner.row]
+            shard.values.fill(inner.value)
+            self._service(max(1, shard.values.size), "ps-replica")
+        elif isinstance(inner, messages.KernelRequest):
+            shards = [
+                entries[matrix_id].rows[int(row)]
+                for matrix_id, row in inner.operands
+            ]
+            arrays = [shard.values for shard in shards]
+            flops = inner.flops
+            if flops is None:
+                width = arrays[0].size if arrays else 0
+                flops = KERNEL_FLOPS_PER_ELEMENT * max(1, width) \
+                    * max(1, len(arrays))
+            self._service(flops, "ps-replica")
+            kwargs = dict(inner.args or {})
+            if getattr(inner.kernel, "_wants_range", False):
+                kwargs["start"] = shards[0].start
+                kwargs["stop"] = shards[0].stop
+            inner.kernel(arrays, **kwargs)
+        else:
+            raise PSError(
+                "cannot replica-apply %r" % (type(inner).__name__,)
+            )
+
     # -- row access (pull/push side) ---------------------------------------
 
     def read(self, matrix_id, row, global_indices=None):
@@ -296,6 +547,7 @@ class PSServer:
             np.add.at(shard.values, shard.local(global_indices), values)
             n = len(values)
         self._bump_version(matrix_id, row)
+        self._notify_direct_write(matrix_id)
         self._service(ELEMENTWISE_FLOPS * max(1, n), "ps-add")
 
     def assign(self, matrix_id, row, values, global_indices=None):
@@ -308,6 +560,7 @@ class PSServer:
             shard.values[shard.local(global_indices)] = values
             n = len(values)
         self._bump_version(matrix_id, row)
+        self._notify_direct_write(matrix_id)
         self._service(max(1, n), "ps-assign")
 
     def fill(self, matrix_id, row, value):
@@ -315,6 +568,7 @@ class PSServer:
         shard = self.shard(matrix_id, row)
         shard.values.fill(float(value))
         self._bump_version(matrix_id, row)
+        self._notify_direct_write(matrix_id)
         self._service(max(1, shard.values.size), "ps-fill")
 
     # -- server-side aggregates --------------------------------------------
@@ -324,17 +578,7 @@ class PSServer:
         shard = self.shard(matrix_id, row)
         values = shard.values
         self._service(ELEMENTWISE_FLOPS * max(1, values.size), "ps-agg")
-        if kind == "sum":
-            return float(values.sum())
-        if kind == "nnz":
-            return float(np.count_nonzero(values))
-        if kind == "sumsq":
-            return float(np.dot(values, values))
-        if kind == "max":
-            return float(values.max()) if values.size else -np.inf
-        if kind == "min":
-            return float(values.min()) if values.size else np.inf
-        raise PSError("unknown aggregate %r" % (kind,))
+        return _aggregate_values(values, kind)
 
     # -- server-side kernels (the DCV column ops) ---------------------------
 
@@ -359,6 +603,8 @@ class PSServer:
         # them, so conservatively bump every operand's version.
         for matrix_id, row in operands:
             self._bump_version(matrix_id, row)
+        for matrix_id in sorted({matrix_id for matrix_id, _row in operands}):
+            self._notify_direct_write(matrix_id)
         if flops is None:
             width = arrays[0].size if arrays else 0
             flops = KERNEL_FLOPS_PER_ELEMENT * max(1, width) * max(1, len(arrays))
@@ -404,5 +650,6 @@ _HANDLERS = {
     messages.KernelRequest: PSServer._serve_kernel,
     messages.FillRequest: PSServer._serve_fill,
     messages.ClockAdvanceRequest: PSServer._serve_clock_advance,
+    messages.ReplicatedPushRequest: PSServer._serve_replicated_push,
     messages.BatchRequest: PSServer._serve_batch,
 }

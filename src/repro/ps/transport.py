@@ -127,20 +127,32 @@ class Transport:
         ``response_arrival`` is ``None`` for fire-and-forget messages; the
         caller decides when to block on arrivals.
         """
+        self._route(request)
         self._charge_rpc(1)
-        return self._transmit(request)
+        result = self._transmit(request)
+        self._send_fanout(self._fan_out([request]))
+        return result
 
     def send_all(self, requests):
         """Ship a message list; returns ``(values, arrivals)`` aligned.
 
-        Messages are grouped by destination server (first-appearance
-        order).  With coalescing on, each group of two or more becomes one
+        With a replication manager configured, each read is first offered
+        to :meth:`~repro.ps.replication.HotKeyManager.route_read`, which
+        may retarget it at the nearest-by-queue replica (responses stay
+        positional, so callers are oblivious).  Messages are then grouped
+        by destination server (first-appearance order).  With coalescing
+        on, each group of two or more becomes one
         :class:`~repro.ps.messages.BatchRequest` envelope — one header and
         one NIC booking per server; singleton groups always go standalone,
         so ops that already issue one message per server are byte-for-byte
         unaffected by the knob.  Client-side RPC CPU is charged once per
-        outgoing transfer, before anything touches the wire.
+        outgoing transfer, before anything touches the wire.  After every
+        original was transmitted (mutations applied to their primaries),
+        replica fan-out messages are built from the post-apply version
+        counters and shipped the same way.
         """
+        for request in requests:
+            self._route(request)
         groups = {}
         for position, request in enumerate(requests):
             groups.setdefault(request.server_index, []).append(position)
@@ -169,7 +181,46 @@ class Transport:
             else:
                 values[positions[0]] = value
                 arrivals[positions[0]] = arrival
+        self._send_fanout(self._fan_out(requests))
         return values, arrivals
+
+    # -- replication hooks -------------------------------------------------
+
+    def _route(self, request):
+        """Offer one read to the replication manager's replica router."""
+        manager = getattr(self.cluster, "replication", None)
+        if manager is not None:
+            manager.route_read(request)
+        return request
+
+    def _fan_out(self, requests):
+        """Replica fan-out messages for the mutations in *requests*."""
+        manager = getattr(self.cluster, "replication", None)
+        if manager is None:
+            return []
+        return manager.fan_out_messages(requests)
+
+    def _send_fanout(self, extras):
+        """Ship replica fan-out messages (all fire-and-forget).
+
+        Grouped and coalesced per destination like :meth:`send_all`, but
+        never re-offered to routing or fan-out — induced traffic does not
+        recurse.
+        """
+        if not extras:
+            return
+        groups = {}
+        for message in extras:
+            groups.setdefault(message.server_index, []).append(message)
+        outgoing = []
+        for server_index, group in groups.items():
+            if self.coalesce and len(group) > 1:
+                outgoing.append(messages.BatchRequest(group))
+            else:
+                outgoing.extend(group)
+        self._charge_rpc(len(outgoing))
+        for message in outgoing:
+            self._transmit(message)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -188,27 +239,38 @@ class Transport:
         it replaces.  Byte volume (request + response) is attributed from
         the message's own wire formulas; a batch attributes each
         sub-request its *standalone-equivalent* bytes, so per-shard volume
-        stays comparable across the coalescing knob.
+        stays comparable across the coalescing knob.  A replica-routed
+        read (``replica_of`` set) is charged to the *primary* shard key:
+        rerouting must never drain the heat signal that justified the
+        replica.
         """
         metrics = self.cluster.metrics
         if isinstance(message, messages.BatchRequest):
-            by_matrix = {}
+            by_shard = {}
             for request in message.requests:
                 if request.matrix_id is None:
                     continue
-                n_values, nbytes = by_matrix.get(request.matrix_id, (0, 0.0))
-                by_matrix[request.matrix_id] = (
+                heat_server = (request.replica_of
+                               if request.replica_of is not None
+                               else request.server_index)
+                key = (request.matrix_id, heat_server)
+                n_values, nbytes = by_shard.get(key, (0, 0.0))
+                by_shard[key] = (
                     n_values + request.n_values,
                     nbytes + request.wire_bytes()
                     + (request.response_bytes() or 0),
                 )
-            for matrix_id, (n_values, nbytes) in by_matrix.items():
+            for (matrix_id, heat_server), (n_values, nbytes) in \
+                    by_shard.items():
                 metrics.record_shard_access(
-                    matrix_id, message.server_index, n_values, nbytes=nbytes
+                    matrix_id, heat_server, n_values, nbytes=nbytes
                 )
         elif message.matrix_id is not None:
+            heat_server = (message.replica_of
+                           if message.replica_of is not None
+                           else message.server_index)
             metrics.record_shard_access(
-                message.matrix_id, message.server_index, message.n_values,
+                message.matrix_id, heat_server, message.n_values,
                 nbytes=message.wire_bytes() + (message.response_bytes() or 0),
             )
 

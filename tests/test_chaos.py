@@ -398,6 +398,100 @@ def test_ssp_server_crash_fences_stale_cache_entries():
     assert np.allclose(fresh, np.arange(30.0))
 
 
+# -- hot-key replication under failures ---------------------------------------
+
+
+def _replicated_rig():
+    """A 3-server cluster with shard (m, 0) promoted to replicas [1, 2].
+
+    dim 30 over 3 servers -> shards [0,10), [10,20), [20,30).  The extra
+    ``pull_range`` reads heat shard (m, 0) past its siblings, so the topk
+    sweep (k = round(0.34 * 3) = 1) picks exactly that key, and
+    ``replication_factor=2`` installs copies on both other servers.
+    """
+    cluster = Cluster(ClusterConfig(
+        n_executors=2, n_servers=3, seed=42,
+        replication="topk", hot_key_fraction=0.34, replication_factor=2,
+    ))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    for _ in range(4):
+        client.pull_range(m, 0, 0, 10)
+    master.replication.rebalance()
+    assert master.replication.replica_set(m, 0) == [1, 2]
+    return cluster, master, client, m
+
+
+def test_replica_holder_crash_recovery_restores_replica_set():
+    """Crash a server HOSTING hot-key replicas mid-epoch: the dead holder
+    must drop out of the valid replica set immediately (no read may route
+    to it), and recovery must re-install its copy from the live primary."""
+    cluster, master, client, m = _replicated_rig()
+    manager = master.replication
+    master.checkpoint_all()
+    reinstalls_before = cluster.metrics.counters.get("replica-reinstalls", 0)
+
+    master.server(1).crash()
+    # The crash wiped server-1's replica store; routing candidates shrink
+    # to the surviving holder at once.
+    assert manager.replica_set(m, 0) == [2]
+
+    master.recover(1)
+    # Recovery re-installed the (m, 0) copy onto the replacement process
+    # (plus restored its own primary shard from the checkpoint).
+    assert cluster.metrics.counters["replica-reinstalls"] > reinstalls_before
+    assert manager.replica_set(m, 0) == [1, 2]
+    assert master.server(1).has_replica(m, 0, master.server(0).epoch)
+    assert np.allclose(client.pull_row(m, 0), np.arange(30.0))
+
+
+def test_primary_crash_epoch_bump_fences_stale_replicas():
+    """Crash the PRIMARY of a replicated hot key after a post-checkpoint
+    mutation: the epoch bump must fence every replica installed at the old
+    epoch (they carry the rolled-back update), recovery must re-install
+    the replica set at the new epoch, and a stale fan-out that raced the
+    crash must be rejected, not applied."""
+    from repro.ps import messages
+
+    cluster, master, client, m = _replicated_rig()
+    manager = master.replication
+    master.checkpoint_all()
+    # Post-checkpoint mutation: fans out to both replicas, then is LOST
+    # with the crash below (the primary rolls back to the checkpoint).
+    client.push_add(m, 0, np.ones(10), indices=list(range(10)))
+    assert cluster.metrics.counters["replica-fanouts"] >= 2
+    old_epoch = master.server(0).epoch
+
+    master.server(0).crash()
+    master.recover(0)
+    new_primary = master.server(0)
+    assert new_primary.epoch == old_epoch + 1
+    # The old-epoch copies (holding the rolled-back +1) are gone: the
+    # holders were re-installed at the new epoch from the recovered state.
+    for holder in (1, 2):
+        assert not master.server(holder).has_replica(m, 0, old_epoch)
+        assert master.server(holder).has_replica(m, 0, new_primary.epoch)
+    assert manager.replica_set(m, 0) == [1, 2]
+
+    # Reads — wherever routed — see exactly the checkpointed state.
+    got = client.pull_row(m, 0)
+    assert np.allclose(got, np.arange(30.0))
+
+    # A stale fan-out from before the crash (old epoch, inflated counter)
+    # arriving late must be fenced by the apply path, never applied.
+    fenced_before = cluster.metrics.counters.get("replica-fanout-fenced", 0)
+    inner = messages.PushRequest(1, m, 0, np.ones(10),
+                                 indices=list(range(10)), mode="add")
+    stale = messages.ReplicatedPushRequest(1, inner, 0, old_epoch,
+                                           {(m, 0): 999})
+    master.server(1).dispatch(stale)
+    assert cluster.metrics.counters["replica-fanout-fenced"] \
+        == fenced_before + 1
+    assert np.allclose(client.pull_row(m, 0), np.arange(30.0))
+
+
 def test_ssp_training_survives_scheduled_server_crash():
     """End-to-end: SSP training through a mid-run server crash still
     completes, recovers the server, and stays within the staleness

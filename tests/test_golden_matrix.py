@@ -1,0 +1,97 @@
+"""Golden determinism matrix: consistency × coalescing × replication.
+
+Every cell of {bsp, ssp(1), asp} × {coalesce on, off} × {replication off,
+topk} must be a deterministic function of the seed: two identical runs
+produce bit-identical loss histories, final weights and virtual makespans.
+On top of per-cell determinism, two cross-cutting invariants:
+
+- replication never changes the math — within any (consistency, coalesce)
+  pair the off and topk runs have identical loss histories (replication
+  moves bytes, not floats);
+- the canonical BSP / coalesce-on / replication-off cell matches a
+  checked-in golden hash, so *any* change to the numerical behaviour of
+  the default pipeline — however indirect — trips a review gate instead
+  of sliding in silently.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.data import sparse_classification
+from repro.experiments.runner import make_context
+from repro.ml import train_logistic_regression
+
+MODELS = [("bsp", 0), ("ssp", 1), ("asp", 0)]
+
+#: sha256 over the float64 loss history of the canonical cell
+#: (bsp, coalesce on, replication off).  Regenerate deliberately with
+#: ``_loss_hash(_run("bsp", 0, True, "off")[0])`` if the numerical
+#: behaviour of the default pipeline is *intentionally* changed.
+GOLDEN_BSP_HASH = \
+    "433406334a7eb8f7b7e15868cb34e219bf7f5bb2498596e8931ef3e3df419684"
+
+
+def _run(consistency, staleness, coalesce, replication):
+    ctx = make_context(
+        n_executors=2, n_servers=3, seed=11,
+        coalesce_requests=coalesce,
+        consistency=consistency, staleness=staleness,
+        replication=replication, hot_key_fraction=0.34,
+        replication_factor=2,
+    )
+    rows, _ = sparse_classification(80, 96, 8, seed=11)
+    result = train_logistic_regression(
+        ctx, rows, 96, optimizer="sgd", n_iterations=3,
+        batch_fraction=0.5, seed=11,
+    )
+    losses = [loss for _t, loss in result.history]
+    weights = result.extras["weight"].pull()
+    return losses, weights, ctx
+
+
+def _loss_hash(losses):
+    return hashlib.sha256(
+        np.asarray(losses, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+@pytest.mark.parametrize("consistency,staleness", MODELS)
+@pytest.mark.parametrize("coalesce", [True, False])
+@pytest.mark.parametrize("replication", ["off", "topk"])
+def test_cell_is_bit_identical_across_runs(consistency, staleness, coalesce,
+                                           replication):
+    losses_a, weights_a, ctx_a = _run(consistency, staleness, coalesce,
+                                      replication)
+    losses_b, weights_b, ctx_b = _run(consistency, staleness, coalesce,
+                                      replication)
+    assert losses_a == losses_b
+    assert np.array_equal(weights_a, weights_b)
+    assert ctx_a.elapsed() == ctx_b.elapsed()
+    # The replication knob is live in topk cells and inert in off cells.
+    fanouts = ctx_a.metrics.counters.get("replica-fanouts", 0)
+    promotions = ctx_a.metrics.counters.get("replica-promotions", 0)
+    if replication == "off":
+        assert fanouts == 0 and promotions == 0
+    else:
+        assert promotions > 0
+        assert (ctx_a.metrics.counters["rebalance-sweeps"]
+                == ctx_b.metrics.counters["rebalance-sweeps"])
+
+
+@pytest.mark.parametrize("consistency,staleness", MODELS)
+@pytest.mark.parametrize("coalesce", [True, False])
+def test_replication_never_changes_the_losses(consistency, staleness,
+                                              coalesce):
+    losses_off, _w_off, _ctx = _run(consistency, staleness, coalesce, "off")
+    losses_on, _w_on, _ctx = _run(consistency, staleness, coalesce, "topk")
+    assert losses_on == losses_off
+
+
+def test_canonical_bsp_cell_matches_checked_in_golden():
+    losses, _weights, ctx = _run("bsp", 0, True, "off")
+    # The off cell must also be byte-oblivious to the feature existing:
+    # no replication tag ever appears in the transfer accounting.
+    assert not any("replica" in tag for tag in ctx.metrics.bytes_by_tag)
+    assert _loss_hash(losses) == GOLDEN_BSP_HASH

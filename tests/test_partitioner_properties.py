@@ -1,0 +1,220 @@
+"""Property-based tests: partitioning, co-location and replica routing.
+
+The invariants replication leans on, stated as properties:
+
+1. every column is owned by exactly ONE primary server, and every view of
+   the mapping (``position_of``/``server_of``/``owned_ranges``/
+   ``shards_for_row``/``split_indices``) agrees;
+2. ``derive()`` siblings are co-located (same pool, layout and rotation),
+   so fan-out version keys and kernel operands always share shard keys;
+3. the read router only ever lands a request on the primary or a member
+   of the key's valid replica set, and marks reroutes with ``replica_of``;
+4. rebalance sweeps (promote/demote/migrate) never change primary
+   ownership or lose data — coverage is preserved under any heat history.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.core.context import PS2Context
+from repro.ps import messages
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+from repro.ps.partitioner import ColumnLayout
+
+
+layouts = st.builds(
+    ColumnLayout,
+    st.integers(min_value=1, max_value=200),  # dim
+    st.integers(min_value=1, max_value=8),    # n_servers
+    rotation=st.integers(min_value=0, max_value=7),
+    block=st.integers(min_value=1, max_value=8),
+)
+
+
+# -- 1: exactly-once primary ownership ----------------------------------------
+
+
+@given(layout=layouts)
+@settings(max_examples=60, deadline=None)
+def test_every_column_owned_by_exactly_one_primary(layout):
+    owners = np.full(layout.dim, -1, dtype=int)
+    for server_index in range(layout.n_servers):
+        for start, stop in layout.owned_ranges(server_index):
+            assert 0 <= start < stop <= layout.dim
+            # No column claimed twice across all owned_ranges.
+            assert np.all(owners[start:stop] == -1)
+            owners[start:stop] = server_index
+    # No column left unowned, and server_of agrees column by column.
+    assert np.all(owners >= 0)
+    for column in range(layout.dim):
+        assert layout.server_of(column) == owners[column]
+        position = layout.position_of(column)
+        start, stop = layout.range_of_position(position)
+        assert start <= column < stop
+
+
+@given(layout=layouts)
+@settings(max_examples=60, deadline=None)
+def test_shards_for_row_tile_the_dimension(layout):
+    shards = layout.shards_for_row(0)
+    spans = sorted((start, stop) for _server, start, stop in shards)
+    assert spans[0][0] == 0 and spans[-1][1] == layout.dim
+    assert all(a_stop == b_start for (_a, a_stop), (b_start, _b)
+               in zip(spans, spans[1:]))
+    # Shard owners match the primary mapping.
+    for server_index, start, stop in shards:
+        assert layout.server_of(start) == server_index
+        assert layout.server_of(stop - 1) == server_index
+
+
+@given(layout=layouts, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_split_indices_partitions_and_preserves_order(layout, data):
+    indices = data.draw(st.lists(
+        st.integers(min_value=0, max_value=layout.dim - 1),
+        min_size=0, max_size=50, unique=True,
+    ))
+    groups = layout.split_indices(indices)
+    # A partition: disjoint groups whose union is the sorted input...
+    rejoined = [i for group in groups.values() for i in group]
+    assert sorted(rejoined) == sorted(indices)
+    # ...each index grouped under its owning server...
+    for server_index, group in groups.items():
+        assert all(layout.server_of(int(i)) == server_index for i in group)
+        assert list(group) == sorted(group)
+    # ...and iteration order follows ascending column ranges, so the
+    # concatenation IS the sorted index sequence (clients rely on this).
+    assert rejoined == sorted(indices)
+
+
+# -- 2: derive() co-location --------------------------------------------------
+
+
+@given(
+    dim=st.integers(min_value=1, max_value=120),
+    n_servers=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_derive_siblings_are_co_located(dim, n_servers):
+    ps2 = PS2Context(config=ClusterConfig(
+        n_executors=2, n_servers=n_servers, seed=3,
+    ))
+    a = ps2.dense(dim, rows=3)
+    b = a.derive()
+    c = b.derive()
+    # Same pool: shard keys (matrix_id, server) coincide for every slice.
+    assert b.matrix_id == a.matrix_id and c.matrix_id == a.matrix_id
+    assert len({a.row, b.row, c.row}) == 3
+    assert a.layout.same_layout(b.layout)
+    assert a.layout.same_layout(c.layout)
+    # An independent allocation need not share the rotation — only the
+    # derive chain guarantees co-location.
+    other = ps2.dense(dim)
+    assert other.matrix_id != a.matrix_id
+
+
+# -- 3 & 4: replica sets vs routing, rebalance preserves coverage -------------
+
+
+def _replication_rig(n_servers, replication_factor):
+    cluster = Cluster(ClusterConfig(
+        n_executors=2, n_servers=n_servers, seed=42,
+        replication="topk", hot_key_fraction=0.2,
+        replication_factor=replication_factor,
+    ))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    return cluster, master, client
+
+
+@given(
+    n_servers=st.integers(min_value=2, max_value=6),
+    replication_factor=st.integers(min_value=0, max_value=3),
+    hot_position=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_route_read_lands_on_primary_or_valid_replica(
+        n_servers, replication_factor, hot_position):
+    dim = 12 * n_servers
+    cluster, master, client = _replication_rig(n_servers, replication_factor)
+    manager = master.replication
+    m = master.create_matrix(dim)
+    client.push_assign(m, 0, np.arange(float(dim)))
+    layout = master.layout(m)
+    start, stop = layout.range_of_position(hot_position % n_servers)
+    for _ in range(3):
+        client.pull_range(m, 0, start, stop)
+    manager.rebalance()
+    primary = layout.server_of(start)
+    replicas = manager.replica_set(m, primary)
+    # The replica set never contains the primary and respects the factor.
+    assert primary not in replicas
+    limit = replication_factor if replication_factor > 0 else n_servers - 1
+    assert len(replicas) <= min(limit, n_servers - 1)
+    # Routing responses stay inside {primary} + replica set, reroutes are
+    # marked, and every holder really has a valid copy.
+    epoch = master.server(primary).epoch
+    for _ in range(4):
+        request = messages.PullRangeRequest(primary, m, 0, start, stop)
+        routed = manager.route_read(request)
+        assert routed.server_index in [primary] + replicas
+        if routed.server_index != primary:
+            assert routed.replica_of == primary
+            assert master.server(routed.server_index).has_replica(
+                m, primary, epoch)
+        else:
+            assert routed.replica_of is None
+    # And the data read through the client is the data written.
+    assert np.allclose(client.pull_range(m, 0, start, stop),
+                       np.arange(float(dim))[start:stop])
+
+
+@given(
+    n_servers=st.integers(min_value=2, max_value=5),
+    replication_factor=st.integers(min_value=0, max_value=2),
+    data=st.data(),
+)
+@settings(max_examples=15, deadline=None)
+def test_rebalance_history_preserves_coverage(n_servers, replication_factor,
+                                              data):
+    dim = 10 * n_servers
+    cluster, master, client = _replication_rig(n_servers, replication_factor)
+    manager = master.replication
+    m = master.create_matrix(dim)
+    expected = np.zeros(dim)
+    client.push_assign(m, 0, expected)
+    steps = data.draw(st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pull", "rebalance"]),
+            st.integers(min_value=0, max_value=n_servers - 1),
+        ),
+        min_size=1, max_size=12,
+    ))
+    layout = master.layout(m)
+    for op, position in steps:
+        start, stop = layout.range_of_position(position)
+        if op == "push":
+            delta = np.ones(stop - start)
+            client.push_add(m, 0, delta, indices=list(range(start, stop)))
+            expected[start:stop] += delta
+        elif op == "pull":
+            client.pull_range(m, 0, start, stop)
+        else:
+            manager.rebalance()
+    manager.rebalance()
+    # Primary ownership never moved...
+    assert master.layout(m).same_layout(layout)
+    # ...every surviving replica entry is a valid, installed copy...
+    for (matrix_id, primary_index), targets in manager.replicas.items():
+        epoch = master.server(primary_index).epoch
+        for replica_index in manager.replica_set(matrix_id, primary_index):
+            assert replica_index != primary_index
+            assert replica_index in targets
+            assert master.server(replica_index).has_replica(
+                matrix_id, primary_index, epoch)
+    # ...and no data was lost or duplicated through any migrate/demote.
+    assert np.allclose(client.pull_row(m, 0), expected)

@@ -1,0 +1,301 @@
+"""Hot-key replication manager: classify, promote/demote, route, fan out.
+
+Unit-level coverage of :mod:`repro.ps.replication` — the chaos suite
+covers the crash/recovery interactions, the golden matrix locks down
+off-mode obliviousness, and the ablation benchmark the performance claim.
+"""
+
+import numpy as np
+
+from repro.cluster.cluster import DRIVER, Cluster
+from repro.config import ClusterConfig
+from repro.obs.report import hot_shard_table, replication_table
+from repro.ps import messages
+from repro.ps.client import PSClient
+from repro.ps.master import PSMaster
+
+
+def _rig(**overrides):
+    settings = dict(
+        n_executors=2, n_servers=3, seed=42,
+        replication="topk", hot_key_fraction=0.34, replication_factor=2,
+    )
+    settings.update(overrides)
+    cluster = Cluster(ClusterConfig(**settings))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    return cluster, master, client
+
+
+def _heat_and_promote(master, client, pulls=4):
+    """dim 30 over 3 servers; extra reads make shard (m, 0) the topk pick."""
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    for _ in range(pulls):
+        client.pull_range(m, 0, 0, 10)
+    master.replication.rebalance()
+    return m
+
+
+# -- construction / off mode --------------------------------------------------
+
+
+def test_off_mode_constructs_no_manager():
+    cluster = Cluster(ClusterConfig(n_executors=2, n_servers=3, seed=42))
+    master = PSMaster(cluster)
+    assert master.replication is None
+    assert cluster.replication is None
+    assert replication_table(cluster) == "(replication off)"
+
+
+# -- classification -----------------------------------------------------------
+
+
+def test_classify_topk_ranks_by_heat_with_key_tiebreak():
+    _cluster, master, _client = _rig(hot_key_fraction=0.25)
+    manager = master.replication
+    delta = {(1, s): float(heat)
+             for s, heat in enumerate([5.0, 9.0, 9.0, 1.0, 2.0, 3.0, 4.0, 8.0])}
+    # k = round(0.25 * 8) = 2; the 9.0 tie breaks toward the lower key.
+    assert manager._classify(delta) == {(1, 1), (1, 2)}
+    # k never rounds below 1, and an empty window classifies nothing.
+    assert len(manager._classify({(1, 0): 1.0, (1, 1): 2.0})) == 1
+    assert manager._classify({}) == set()
+
+
+def test_classify_threshold_compares_against_matrix_mean():
+    _cluster, master, _client = _rig(replication="threshold",
+                                     hot_key_fraction=0.5)
+    manager = master.replication
+    delta = {
+        # matrix 1: mean 4.0, threshold 8.0 -> only the 10.0 shard is hot.
+        (1, 0): 10.0, (1, 1): 1.0, (1, 2): 1.0,
+        # matrix 2: uniform -> nothing exceeds 2x its own mean.
+        (2, 0): 3.0, (2, 1): 3.0, (2, 2): 3.0,
+    }
+    assert manager._classify(delta) == {(1, 0)}
+
+
+def test_hot_shard_table_ranks_by_the_classifier_metric():
+    """Regression (telemetry/policy unification): when byte volume and
+    request counts disagree, BOTH the report's hot-shard table and the
+    replication classifier must rank by ``shard_heat`` — byte volume —
+    not raw request counts."""
+    cluster, master, _client = _rig()
+    metrics = cluster.metrics
+    # Shard 0 is hot by REQUEST COUNT, shard 1 by BYTES.
+    metrics.record_shard_access(7, 0, n_values=50, n_requests=50, nbytes=10.0)
+    metrics.record_shard_access(7, 1, n_values=1, n_requests=1, nbytes=1000.0)
+    metrics.record_shard_access(7, 2, n_values=1, n_requests=1, nbytes=10.0)
+    hot = metrics.hot_shards(factor=1.5)
+    assert [(matrix, server) for matrix, server, *_rest in hot] == [(7, 1)]
+    assert "1000" in hot_shard_table(metrics)
+    # The classifier consumes the same metric, so it picks the same key.
+    assert master.replication._classify(metrics.shard_heat()) == {(7, 1)}
+    # Count-only registries (no bytes recorded) fall back to counts.
+    fresh = Cluster(ClusterConfig(n_executors=2, n_servers=3, seed=1)).metrics
+    fresh.record_shard_access(7, 0, n_values=5, n_requests=5)
+    fresh.record_shard_access(7, 1, n_values=1, n_requests=1)
+    assert fresh.shard_heat() == {(7, 0): 5.0, (7, 1): 1.0}
+
+
+# -- promote / demote ---------------------------------------------------------
+
+
+def test_promotion_installs_on_all_targets_and_charges_migration():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    manager = master.replication
+    assert manager.replica_set(m, 0) == [1, 2]
+    assert manager.replicated_keys() == [(m, 0)]
+    assert cluster.metrics.counters["replica-promotions"] == 2
+    # Migration paid real wire bytes under its own tag, and the copies
+    # carry real state.
+    assert cluster.metrics.bytes_for_tag("replica-migrate") > 0
+    epoch = master.server(0).epoch
+    for holder in (1, 2):
+        assert master.server(holder).has_replica(m, 0, epoch)
+        assert np.allclose(master.server(holder).replica_read(m, 0, 0),
+                           np.arange(10.0))
+    assert manager.replica_bytes() >= 2 * 10 * 8
+
+
+def test_promotion_prefers_the_coldest_server():
+    _cluster, master, client = _rig(replication_factor=1)
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    for _ in range(4):
+        client.pull_range(m, 0, 0, 10)
+    # Server 1 is now warmer than server 2, so the single replica of the
+    # hot (m, 0) shard must land on server 2.
+    client.pull_range(m, 0, 10, 20)
+    master.replication.rebalance()
+    assert master.replication.replica_set(m, 0) == [2]
+
+
+def test_rebalance_demotes_cooled_keys_on_the_delta_window():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    manager = master.replication
+    assert manager.replica_set(m, 0) == [1, 2]
+    # New window: shard (m, 1) dominates the DELTA even though (m, 0)
+    # still leads the cumulative totals.
+    for _ in range(8):
+        client.pull_range(m, 0, 10, 20)
+    manager.rebalance()
+    assert manager.replica_set(m, 0) == []
+    assert (m, 0) not in manager.replicas
+    assert manager.replica_set(m, 1) == [0, 2]
+    assert cluster.metrics.counters["replica-demotions"] >= 1
+    # The demoted holders actually dropped their copies.
+    assert not master.server(1).has_replica(m, 0)
+    assert not master.server(2).has_replica(m, 0)
+
+
+def test_maybe_rebalance_stage_end_and_interval_gating():
+    # interval == 0: sweeps at stage ends only.
+    _cluster, master, _client = _rig()
+    manager = master.replication
+    assert not manager.maybe_rebalance()
+    assert manager.maybe_rebalance(at_stage_end=True)
+    # interval > 0: sweeps on virtual time, re-armed past the sweep.
+    cluster, master, _client = _rig(rebalance_interval=10.0)
+    manager = master.replication
+    assert not manager.maybe_rebalance(at_stage_end=True)
+    cluster.clock.set_at_least(DRIVER, 11.0)
+    assert manager.maybe_rebalance()
+    assert manager._next_sweep >= 21.0
+    assert manager.rebalance_sweep_times == [cluster.clock.global_time()]
+
+
+def test_free_matrix_forgets_replica_metadata():
+    _cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    assert master.replication.replicated_keys() == [(m, 0)]
+    master.free_matrix(m)
+    assert master.replication.replicated_keys() == []
+
+
+# -- read routing -------------------------------------------------------------
+
+
+def test_route_read_prefers_idle_replica_and_attributes_heat_to_primary():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    # Back up the primary's NIC: its horizon moves far past the replicas'.
+    cluster.network.transfer(master.server(0).node_id, DRIVER, 5e6,
+                             tag="backlog")
+    heat_before = cluster.metrics.shard_bytes[(m, 0)]
+    reads_before = cluster.metrics.counters.get("replica-reads", 0)
+    got = client.pull_range(m, 0, 0, 10)
+    assert np.allclose(got, np.arange(10.0))
+    assert cluster.metrics.counters["replica-reads"] > reads_before
+    # Rerouting must keep charging the PRIMARY shard key (else serving
+    # from replicas would drain the very heat that created them).
+    assert cluster.metrics.shard_bytes[(m, 0)] > heat_before
+
+
+def test_route_read_leaves_mutations_and_cold_keys_alone():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    # A mutation is never rerouted, even for a replicated key...
+    push = messages.PushRequest(0, m, 0, np.ones(10),
+                                indices=list(range(10)), mode="add")
+    assert master.replication.route_read(push) is push
+    assert push.server_index == 0 and push.replica_of is None
+    # ...and a read of a non-replicated key passes through unchanged.
+    read = messages.PullRangeRequest(1, m, 0, 10, 20)
+    assert master.replication.route_read(read) is read
+    assert read.server_index == 1 and read.replica_of is None
+
+
+# -- write fan-out ------------------------------------------------------------
+
+
+def test_fan_out_keeps_replicas_in_lockstep():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    fanouts_before = cluster.metrics.counters.get("replica-fanouts", 0)
+    client.push_add(m, 0, np.ones(10), indices=list(range(10)))
+    assert cluster.metrics.counters["replica-fanouts"] == fanouts_before + 2
+    expected = np.arange(10.0) + 1.0
+    for holder in (1, 2):
+        assert np.allclose(master.server(holder).replica_read(m, 0, 0),
+                           expected)
+
+
+def test_fan_out_skips_replicas_whose_counters_caught_up():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    client.push_add(m, 0, np.ones(10), indices=list(range(10)))
+    primary = master.server(0)
+    counter = primary.versions[(m, 0)]
+    # Replay the fan-out: the replica's recorded counter already covers
+    # it, so the apply is skipped (idempotence under retry/re-install).
+    inner = messages.PushRequest(1, m, 0, np.ones(10),
+                                 indices=list(range(10)), mode="add")
+    replay = messages.ReplicatedPushRequest(1, inner, 0, primary.epoch,
+                                            {(m, 0): counter})
+    skips_before = cluster.metrics.counters.get("replica-fanout-skipped", 0)
+    master.server(1).dispatch(replay)
+    assert cluster.metrics.counters["replica-fanout-skipped"] \
+        == skips_before + 1
+    assert np.allclose(master.server(1).replica_read(m, 0, 0),
+                       np.arange(10.0) + 1.0)
+
+
+def test_kernel_fan_out_is_all_or_nothing():
+    cluster, master, client = _rig(hot_key_fraction=0.34)
+    manager = master.replication
+    a = master.create_matrix(30)
+    b = master.create_matrix(30)
+    client.push_assign(a, 0, np.arange(30.0))
+    client.push_assign(b, 0, np.arange(30.0))
+    # Heat both shard-0 keys equally: k = round(0.34 * 6) = 2 picks them.
+    for _ in range(4):
+        client.pull_range(a, 0, 0, 10)
+        client.pull_range(b, 0, 0, 10)
+    manager.rebalance()
+    assert manager.replica_set(a, 0) == [1, 2]
+    assert manager.replica_set(b, 0) == [1, 2]
+    kernel = messages.KernelRequest(0, "axpy", [(a, 0), (b, 0)])
+    # Identical valid replica sets: one fan-out copy per common replica.
+    extras = manager.fan_out_messages([kernel])
+    assert [e.server_index for e in extras] == [1, 2]
+    assert all(isinstance(e, messages.ReplicatedPushRequest) for e in extras)
+    # Break the symmetry: only one operand still replicated -> a replica
+    # cannot apply the kernel consistently, so the keys demote instead.
+    manager._demote((b, 0))
+    demotions_before = cluster.metrics.counters.get(
+        "replica-kernel-demotions", 0)
+    assert manager.fan_out_messages([kernel]) == []
+    assert cluster.metrics.counters["replica-kernel-demotions"] \
+        == demotions_before + 1
+    assert (a, 0) not in manager.replicas
+
+
+def test_direct_write_outside_dispatch_demotes_replicas():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    manager = master.replication
+    assert manager.replica_set(m, 0) == [1, 2]
+    # Tooling-style write through the storage primitive (dispatch depth
+    # 0): no fan-out ran, so the replicas would diverge -> demote.
+    master.server(0).add(m, 0, np.ones(10))
+    assert cluster.metrics.counters["replica-direct-write-demotions"] == 1
+    assert (m, 0) not in manager.replicas
+    assert not master.server(1).has_replica(m, 0)
+
+
+# -- report -------------------------------------------------------------------
+
+
+def test_replication_table_renders_map_and_counters():
+    cluster, master, client = _rig()
+    m = _heat_and_promote(master, client)
+    client.push_add(m, 0, np.ones(10), indices=list(range(10)))
+    text = replication_table(cluster)
+    assert "mode: topk" in text
+    assert "1,2" in text  # the replica set of (m, 0)
+    assert "promotions=2" in text
+    assert "fan-outs=2" in text
