@@ -35,17 +35,29 @@ def emit_observability(name, clusters, trace_out=None):
 
     Called by the ``--trace`` autouse fixture in ``benchmarks/conftest.py``
     after a benchmark finishes.  Writes one merged chrome-trace JSON (one
-    process block per traced context) and one ``<name>_obs.txt`` report
+    process block per traced context, plus counter tracks for any context
+    with the time-series sampler enabled) and one ``<name>_obs.txt`` report
     next to the benchmark's regular results.
     """
     import json
 
-    from repro.obs import render_report, to_chrome_trace
+    from repro.obs import render_report, timeseries_counter_events, \
+        to_chrome_trace
 
     if not clusters:
         return None
     labeled = [("ctx%d" % i, c.tracer) for i, c in enumerate(clusters)]
     document = to_chrome_trace(labeled)
+    counter_pid = 1000
+    for index, cluster in enumerate(clusters):
+        sampler = getattr(cluster, "timeseries", None)
+        if sampler is not None:
+            sampler.finalize()
+            document["traceEvents"].extend(timeseries_counter_events(
+                sampler, counter_pid,
+                process_name="ctx%d/timeseries" % index,
+            ))
+            counter_pid += 1
     os.makedirs(RESULTS_DIR, exist_ok=True)
     trace_path = trace_out or os.path.join(
         RESULTS_DIR, "%s.trace.json" % name
@@ -60,3 +72,48 @@ def emit_observability(name, clusters, trace_out=None):
     emit(name + "_obs", "\n\n".join(reports)
          + "\nchrome trace: %s" % trace_path)
     return trace_path
+
+
+def bench_params():
+    """The knob dict that must match for two BENCH records to compare.
+
+    The benchmarks all read ``REPRO_BENCH_ITERATIONS`` (default 10), so
+    that one knob identifies the configuration: the CI gate only compares
+    records whose params equal the checked-in baselines' params.
+    """
+    return {"iterations": int(os.environ.get("REPRO_BENCH_ITERATIONS", "10"))}
+
+
+def emit_bench(name, clusters, wall_seconds):
+    """Write ``BENCH_<name>.json`` + trajectory line for one benchmark.
+
+    Called by the autouse capture fixture with every simulated cluster the
+    benchmark constructed.  Traced contexts carry a critical-path
+    breakdown; before serializing, every traced stage is checked for the
+    walk's partition invariant — categories must sum to the stage makespan
+    within 1% — so a broken DAG fails the benchmark run instead of
+    producing a silently wrong artifact.
+    """
+    from repro.obs import bench, critical_path
+
+    if not clusters:
+        return None
+    for index, cluster in enumerate(clusters):
+        if not (cluster.tracer.enabled and cluster.tracer.spans):
+            continue
+        for span, result in critical_path.stage_breakdowns(cluster.tracer):
+            attributed = sum(result.categories.values())
+            if span.duration > 0 and \
+                    abs(attributed - span.duration) > 0.01 * span.duration:
+                raise AssertionError(
+                    "%s ctx%d %s: critical-path categories sum to %.6f s "
+                    "but the stage makespan is %.6f s (>1%% apart)"
+                    % (name, index, span.op, attributed, span.duration)
+                )
+    record = bench.bench_record(name, clusters, params=bench_params(),
+                                wall_seconds=wall_seconds)
+    path = bench.write_record(record, RESULTS_DIR)
+    bench.append_trajectory(
+        record, os.path.join(RESULTS_DIR, "trajectory.jsonl")
+    )
+    return path

@@ -1,18 +1,30 @@
-"""Benchmark-runner options: ``--obs-trace`` / ``--obs-trace-out``.
+"""Benchmark-runner capture: BENCH records + ``--obs-trace`` exports.
 
-``pytest benchmarks/... --obs-trace`` enables span tracing for every simulated
-cluster a benchmark constructs.  After each benchmark, the traced contexts
+Every benchmark run emits a structured ``BENCH_<name>.json`` next to its
+regular results under ``benchmarks/results/`` (and appends a one-line
+summary to ``benchmarks/results/trajectory.jsonl``): the capture fixture
+registers every simulated cluster a benchmark constructs, times the host
+wall clock around the benchmark, and serializes makespans, wire bytes,
+latency summaries, imbalance ratios and cache hit rates per context.
+``python -m repro bench-gate`` compares those records against the
+checked-in baselines in ``benchmarks/baselines/``.
+
+``pytest benchmarks/... --obs-trace`` additionally enables span tracing
+for every simulated cluster.  After each benchmark, the traced contexts
 are exported as one merged chrome-trace JSON plus an ``*_obs.txt``
-breakdown (latency percentiles, server utilization, hot shards) next to
-the benchmark's regular results under ``benchmarks/results/``.
+breakdown (latency percentiles, server utilization, hot shards,
+critical-path attribution), and the BENCH record gains a per-context
+``critical_path`` section.
 
-Tracing never perturbs the cost model (spans only read the virtual
-clocks), so traced and untraced benchmark numbers are identical.
+Neither capture perturbs the cost model (spans and records only read the
+virtual clocks), so instrumented and plain benchmark numbers are
+identical.
 """
 
 from __future__ import annotations
 
 import re
+import time
 
 import pytest
 
@@ -34,21 +46,30 @@ def pytest_addoption(parser):
 
 
 @pytest.fixture(autouse=True)
-def _obs_trace(request):
-    """Enable construction-time tracing around each benchmark under --obs-trace."""
+def _obs_capture(request):
+    """Capture every simulated cluster a benchmark builds into a BENCH
+    record (always) and chrome-trace/report exports (under --obs-trace)."""
     from repro import obs
 
-    if not request.config.getoption("--obs-trace"):
-        yield
-        return
-    obs.set_default_tracing(True)
-    obs.drain_traced_clusters()
+    traced = request.config.getoption("--obs-trace")
+    if traced:
+        obs.set_default_tracing(True)
+        obs.drain_traced_clusters()
+    obs.set_bench_capture(True)
+    obs.drain_bench_clusters()
+    started = time.perf_counter()
     try:
         yield
     finally:
-        obs.set_default_tracing(False)
-        clusters = obs.drain_traced_clusters()
+        wall_seconds = time.perf_counter() - started
+        obs.set_bench_capture(False)
+        captured = obs.drain_bench_clusters()
         name = re.sub(r"\W+", "_", request.node.name).strip("_")
-        _common.emit_observability(
-            name, clusters, trace_out=request.config.getoption("--obs-trace-out")
-        )
+        if traced:
+            obs.set_default_tracing(False)
+            obs.drain_traced_clusters()
+            _common.emit_observability(
+                name, captured,
+                trace_out=request.config.getoption("--obs-trace-out"),
+            )
+        _common.emit_bench(name, captured, wall_seconds)

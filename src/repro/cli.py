@@ -10,6 +10,11 @@ Usage (``python -m repro <command>``):
 - ``trace <workload>`` — same run with tracing enabled: writes a
   ``chrome://tracing``-compatible JSON and prints the observability report
   (latency percentiles, server utilization, hot shards);
+- ``critical-path <workload>`` — traced run that prints the whole-run and
+  per-stage critical-path attribution (compute / network / queueing /
+  staleness-wait / retry-backoff over virtual time);
+- ``bench-gate`` — compare ``BENCH_*.json`` benchmark records against
+  checked-in baselines and fail on makespan/byte regressions;
 - ``experiments`` — list every table/figure benchmark and how to run it.
 """
 
@@ -176,6 +181,54 @@ def _cmd_trace(args):
     return 0
 
 
+def _cmd_critical_path(args):
+    from repro.experiments import make_context
+    from repro.obs import critical_path as cp
+
+    ctx = make_context(n_executors=args.executors, n_servers=args.servers,
+                       seed=args.seed, consistency=args.consistency,
+                       staleness=args.staleness)
+    ctx.cluster.tracer.enable()
+    result = _run_workload(ctx, args.workload, args.iterations, args.seed)
+
+    tracer = ctx.cluster.tracer
+    run = cp.analyze(tracer)
+    print(run.render(title="%s on %s (%d iterations)"
+                     % (result.system, result.workload, args.iterations)))
+    stages = cp.stage_breakdowns(tracer)
+    if stages and args.stages:
+        print()
+        for span, breakdown in stages:
+            print(breakdown.render(title=span.op))
+    print()
+    print("virtual makespan: %.6f s   final loss: %.6f"
+          % (result.elapsed, result.final_loss))
+    return 0
+
+
+def _cmd_bench_gate(args):
+    from repro.obs import bench
+
+    tolerances = {}
+    if args.makespan_tolerance is not None:
+        tolerances["makespan_s"] = args.makespan_tolerance
+    if args.bytes_tolerance is not None:
+        tolerances["total_wire_bytes"] = args.bytes_tolerance
+    failures, notes = bench.gate(args.results, args.baselines,
+                                 tolerances or None)
+    for note in notes:
+        print("note: %s" % note)
+    if failures:
+        for failure in failures:
+            print("REGRESSION: %s" % failure)
+        print("\nbench gate FAILED (%d regression(s)).  If the drift is"
+              " intentional, regenerate the baselines under %s."
+              % (len(failures), args.baselines))
+        return 1
+    print("bench gate passed.")
+    return 0
+
+
 def _cmd_experiments(_args):
     entries = [
         ("Figure 1", "benchmarks/bench_fig01_mllib_analysis.py"),
@@ -231,6 +284,34 @@ def build_parser():
     p_trace.add_argument("--out", default="trace.json",
                          help="chrome-trace JSON output path")
 
+    p_cp = sub.add_parser(
+        "critical-path",
+        help="train one workload traced; print the critical-path breakdown",
+    )
+    p_cp.add_argument("workload", choices=_WORKLOADS)
+    p_cp.add_argument("--iterations", type=int, default=5)
+    p_cp.add_argument("--executors", type=int, default=8)
+    p_cp.add_argument("--servers", type=int, default=8)
+    p_cp.add_argument("--seed", type=int, default=0)
+    p_cp.add_argument("--consistency", choices=("bsp", "ssp", "asp"),
+                      default="bsp")
+    p_cp.add_argument("--staleness", type=int, default=0)
+    p_cp.add_argument("--stages", action="store_true",
+                      help="also print the per-stage breakdowns")
+
+    p_gate = sub.add_parser(
+        "bench-gate",
+        help="compare BENCH_*.json records against checked-in baselines",
+    )
+    p_gate.add_argument("--results", default="benchmarks/results",
+                        help="directory holding the fresh BENCH_*.json")
+    p_gate.add_argument("--baselines", default="benchmarks/baselines",
+                        help="directory holding the checked-in baselines")
+    p_gate.add_argument("--makespan-tolerance", type=float, default=None,
+                        help="relative makespan tolerance (default 0.05)")
+    p_gate.add_argument("--bytes-tolerance", type=float, default=None,
+                        help="relative wire-bytes tolerance (default 0.02)")
+
     sub.add_parser("experiments", help="list the table/figure benchmarks")
     return parser
 
@@ -242,6 +323,8 @@ def main(argv=None):
         "dataset": _cmd_dataset,
         "train": _cmd_train,
         "trace": _cmd_trace,
+        "critical-path": _cmd_critical_path,
+        "bench-gate": _cmd_bench_gate,
         "experiments": _cmd_experiments,
     }
     return handlers[args.command](args)

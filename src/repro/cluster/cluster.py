@@ -17,7 +17,8 @@ from repro.cluster.simclock import SimClock
 from repro.common.errors import ClusterError, UnknownNodeError
 from repro.common.rng import RngRegistry
 from repro.config import ClusterConfig
-from repro.obs import default_tracing, register_traced_cluster
+from repro.obs import bench_capture, default_tracing, \
+    register_bench_cluster, register_traced_cluster
 from repro.obs.tracer import Tracer
 
 #: Reserved node id for the driver/coordinator.
@@ -44,6 +45,8 @@ class Cluster:
         self.tracer = Tracer(self.clock, enabled=default_tracing())
         if self.tracer.enabled:
             register_traced_cluster(self)
+        if bench_capture():
+            register_bench_cluster(self)
         self.network = NetworkModel(
             self.clock,
             self.metrics,
@@ -95,6 +98,19 @@ class Cluster:
             self._add_node(executor_id(index), ROLE_EXECUTOR)
         for index in range(self.config.n_servers):
             self._add_node(server_id(index), ROLE_SERVER)
+        #: The windowed time-series sampler (``None`` when disabled, the
+        #: default — a disabled sampler costs nothing anywhere).  Enabled,
+        #: it only *reads* clocks/counters/horizons, so runs stay
+        #: bit-identical either way.
+        self.timeseries = None
+        if self.config.timeseries_window > 0:
+            from repro.obs.timeseries import TimeSeriesSampler
+
+            self.timeseries = TimeSeriesSampler(
+                self, self.config.timeseries_window
+            )
+            self.metrics.window_sink = self.timeseries
+            self.stage_end_hooks.append(self.timeseries.maybe_flush)
 
     def _add_node(self, node_id, role):
         node = Node(node_id, role, self.config.node)
@@ -115,6 +131,11 @@ class Cluster:
     @property
     def driver(self):
         return self._nodes[DRIVER]
+
+    @property
+    def node_ids(self):
+        """Every node id in registration order (driver first)."""
+        return list(self._nodes)
 
     @property
     def executors(self):

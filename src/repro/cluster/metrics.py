@@ -50,6 +50,11 @@ class MetricsRegistry:
         self.cache_misses = defaultdict(int)
         self.cache_bytes_saved = defaultdict(float)
         self.latency = {}
+        #: Optional per-window sink (``repro.obs.timeseries``): when set,
+        #: every ``observe()`` is mirrored into the sink's current-window
+        #: histogram.  Purely additive bookkeeping — the sink never touches
+        #: a clock, so attaching one cannot perturb the cost model.
+        self.window_sink = None
 
     # -- recording ---------------------------------------------------------
 
@@ -108,6 +113,8 @@ class MetricsRegistry:
         if hist is None:
             hist = self.latency[tag] = StreamingHistogram()
         hist.record(seconds)
+        if self.window_sink is not None:
+            self.window_sink.observe(tag, seconds)
 
     # -- totals ------------------------------------------------------------
 
@@ -172,10 +179,14 @@ class MetricsRegistry:
             for server_index, heat in shards:
                 ratio = heat / mean
                 if ratio >= factor:
+                    # .get(): reads must never insert zero entries into the
+                    # defaultdicts — a passive query may not change what the
+                    # next snapshot() reports.
                     hot.append((
                         matrix_id, server_index,
                         self.shard_requests.get((matrix_id, server_index), 0),
-                        self.shard_values[(matrix_id, server_index)], ratio,
+                        self.shard_values.get((matrix_id, server_index), 0.0),
+                        ratio,
                     ))
         hot.sort(key=lambda item: item[4], reverse=True)
         return hot
@@ -212,12 +223,14 @@ class MetricsRegistry:
             "counters": dict(self.counters),
             "compute_counts": dict(self.compute_counts),
             "requests_by_server": dict(self.requests_by_server),
+            "requests_by_server_tag": dict(self.requests_by_server_tag),
             "shard_requests": dict(self.shard_requests),
             "shard_values": dict(self.shard_values),
             "shard_bytes": dict(self.shard_bytes),
             "cache_hits": dict(self.cache_hits),
             "cache_misses": dict(self.cache_misses),
             "cache_bytes_saved": dict(self.cache_bytes_saved),
+            "latency": self.latency_summary(),
         }
 
     @staticmethod
@@ -226,7 +239,10 @@ class MetricsRegistry:
 
         Keys whose delta is zero are dropped, so the result reads as "what
         this phase did".  Sections missing from either snapshot are treated
-        as empty.
+        as empty.  Keys may be tuples (``requests_by_server_tag`` is keyed
+        by ``(server, tag)``).  Dict-valued entries (the per-tag latency
+        summaries) are not subtractable — percentiles don't difference — so
+        for those the delta is the *observation-count* delta per tag.
         """
         out = {}
         for section in set(before) | set(after):
@@ -234,7 +250,13 @@ class MetricsRegistry:
             a = after.get(section, {})
             delta = {}
             for key in set(b) | set(a):
-                d = a.get(key, 0) - b.get(key, 0)
+                bv = b.get(key, 0)
+                av = a.get(key, 0)
+                if isinstance(bv, dict) or isinstance(av, dict):
+                    d = ((av or {}).get("count", 0)
+                         - (bv or {}).get("count", 0))
+                else:
+                    d = av - bv
                 if d:
                     delta[key] = d
             if delta:

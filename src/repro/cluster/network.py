@@ -82,7 +82,7 @@ class NetworkModel:
         )
 
     def transfer(self, src, dst, nbytes, tag="transfer", deliver=True,
-                 depart_at=None, messages=1):
+                 depart_at=None, messages=1, trace_parent=None):
         """Ship *nbytes* (payload; envelope added here) from *src* to *dst*.
 
         Returns the virtual time at which the message is fully received.
@@ -96,7 +96,10 @@ class NetworkModel:
         sender's clock says.  ``messages`` is the number of *logical*
         requests this wire message carries (> 1 for a coalesced batch
         envelope): one wire message is always booked, and the logical count
-        feeds the coalescing-efficiency accounting.
+        feeds the coalescing-efficiency accounting.  ``trace_parent``
+        parents the two NIC spans to the causing span (the client op or the
+        stage) instead of whatever happens to be open on the endpoint
+        nodes; pure observability, never a cost input.
         """
         if src == dst:
             # Local hand-off: no wire cost, still counted as a message so
@@ -130,9 +133,11 @@ class NetworkModel:
                                      messages=messages)
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(src, "net:" + tag, depart, send_done,
-                               cat="nic-send", dst=dst, nbytes=total)
+                               cat="nic-send", parent_id=trace_parent,
+                               dst=dst, nbytes=total)
             self.tracer.record(dst, "net:" + tag, recv_start, recv_done,
-                               cat="nic-recv", src=src, nbytes=total)
+                               cat="nic-recv", parent_id=trace_parent,
+                               src=src, nbytes=total)
         if deliver:
             self.clock.set_at_least(dst, recv_done)
         return recv_done

@@ -195,6 +195,11 @@ class ClusterConfig:
     ``replication_factor`` is the number of replicas per hot key (0 means
     "all other servers"); ``rebalance_interval`` is the virtual-seconds
     period of the rebalance sweep (0 sweeps at every stage end).
+
+    ``timeseries_window`` enables the windowed time-series sampler
+    (``repro.obs.timeseries``) with windows of that many virtual seconds;
+    0 (the default) disables it.  The sampler is passive — enabling it
+    never changes simulation results.
     """
 
     n_executors: int = 20
@@ -209,6 +214,7 @@ class ClusterConfig:
     hot_key_fraction: float = 0.1
     replication_factor: int = 0
     rebalance_interval: float = 0.0
+    timeseries_window: float = 0.0
     seed: int = 0
 
     def __post_init__(self):
@@ -246,4 +252,9 @@ class ClusterConfig:
             raise ConfigError(
                 "rebalance_interval must be >= 0, got %r"
                 % (self.rebalance_interval,)
+            )
+        if self.timeseries_window < 0:
+            raise ConfigError(
+                "timeseries_window must be >= 0, got %r"
+                % (self.timeseries_window,)
             )

@@ -10,7 +10,8 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  strict_colocation=False, node_flops=None, failures=None,
                  coalesce_requests=True, consistency="bsp", staleness=0,
                  replication="off", hot_key_fraction=0.1,
-                 replication_factor=0, rebalance_interval=0.0):
+                 replication_factor=0, rebalance_interval=0.0,
+                 timeseries_window=0.0):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -42,6 +43,10 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     ``rebalance_interval`` configure the NuPS-style hot-key replication
     manager for the skew-ablation experiments; the default ``"off"``
     constructs no manager at all (bit-identical to a pre-replication run).
+
+    ``timeseries_window`` enables the virtual-time-windowed metrics
+    sampler with windows of that many virtual seconds (0 disables it; the
+    sampler is passive either way).
     """
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
@@ -59,5 +64,6 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         hot_key_fraction=hot_key_fraction,
         replication_factor=replication_factor,
         rebalance_interval=rebalance_interval,
+        timeseries_window=timeseries_window,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

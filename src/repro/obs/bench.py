@@ -1,0 +1,279 @@
+"""Structured benchmark records (``BENCH_<name>.json``) and regression gating.
+
+Every benchmark run produces one machine-readable record: the virtual
+makespan, wire/logical traffic, latency summaries, load imbalance, cache
+hit rates and (when traced) the critical-path breakdown of every simulated
+context it built, plus host wall-clock and simulated-events-per-host-second
+so the simulator-speedup work has a baseline.  Records accumulate into a
+trajectory file (one JSON line per run) and are compared against
+checked-in baselines by the CI ``bench-gate``: a run whose makespan or
+byte volume regresses beyond per-metric tolerances fails the build.
+
+Schema ``repro-bench/v1``
+-------------------------
+
+Top level::
+
+    schema            "repro-bench/v1"
+    name              benchmark name (the BENCH_<name>.json stem)
+    params            knobs that must match for two records to be
+                      comparable (e.g. {"iterations": 4})
+    makespan_s        sum of the contexts' virtual makespans
+    total_wire_bytes  sum of the contexts' wire bytes
+    events            total simulated events (wire messages + compute ops)
+    contexts          per-context sub-records (below)
+    host              {"wall_seconds", "events_per_second"} — informational
+                      only; the gate never compares host timings
+
+Per context::
+
+    label             "ctx0", "ctx1", ... in construction order
+    makespan_s        virtual makespan of that context
+    total_wire_bytes  bytes that crossed its network
+    wire_messages / logical_messages
+    imbalance_ratio   max/mean of per-server request counts
+    cache             {"hits", "misses", "hit_rate"}
+    latency           MetricsRegistry.latency_summary()
+    events            wire messages + compute ops
+    critical_path     (traced runs only) CriticalPathResult.to_dict()
+
+Virtual metrics are deterministic, so the gate's tolerances exist for
+*intentional drift review*, not noise: a tolerance trip means the change
+really moved the modeled cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SCHEMA = "repro-bench/v1"
+
+#: Relative regression tolerance per gated metric (fraction of baseline).
+DEFAULT_TOLERANCES = {
+    "makespan_s": 0.05,
+    "total_wire_bytes": 0.02,
+}
+
+_CONTEXT_KEYS = ("label", "makespan_s", "total_wire_bytes", "wire_messages",
+                 "logical_messages", "imbalance_ratio", "cache", "latency",
+                 "events")
+
+
+def context_record(label, cluster, critical_path=None):
+    """The per-context sub-record for one simulated cluster."""
+    metrics = cluster.metrics
+    _peak, _mean, ratio = metrics.load_imbalance()
+    hits = sum(metrics.cache_hits.values())
+    misses = sum(metrics.cache_misses.values())
+    lookups = hits + misses
+    events = metrics.total_messages() + sum(metrics.compute_counts.values())
+    record = {
+        "label": label,
+        "makespan_s": cluster.elapsed(),
+        "total_wire_bytes": metrics.total_bytes(),
+        "wire_messages": metrics.total_messages(),
+        "logical_messages": sum(metrics.logical_messages_by_tag.values()),
+        "imbalance_ratio": ratio,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        },
+        "latency": metrics.latency_summary(),
+        "events": events,
+    }
+    if critical_path is not None:
+        record["critical_path"] = critical_path.to_dict()
+    return record
+
+
+def bench_record(name, clusters, params=None, wall_seconds=None):
+    """Build the full ``repro-bench/v1`` record for one benchmark run.
+
+    *clusters* is every simulated cluster the benchmark constructed, in
+    order.  Contexts whose tracer recorded spans get a whole-run
+    critical-path breakdown attached.  *wall_seconds* is the host time the
+    benchmark took (informational; feeds events-per-host-second).
+    """
+    from repro.obs import critical_path as cp
+
+    contexts = []
+    for index, cluster in enumerate(clusters):
+        breakdown = None
+        if cluster.tracer.enabled and cluster.tracer.spans:
+            breakdown = cp.analyze(cluster.tracer)
+        contexts.append(
+            context_record("ctx%d" % index, cluster,
+                           critical_path=breakdown)
+        )
+    events = sum(c["events"] for c in contexts)
+    record = {
+        "schema": SCHEMA,
+        "name": name,
+        "params": dict(params or {}),
+        "makespan_s": sum(c["makespan_s"] for c in contexts),
+        "total_wire_bytes": sum(c["total_wire_bytes"] for c in contexts),
+        "events": events,
+        "contexts": contexts,
+    }
+    if wall_seconds is not None:
+        record["host"] = {
+            "wall_seconds": float(wall_seconds),
+            "events_per_second": (events / wall_seconds
+                                  if wall_seconds > 0 else 0.0),
+        }
+    return record
+
+
+def validate_record(record):
+    """Schema-check one record; raises ``ValueError`` on any violation."""
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be a dict, got %r"
+                         % (type(record).__name__,))
+    if record.get("schema") != SCHEMA:
+        raise ValueError("bench record schema is %r, expected %r"
+                         % (record.get("schema"), SCHEMA))
+    if not record.get("name"):
+        raise ValueError("bench record has no name")
+    if not isinstance(record.get("params"), dict):
+        raise ValueError("bench record params must be a dict")
+    for key in ("makespan_s", "total_wire_bytes", "events"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError("bench record %s must be a non-negative "
+                             "number, got %r" % (key, value))
+    contexts = record.get("contexts")
+    if not isinstance(contexts, list) or not contexts:
+        raise ValueError("bench record needs a non-empty contexts list")
+    for context in contexts:
+        for key in _CONTEXT_KEYS:
+            if key not in context:
+                raise ValueError("bench context %r is missing %r"
+                                 % (context.get("label"), key))
+        breakdown = context.get("critical_path")
+        if breakdown is not None:
+            if not isinstance(breakdown.get("categories"), dict):
+                raise ValueError(
+                    "bench context %r critical_path has no categories"
+                    % (context.get("label"),)
+                )
+    host = record.get("host")
+    if host is not None and "wall_seconds" not in host:
+        raise ValueError("bench record host section lacks wall_seconds")
+    return record
+
+
+def write_record(record, directory):
+    """Validate and write ``BENCH_<name>.json`` under *directory*."""
+    validate_record(record)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_%s.json" % record["name"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_record(path):
+    """Read and validate one ``BENCH_*.json`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_record(json.load(handle))
+
+
+def append_trajectory(record, path):
+    """Append a one-line summary of *record* to the trajectory file.
+
+    The trajectory is a JSON-lines file: one compact line per benchmark
+    run (virtual metrics + host throughput), the repo-level perf history
+    the speedup work will diff against.
+    """
+    summary = {
+        "name": record["name"],
+        "params": record.get("params", {}),
+        "makespan_s": record["makespan_s"],
+        "total_wire_bytes": record["total_wire_bytes"],
+        "events": record["events"],
+    }
+    host = record.get("host")
+    if host is not None:
+        summary["events_per_second"] = host.get("events_per_second", 0.0)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(summary, sort_keys=True) + "\n")
+    return path
+
+
+def _check(regressions, scope, metric, current, baseline, tolerance):
+    if baseline <= 0:
+        return
+    drift = (current - baseline) / baseline
+    if drift > tolerance:
+        regressions.append(
+            "%s: %s regressed %.2f%% (%.6g -> %.6g, tolerance %.1f%%)"
+            % (scope, metric, 100.0 * drift, baseline, current,
+               100.0 * tolerance)
+        )
+
+
+def compare_records(current, baseline, tolerances=None):
+    """Regression strings for *current* vs *baseline*, or ``None``.
+
+    ``None`` means the records are not comparable (different params — e.g.
+    the baseline was generated at a different iteration count); an empty
+    list means comparable and clean.  Only *virtual* metrics are gated;
+    host wall-clock is machine-dependent and informational.
+    """
+    if current.get("params") != baseline.get("params"):
+        return None
+    tolerances = dict(DEFAULT_TOLERANCES, **(tolerances or {}))
+    regressions = []
+    for metric, tolerance in tolerances.items():
+        _check(regressions, current["name"], metric,
+               current.get(metric, 0.0), baseline.get(metric, 0.0),
+               tolerance)
+    baseline_contexts = {c["label"]: c for c in baseline["contexts"]}
+    for context in current["contexts"]:
+        base = baseline_contexts.get(context["label"])
+        if base is None:
+            continue
+        for metric, tolerance in tolerances.items():
+            _check(regressions,
+                   "%s/%s" % (current["name"], context["label"]), metric,
+                   context.get(metric, 0.0), base.get(metric, 0.0),
+                   tolerance)
+    return regressions
+
+
+def gate(results_dir, baselines_dir, tolerances=None):
+    """Compare every ``BENCH_*.json`` in *results_dir* to its baseline.
+
+    Returns ``(failures, notes)``: *failures* are regression strings (the
+    gate fails when any exist), *notes* describe skipped comparisons
+    (missing baselines — a new benchmark passes until its baseline is
+    checked in — or parameter mismatches).
+    """
+    failures, notes = [], []
+    names = sorted(
+        entry for entry in os.listdir(results_dir)
+        if entry.startswith("BENCH_") and entry.endswith(".json")
+    )
+    if not names:
+        failures.append("no BENCH_*.json records found in %s" % results_dir)
+        return failures, notes
+    for entry in names:
+        current = load_record(os.path.join(results_dir, entry))
+        baseline_path = os.path.join(baselines_dir, entry)
+        if not os.path.exists(baseline_path):
+            notes.append("%s: no checked-in baseline, skipping" % entry)
+            continue
+        regressions = compare_records(
+            current, load_record(baseline_path), tolerances
+        )
+        if regressions is None:
+            notes.append(
+                "%s: params differ from baseline, skipping" % entry
+            )
+            continue
+        failures.extend(regressions)
+    return failures, notes

@@ -76,6 +76,49 @@ def trace_events(tracer, pid_offset=0, process_prefix=""):
     return events
 
 
+def timeseries_counter_events(sampler, pid, process_name="timeseries"):
+    """Chrome counter (``"ph": "C"``) tracks for one time-series sampler.
+
+    Each closed window contributes one sample per counter at the window's
+    start (the viewer holds the value across the window): per-node byte
+    rates, per-server request rates, the cache hit rate, per-node NIC
+    backlog, and per-tag windowed p99 latency.  Give the counters their own
+    *pid* (distinct from every span process) so they render as a separate
+    process block of stacked counter tracks.
+    """
+    events = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+
+    def counter(name, ts, values):
+        if values:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "pid": pid,
+                "ts": ts * 1e6,
+                "args": values,
+            })
+
+    for window in sampler.windows:
+        ts = window.start
+        counter("bytes/s", ts, {node: window.byte_rate(node)
+                                for node in window.bytes_sent})
+        counter("requests/s", ts, {node: window.request_rate(node)
+                                   for node in window.requests})
+        if window.cache_hits or window.cache_misses:
+            counter("cache hit rate", ts,
+                    {"rate": window.cache_hit_rate()})
+        counter("nic backlog (s)", ts, dict(window.nic_backlog))
+        for tag, summary in window.latency.items():
+            counter("p99 %s (s)" % tag, ts, {"p99": summary["p99"]})
+    return events
+
+
 def to_chrome_trace(tracers):
     """A chrome-trace document for one tracer or several ``(name, tracer)``.
 

@@ -248,6 +248,64 @@ def replication_table(cluster):
     return "\n".join(lines)
 
 
+def timeseries_table(sampler):
+    """Per-window rates and gauges from one time-series sampler.
+
+    One row per closed window: total byte rate, total request rate, the
+    window's cache hit rate, the worst per-node NIC backlog at the window
+    boundary, and the windowed p99 of the ``pull`` tag (the headline
+    client op) when observed.
+    """
+    if not sampler.windows:
+        return "(no closed windows)"
+    rows = []
+    for w in sampler.windows:
+        backlog = max(w.nic_backlog.values()) if w.nic_backlog else 0.0
+        pull_p99 = w.latency.get("pull", {}).get("p99", 0.0)
+        rows.append((
+            "[%s, %s)" % (_seconds(w.start), _seconds(w.end)),
+            "%.0f" % sum(w.bytes_sent.values()),
+            "%.0f" % (sum(w.bytes_sent.values()) / w.width),
+            sum(w.requests.values()),
+            "%.1f%%" % (100.0 * w.cache_hit_rate()),
+            _seconds(backlog),
+            _seconds(pull_p99),
+        ))
+    return _format_rows(
+        ["window", "bytes", "bytes_per_s", "requests", "cache_hit",
+         "nic_backlog_s", "pull_p99_s"],
+        rows,
+    )
+
+
+def critical_path_table(tracer):
+    """Whole-run and per-stage critical-path attribution (traced runs)."""
+    from repro.obs import critical_path as cp
+
+    if not tracer.spans:
+        return "(no spans recorded)"
+    lines = [cp.analyze(tracer).render(title="run")]
+    stages = cp.stage_breakdowns(tracer)
+    if stages:
+        rows = []
+        for span, result in stages:
+            top = max(result.categories.items(), key=lambda kv: kv[1])
+            rows.append((
+                span.op,
+                _seconds(result.total),
+                "%.1f%%" % (100.0 * result.fraction("compute")),
+                "%.1f%%" % (100.0 * result.fraction("network")),
+                "%.1f%%" % (100.0 * result.fraction("queueing")),
+                top[0],
+            ))
+        lines.append(_format_rows(
+            ["stage", "makespan_s", "compute", "network", "queueing",
+             "dominant"],
+            rows,
+        ))
+    return "\n".join(lines)
+
+
 def render_report(cluster, title="observability report"):
     """The full text report for one cluster."""
     tracer = getattr(cluster, "tracer", None)
@@ -273,6 +331,14 @@ def render_report(cluster, title="observability report"):
         "-- hot-key replication --",
         replication_table(cluster),
     ]
+    sampler = getattr(cluster, "timeseries", None)
+    if sampler is not None:
+        sampler.finalize()
+        sections += [
+            "",
+            "-- time series (%.6f s windows) --" % sampler.window,
+            timeseries_table(sampler),
+        ]
     if tracer is not None and tracer.enabled:
         by_cat = {}
         for span in tracer.spans:
@@ -286,5 +352,8 @@ def render_report(cluster, title="observability report"):
                     "%s=%d" % (cat, n) for cat, n in sorted(by_cat.items())
                 ) or "none",
             ),
+            "",
+            "-- critical path --",
+            critical_path_table(tracer),
         ]
     return "\n".join(sections)

@@ -120,10 +120,12 @@ class PSClient:
         else:
             metrics.observe(op, duration)
         # Virtual-time hooks for the periodic checkpoint and replication
-        # rebalance sweeps: pure-PS workloads (no sparklite stages) still
-        # sweep on schedule.
+        # rebalance sweeps, plus the time-series window check: pure-PS
+        # workloads (no sparklite stages) still sweep/flush on schedule.
         self.master.maybe_checkpoint()
         self.master.maybe_rebalance()
+        if self.cluster.timeseries is not None:
+            self.cluster.timeseries.maybe_flush()
 
     def _await(self, arrivals):
         """Block the client until the last outstanding response lands."""

@@ -132,10 +132,15 @@ class SSPModel(_ClockedModel):
             done_at = self.completions.get((other, target))
             if done_at is not None:
                 gate = max(gate, done_at)
-        wait = gate - cluster.clock.now(worker)
+        now = cluster.clock.now(worker)
+        wait = gate - now
         if wait > 0:
             cluster.metrics.observe("staleness-wait", wait)
             cluster.metrics.increment("staleness-waits")
+            tracer = cluster.tracer
+            if tracer.enabled:
+                tracer.record(worker, "staleness-wait", now, gate, cat="op",
+                              clock=self.clocks[worker], target=target)
             cluster.clock.set_at_least(worker, gate)
 
 

@@ -125,9 +125,18 @@ class Request:
     and the hot-shard telemetry keeps attributing the access to the
     logical (primary) shard key so routing cannot drain the very heat
     signal that created the replica.
+
+    ``trace_ctx`` is the causal-tracing context ``(trace_id,
+    parent_span_id)`` the transport stamps on outgoing messages when
+    tracing is enabled (``None`` otherwise).  It is **never** part of any
+    wire formula: real tracers piggyback a few header bytes, but here the
+    invariant that traced runs are bit-identical to untraced runs is worth
+    more than that fidelity — no ``wire_bytes()`` / ``response_bytes()``
+    implementation may read it.
     """
 
-    __slots__ = ("server_index", "matrix_id", "tag", "n_values", "replica_of")
+    __slots__ = ("server_index", "matrix_id", "tag", "n_values", "replica_of",
+                 "trace_ctx")
 
     op = "?"
 
@@ -137,6 +146,7 @@ class Request:
         self.tag = tag
         self.n_values = int(n_values)
         self.replica_of = None
+        self.trace_ctx = None
 
     # -- wire accounting ---------------------------------------------------
 

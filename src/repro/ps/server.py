@@ -111,6 +111,11 @@ class PSServer:
         #: bypass the transport's replica fan-out, so they must demote any
         #: replicas of the touched shard instead of letting them diverge.
         self._dispatch_depth = 0
+        #: The causal-tracing context of the request currently being
+        #: dispatched (``(trace_id, parent_span_id)`` or ``None``) — the
+        #: parent for the CPU spans :meth:`_service` records.  Pure
+        #: observability; never consulted by any cost computation.
+        self._trace_ctx = None
 
     # -- version vectors ----------------------------------------------------
 
@@ -173,8 +178,11 @@ class PSServer:
         metrics.observe("srv:" + tag, seconds)
         tracer = self.cluster.tracer
         if tracer.enabled:
+            ctx = self._trace_ctx
             tracer.record(self.node_id, tag, start, self.last_completion,
-                          cat="cpu", queue_wait=start - arrival)
+                          cat="cpu",
+                          parent_id=None if ctx is None else ctx[1],
+                          queue_wait=start - arrival)
         self.cluster.clock.set_at_least(self.node_id, self.last_completion)
         return self.last_completion
 
@@ -199,11 +207,20 @@ class PSServer:
                 "server %s has no handler for %r"
                 % (self.node_id, type(request).__name__)
             ) from None
+        prior_ctx = self._trace_ctx
+        ctx = request.trace_ctx
+        if ctx is None and self._dispatch_depth > 0:
+            # Batch sub-requests carry no context of their own: they
+            # inherit the envelope's, so their CPU spans still parent to
+            # the client op that sent the batch.
+            ctx = prior_ctx
+        self._trace_ctx = ctx
         self._dispatch_depth += 1
         try:
             return handler(self, request)
         finally:
             self._dispatch_depth -= 1
+            self._trace_ctx = prior_ctx
 
     def _is_replica_read(self, request):
         return (request.replica_of is not None

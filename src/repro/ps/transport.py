@@ -330,6 +330,7 @@ class Transport:
         request_bytes = message.wire_bytes()
         response_bytes = message.response_bytes()
         tracer = self.cluster.tracer
+        trace_parent = None
         if tracer.enabled:
             span = tracer.current(self.node_id)
             if span is not None:
@@ -343,6 +344,12 @@ class Transport:
                         span.args.get("coalesced", 0)
                         + message.message_count()
                     )
+                # Stamp the causal context on the message: the server's CPU
+                # slot and both NIC bookings will parent to the client op
+                # that caused them.  wire_bytes() above was computed before
+                # the stamp and never reads it — tracing is byte-free.
+                trace_parent = span.span_id
+                message.trace_ctx = (span.trace_id, span.span_id)
         attempt = 0
         while True:
             if message.matrix_id is not None:
@@ -355,6 +362,7 @@ class Transport:
                     self.node_id, server.node_id, request_bytes,
                     tag=message.tag + ":req", deliver=False,
                     messages=message.message_count(),
+                    trace_parent=trace_parent,
                 )
                 server.begin(arrival)
                 value = server.dispatch(message)
@@ -377,5 +385,6 @@ class Transport:
             tag=message.tag + ":resp", deliver=False,
             depart_at=server.last_completion,
             messages=message.message_count(),
+            trace_parent=trace_parent,
         )
         return value, response_arrival

@@ -69,119 +69,137 @@ class Scheduler:
         model = self.cluster.consistency
         stage_start = clock.now(DRIVER)
 
-        for partition_id in range(rdd.get_num_partitions()):
-            executor = self.executor_for(partition_id)
-            # Executors run their queued tasks after the driver submitted the
-            # stage, but in parallel with each other.
-            if model.barrier:
-                self.cluster.clock.set_at_least(executor, stage_start)
-            # Apply scheduled executor crashes that are due by now: the dead
-            # executor's partitions redistribute over the survivors
-            # (Section 5.3 — "launches a new executor and reloads that
-            # partition of training data from the input").
-            while failures.due_executor_failures(executor, clock.now(executor)):
-                self.cluster.fail_executor(executor)
+        # The stage span stays open for the whole stage so everything it
+        # causes hangs off it in the trace DAG: task spans (explicit
+        # parent_id — they live on *executor* clocks), driver-side control
+        # transfers (task-launch, recovery reloads, result gathering; via
+        # trace_parent), and whatever PS traffic the tasks issue (via the
+        # transport's trace_ctx).  The critical-path walk starts here.
+        with tracer.span(DRIVER, "stage:%d:%s" % (stage_id, tag),
+                         cat="stage",
+                         n_tasks=rdd.get_num_partitions()) as stage_span:
+            stage_parent = None if stage_span is None else stage_span.span_id
+            for partition_id in range(rdd.get_num_partitions()):
                 executor = self.executor_for(partition_id)
+                # Executors run their queued tasks after the driver
+                # submitted the stage, but in parallel with each other.
                 if model.barrier:
                     self.cluster.clock.set_at_least(executor, stage_start)
-            previous = self._placements.get(partition_id)
-            if previous is not None and previous != executor:
-                # The partition moved (executor failure): reload its input.
-                nbytes = rdd.base_partition_nbytes(partition_id) or 0
-                network.transfer(
-                    DRIVER, executor, nbytes, tag="executor-recovery"
-                )
-                self.cluster.metrics.increment("partition-reloads")
-            self._placements[partition_id] = executor
-            attempt = 0
-            while True:
-                self.tasks_launched += 1
-                network.transfer(
-                    DRIVER, executor, TASK_DESCRIPTION_BYTES,
-                    tag="task-launch", deliver=model.barrier,
-                )
-                self.cluster.charge_seconds(
-                    executor, TASK_OVERHEAD_SECONDS, tag="task-overhead"
-                )
-                ctx = TaskContext(
-                    self.cluster, executor, stage_id, partition_id, attempt
-                )
-                task_start = clock.now(executor)
-                try:
-                    with tracer.span(executor, "task:" + tag, cat="task",
-                                     stage=stage_id, partition=partition_id,
-                                     attempt=attempt):
-                        result = action(ctx, rdd.compute(ctx, partition_id))
-                except TaskError:
-                    raise
-                except Exception as exc:
-                    ctx.abandon()
-                    raise TaskError(
-                        "task failed on %s: %r" % (executor, exc),
-                        stage_id=stage_id,
-                        partition_id=partition_id,
-                        attempt=attempt,
-                    ) from exc
-                self.cluster.metrics.observe(
-                    "task", clock.now(executor) - task_start
-                )
-                if failures.should_fail_task():
-                    # The attempt's compute and pull traffic was already
-                    # charged (it really happened); its deferred pushes are
-                    # dropped so a retry can never double-apply them.
-                    ctx.abandon()
-                    self.tasks_failed += 1
-                    self.cluster.metrics.increment("task-retries")
-                    attempt += 1
-                    if attempt > failures.max_task_retries:
-                        raise JobAbortedError(
-                            "partition %d of stage %d exhausted %d retries"
-                            % (partition_id, stage_id, failures.max_task_retries)
-                        )
-                    continue
-                if model.commit_at_barrier:
-                    committed.append(ctx)
-                else:
-                    # Async pipelining: the task's deferred pushes apply as
-                    # soon as it succeeds (still after the retry decision,
-                    # so still exactly-once under task retry).
-                    ctx.commit()
-                break
-            if gather_results:
-                arrivals.append(
+                # Apply scheduled executor crashes that are due by now: the
+                # dead executor's partitions redistribute over the survivors
+                # (Section 5.3 — "launches a new executor and reloads that
+                # partition of training data from the input").
+                while failures.due_executor_failures(executor,
+                                                     clock.now(executor)):
+                    self.cluster.fail_executor(executor)
+                    executor = self.executor_for(partition_id)
+                    if model.barrier:
+                        self.cluster.clock.set_at_least(executor, stage_start)
+                previous = self._placements.get(partition_id)
+                if previous is not None and previous != executor:
+                    # The partition moved (executor failure): reload input.
+                    nbytes = rdd.base_partition_nbytes(partition_id) or 0
                     network.transfer(
-                        executor, DRIVER, sizeof(result),
-                        tag=tag + ":result", deliver=False,
+                        DRIVER, executor, nbytes, tag="executor-recovery",
+                        trace_parent=stage_parent,
                     )
-                )
-                results.append(result)
-            else:
-                results.append((executor, result))
+                    self.cluster.metrics.increment("partition-reloads")
+                self._placements[partition_id] = executor
+                attempt = 0
+                while True:
+                    self.tasks_launched += 1
+                    network.transfer(
+                        DRIVER, executor, TASK_DESCRIPTION_BYTES,
+                        tag="task-launch", deliver=model.barrier,
+                        trace_parent=stage_parent,
+                    )
+                    self.cluster.charge_seconds(
+                        executor, TASK_OVERHEAD_SECONDS, tag="task-overhead"
+                    )
+                    ctx = TaskContext(
+                        self.cluster, executor, stage_id, partition_id, attempt
+                    )
+                    task_start = clock.now(executor)
+                    try:
+                        with tracer.span(executor, "task:" + tag, cat="task",
+                                         parent_id=stage_parent,
+                                         stage=stage_id,
+                                         partition=partition_id,
+                                         attempt=attempt):
+                            result = action(
+                                ctx, rdd.compute(ctx, partition_id)
+                            )
+                    except TaskError:
+                        raise
+                    except Exception as exc:
+                        ctx.abandon()
+                        raise TaskError(
+                            "task failed on %s: %r" % (executor, exc),
+                            stage_id=stage_id,
+                            partition_id=partition_id,
+                            attempt=attempt,
+                        ) from exc
+                    self.cluster.metrics.observe(
+                        "task", clock.now(executor) - task_start
+                    )
+                    if failures.should_fail_task():
+                        # The attempt's compute and pull traffic was already
+                        # charged (it really happened); its deferred pushes
+                        # are dropped so a retry can never double-apply them.
+                        ctx.abandon()
+                        self.tasks_failed += 1
+                        self.cluster.metrics.increment("task-retries")
+                        attempt += 1
+                        if attempt > failures.max_task_retries:
+                            raise JobAbortedError(
+                                "partition %d of stage %d exhausted %d retries"
+                                % (partition_id, stage_id,
+                                   failures.max_task_retries)
+                            )
+                        continue
+                    if model.commit_at_barrier:
+                        committed.append(ctx)
+                    else:
+                        # Async pipelining: the task's deferred pushes apply
+                        # as soon as it succeeds (still after the retry
+                        # decision, so still exactly-once under task retry).
+                        ctx.commit()
+                    break
+                if gather_results:
+                    arrivals.append(
+                        network.transfer(
+                            executor, DRIVER, sizeof(result),
+                            tag=tag + ":result", deliver=False,
+                            trace_parent=stage_parent,
+                        )
+                    )
+                    results.append(result)
+                else:
+                    results.append((executor, result))
 
-        # Apply deferred side effects (PS pushes) only now, after every
-        # task of the stage has computed.  Tasks of one stage must never
-        # observe each other's pushes — that is exactly what Spark's stage
-        # barrier guarantees, and what keeps the sequentially-simulated
-        # tasks statistically identical to truly concurrent ones.
-        for ctx in committed:
-            ctx.commit()
+            # Apply deferred side effects (PS pushes) only now, after every
+            # task of the stage has computed.  Tasks of one stage must never
+            # observe each other's pushes — that is exactly what Spark's
+            # stage barrier guarantees, and what keeps the sequentially-
+            # simulated tasks statistically identical to truly concurrent
+            # ones.
+            for ctx in committed:
+                ctx.commit()
 
-        # Stage barrier: the driver proceeds only once every result landed.
-        # (Results are gathered with deliver=False so that tasks run in
-        # parallel; syncing per-result would serialize the stage.)  Under
-        # SSP/ASP the driver's per-stage aggregation is pipelined control
-        # work off the workers' critical path: result bytes are still
-        # charged, but the driver clock does not chase the slowest worker.
-        if arrivals and model.barrier:
-            clock.set_at_least(DRIVER, max(arrivals))
+            # Stage barrier: the driver proceeds only once every result
+            # landed.  (Results are gathered with deliver=False so that
+            # tasks run in parallel; syncing per-result would serialize the
+            # stage.)  Under SSP/ASP the driver's per-stage aggregation is
+            # pipelined control work off the workers' critical path: result
+            # bytes are still charged, but the driver clock does not chase
+            # the slowest worker.
+            if arrivals and model.barrier:
+                clock.set_at_least(DRIVER, max(arrivals))
         stage_end = clock.now(DRIVER)
         self.cluster.metrics.observe("stage", stage_end - stage_start)
-        if tracer.enabled:
-            tracer.record(DRIVER, "stage:%d:%s" % (stage_id, tag),
-                          stage_start, stage_end, cat="stage",
-                          n_tasks=rdd.get_num_partitions())
-        # Post-barrier hooks (periodic checkpoint sweeps): run once per
-        # stage, after every result landed, on the driver's clock.
+        # Post-barrier hooks (periodic checkpoint sweeps, time-series
+        # window flushes): run once per stage, after every result landed,
+        # on the driver's clock.
         for hook in self.cluster.stage_end_hooks:
             hook()
         return results

@@ -1,0 +1,176 @@
+"""BENCH records: schema, serialization, trajectory, regression gating."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterConfig
+from repro.core.context import PS2Context
+from repro.obs import bench
+
+
+def _exercised_context(seed=3, trace=False):
+    ctx = PS2Context(config=ClusterConfig(n_executors=2, n_servers=2,
+                                          seed=seed))
+    if trace:
+        ctx.cluster.tracer.enable()
+    w = ctx.dense(256, rows=2)
+    g = w.derive().fill(0.5)
+    w.push(np.arange(256.0))
+    w.pull()
+    w.dot(g)
+    return ctx
+
+
+def _record(trace=False, name="unit", wall_seconds=2.0):
+    clusters = [_exercised_context(trace=trace).cluster,
+                _exercised_context(seed=4, trace=trace).cluster]
+    return bench.bench_record(name, clusters, params={"iterations": 2},
+                              wall_seconds=wall_seconds)
+
+
+# -- record construction -----------------------------------------------------
+
+
+def test_record_shape_and_validation():
+    record = bench.validate_record(_record())
+    assert record["schema"] == bench.SCHEMA
+    assert record["params"] == {"iterations": 2}
+    assert [c["label"] for c in record["contexts"]] == ["ctx0", "ctx1"]
+    for context in record["contexts"]:
+        assert context["makespan_s"] > 0
+        assert context["total_wire_bytes"] > 0
+        assert context["wire_messages"] > 0
+        assert context["logical_messages"] >= context["wire_messages"]
+        assert context["imbalance_ratio"] >= 1.0
+        assert set(context["cache"]) == {"hits", "misses", "hit_rate"}
+        assert "pull" in context["latency"]
+        assert "critical_path" not in context
+    assert record["makespan_s"] == pytest.approx(
+        sum(c["makespan_s"] for c in record["contexts"])
+    )
+    assert record["host"]["wall_seconds"] == 2.0
+    assert record["host"]["events_per_second"] == \
+        pytest.approx(record["events"] / 2.0)
+
+
+def test_traced_record_attaches_critical_path():
+    record = _record(trace=True)
+    for context in record["contexts"]:
+        breakdown = context["critical_path"]
+        assert breakdown["total"] == pytest.approx(context["makespan_s"])
+        assert sum(breakdown["categories"].values()) == \
+            pytest.approx(breakdown["total"], rel=1e-9)
+
+
+def test_validate_rejects_malformed_records():
+    good = _record()
+    for mutate in (
+        lambda r: r.pop("schema"),
+        lambda r: r.update(schema="repro-bench/v0"),
+        lambda r: r.update(name=""),
+        lambda r: r.update(params=[1]),
+        lambda r: r.update(makespan_s=-1.0),
+        lambda r: r.update(contexts=[]),
+        lambda r: r["contexts"][0].pop("imbalance_ratio"),
+        lambda r: r["contexts"][0].update(critical_path={"total": 1.0}),
+        lambda r: r.update(host={}),
+    ):
+        record = json.loads(json.dumps(good))
+        mutate(record)
+        with pytest.raises(ValueError):
+            bench.validate_record(record)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_write_load_round_trip(tmp_path):
+    record = _record()
+    path = bench.write_record(record, str(tmp_path))
+    assert path.endswith("BENCH_unit.json")
+    assert bench.load_record(path) == json.loads(json.dumps(record))
+
+
+def test_append_trajectory_accumulates_lines(tmp_path):
+    path = str(tmp_path / "trajectory.jsonl")
+    bench.append_trajectory(_record(name="a"), path)
+    bench.append_trajectory(_record(name="b", wall_seconds=None), path)
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle]
+    assert [line["name"] for line in lines] == ["a", "b"]
+    assert "events_per_second" in lines[0]
+    assert "events_per_second" not in lines[1]
+    assert all(set(line) >= {"name", "params", "makespan_s",
+                             "total_wire_bytes", "events"}
+               for line in lines)
+
+
+# -- comparison and gating ----------------------------------------------------
+
+
+def test_compare_identical_records_is_clean():
+    record = _record()
+    assert bench.compare_records(record, record) == []
+
+
+def test_compare_flags_regressions_beyond_tolerance():
+    current = _record()
+    baseline = json.loads(json.dumps(current))
+    baseline["makespan_s"] = current["makespan_s"] / 1.10  # +10% drift
+    regressions = bench.compare_records(current, baseline)
+    assert regressions and "makespan_s" in regressions[0]
+    # a looser explicit tolerance lets the same drift through
+    assert bench.compare_records(current, baseline,
+                                 tolerances={"makespan_s": 0.2}) == []
+    # improvements never fail the gate
+    faster = json.loads(json.dumps(current))
+    faster["makespan_s"] *= 2.0
+    faster["total_wire_bytes"] *= 2.0
+    assert bench.compare_records(current, faster) == []
+
+
+def test_compare_flags_per_context_regressions():
+    current = _record()
+    baseline = json.loads(json.dumps(current))
+    baseline["contexts"][1]["total_wire_bytes"] /= 1.5
+    regressions = bench.compare_records(current, baseline)
+    assert any("ctx1" in r and "total_wire_bytes" in r for r in regressions)
+
+
+def test_compare_skips_on_params_mismatch():
+    current = _record()
+    baseline = json.loads(json.dumps(current))
+    baseline["params"] = {"iterations": 8}
+    assert bench.compare_records(current, baseline) is None
+
+
+def test_gate_over_directories(tmp_path):
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+
+    # no records at all: the gate fails loudly instead of passing vacuously
+    failures, _notes = bench.gate(str(results), str(baselines))
+    assert failures
+
+    record = _record(name="stable")
+    bench.write_record(record, str(results))
+    bench.write_record(record, str(baselines))
+    newcomer = _record(name="newcomer")
+    bench.write_record(newcomer, str(results))
+    failures, notes = bench.gate(str(results), str(baselines))
+    assert failures == []
+    assert any("newcomer" in note and "no checked-in baseline" in note
+               for note in notes)
+
+    # regress the checked-in baseline's byte volume: the gate trips
+    slim = json.loads(json.dumps(record))
+    slim["total_wire_bytes"] /= 1.5
+    for context in slim["contexts"]:
+        context["total_wire_bytes"] /= 1.5
+    bench.write_record(slim, str(baselines))
+    failures, _notes = bench.gate(str(results), str(baselines))
+    assert any("total_wire_bytes" in f for f in failures)

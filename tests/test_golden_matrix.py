@@ -33,14 +33,18 @@ GOLDEN_BSP_HASH = \
     "433406334a7eb8f7b7e15868cb34e219bf7f5bb2498596e8931ef3e3df419684"
 
 
-def _run(consistency, staleness, coalesce, replication):
+def _run(consistency, staleness, coalesce, replication,
+         timeseries_window=0.0, trace=False):
     ctx = make_context(
         n_executors=2, n_servers=3, seed=11,
         coalesce_requests=coalesce,
         consistency=consistency, staleness=staleness,
         replication=replication, hot_key_fraction=0.34,
         replication_factor=2,
+        timeseries_window=timeseries_window,
     )
+    if trace:
+        ctx.cluster.tracer.enable()
     rows, _ = sparse_classification(80, 96, 8, seed=11)
     result = train_logistic_regression(
         ctx, rows, 96, optimizer="sgd", n_iterations=3,
@@ -95,3 +99,25 @@ def test_canonical_bsp_cell_matches_checked_in_golden():
     # no replication tag ever appears in the transfer accounting.
     assert not any("replica" in tag for tag in ctx.metrics.bytes_by_tag)
     assert _loss_hash(losses) == GOLDEN_BSP_HASH
+
+
+def test_observability_never_perturbs_the_golden_cell():
+    """Tracing + time-series sampling on: still the checked-in golden.
+
+    The observability stack only *reads* the virtual clocks — trace
+    contexts ride typed messages outside every wire-byte formula and the
+    sampler is a passive window sink — so the fully instrumented canonical
+    cell must stay bit-identical to the plain one, makespan included.
+    """
+    plain_losses, plain_weights, plain_ctx = _run("bsp", 0, True, "off")
+    losses, weights, ctx = _run("bsp", 0, True, "off",
+                                timeseries_window=0.005, trace=True)
+    assert _loss_hash(losses) == GOLDEN_BSP_HASH
+    assert losses == plain_losses
+    assert np.array_equal(weights, plain_weights)
+    assert ctx.elapsed() == plain_ctx.elapsed()
+    assert (ctx.metrics.total_bytes(), ctx.metrics.total_messages()) == \
+        (plain_ctx.metrics.total_bytes(), plain_ctx.metrics.total_messages())
+    # the instrumentation actually ran: spans recorded, windows closed
+    assert len(ctx.cluster.tracer) > 0
+    assert ctx.cluster.timeseries.finalize()

@@ -137,6 +137,76 @@ def test_hot_shards_flags_skewed_shard():
     assert ratio > 3.0
 
 
+def test_snapshot_includes_tagged_requests_and_latency():
+    # Regression: snapshot() used to omit requests_by_server_tag and the
+    # latency summaries entirely, so phase diffs silently lost both.
+    m = MetricsRegistry()
+    m.record_request("server-0", tag="ps-read")
+    m.record_request("server-0", tag="ps-write")
+    m.observe("pull", 0.25)
+    snap = m.snapshot()
+    assert snap["requests_by_server_tag"][("server-0", "ps-read")] == 1
+    assert snap["requests_by_server_tag"][("server-0", "ps-write")] == 1
+    assert snap["latency"]["pull"]["count"] == 1
+    assert snap["latency"]["pull"]["max"] == 0.25
+
+
+def test_snapshot_reset_round_trip():
+    # reset() must return exactly what snapshot() would have, across every
+    # section, and leave the registry structurally empty.
+    m = MetricsRegistry()
+    m.record_transfer("a", "b", 64, tag="t", messages=4)
+    m.record_compute("a", 0.5, tag="work")
+    m.increment("retries", 2)
+    m.record_request("server-0", tag="ps-read")
+    m.record_shard_access(0, 1, 10, nbytes=128.0)
+    m.record_cache_hit("exec-0", bytes_saved=32.0)
+    m.record_cache_miss("exec-0")
+    m.observe("pull", 0.125)
+    snap = m.snapshot()
+    assert m.reset() == snap
+    empty = m.snapshot()
+    assert all(not section for section in empty.values())
+    # and the diff of the round trip is "nothing happened"
+    assert MetricsRegistry.diff(empty, m.snapshot()) == {}
+
+
+def test_diff_handles_tuple_keys_and_latency_counts():
+    m = MetricsRegistry()
+    m.record_request("server-0", tag="ps-read")
+    m.observe("pull", 0.1)
+    before = m.snapshot()
+    m.record_request("server-0", tag="ps-read")
+    m.record_request("server-1", tag="ps-write")
+    m.observe("pull", 0.9)
+    m.observe("push", 0.2)
+    delta = MetricsRegistry.diff(before, m.snapshot())
+    assert delta["requests_by_server_tag"] == {
+        ("server-0", "ps-read"): 1,
+        ("server-1", "ps-write"): 1,
+    }
+    # dict-valued latency summaries diff by observation count
+    assert delta["latency"] == {"pull": 1, "push": 1}
+
+
+def test_hot_shards_query_does_not_mutate():
+    # Regression: the .get()-free implementation inserted zero entries into
+    # the shard_requests/shard_values defaultdicts while *reading*, so a
+    # report rendered between two snapshots changed the second snapshot.
+    m = MetricsRegistry()
+    m.record_shard_access(0, 0, n_values=100, n_requests=10, nbytes=800.0)
+    m.record_shard_access(0, 1, n_values=10, n_requests=1, nbytes=80.0)
+    # a shard hot by byte heat that never recorded a request count: the
+    # old defaultdict lookup inserted a zero entry for it while reading
+    m.shard_bytes[(0, 2)] = 9000.0
+    before = m.snapshot()
+    hot = m.hot_shards(factor=1.5)
+    assert [(mat, shard) for mat, shard, _, _, _ in hot] == [(0, 2)]
+    assert m.snapshot() == before
+    assert set(m.shard_requests) == {(0, 0), (0, 1)}
+    assert set(m.shard_values) == {(0, 0), (0, 1)}
+
+
 def test_observe_builds_percentiles():
     m = MetricsRegistry()
     for value in range(1, 101):

@@ -102,6 +102,109 @@ def test_disabled_tracer_records_nothing(cluster):
     assert tracer.current(node) is None
 
 
+def test_record_with_explicit_parent_inherits_trace(cluster):
+    """An explicit cross-node parent wins over the stack and passes on its
+    trace id, even after the parent span has closed."""
+    tracer = cluster.tracer
+    tracer.enable()
+    a, b = cluster.executors[0], cluster.executors[1]
+    with tracer.span(a, "root") as root:
+        pass
+    child = tracer.record(b, "remote", 1.0, 2.0, cat="cpu",
+                          parent_id=root.span_id)
+    assert child.parent_id == root.span_id
+    assert root.trace_id == root.span_id  # roots start their own trace
+    assert child.trace_id == root.span_id
+    grand = tracer.record(a, "deeper", 2.0, 3.0, parent_id=child.span_id)
+    assert grand.trace_id == root.span_id
+
+
+def test_record_explicit_parent_beats_open_stack(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    node = cluster.executors[0]
+    with tracer.span(node, "noise"):
+        with tracer.span(cluster.executors[1], "real") as real:
+            foreign = tracer.record(node, "x", 0.0, 1.0,
+                                    parent_id=real.span_id)
+    assert foreign.parent_id == real.span_id
+    assert foreign.trace_id == real.trace_id
+    # an unknown explicit parent starts a fresh trace instead of crashing
+    orphan = tracer.record(node, "y", 0.0, 1.0, parent_id=10**9)
+    assert orphan.parent_id == 10**9
+    assert orphan.trace_id == orphan.span_id
+
+
+def test_current_enriches_the_open_span(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    node = cluster.executors[0]
+    with tracer.span(node, "op") as sp:
+        open_span = tracer.current(node)
+        assert open_span is sp
+        open_span.args["bytes"] = open_span.args.get("bytes", 0) + 123
+    assert tracer.spans[-1].args["bytes"] == 123
+    assert tracer.current(node) is None
+
+
+def test_children_of_returns_recording_order_across_nodes(cluster):
+    tracer = cluster.tracer
+    tracer.enable()
+    a, b = cluster.executors[0], cluster.executors[1]
+    with tracer.span(a, "parent") as parent:
+        pass
+    first = tracer.record(b, "c1", 0.0, 1.0, parent_id=parent.span_id)
+    second = tracer.record(a, "c2", 0.5, 0.8, parent_id=parent.span_id)
+    third = tracer.record(b, "c3", 0.2, 0.4, parent_id=parent.span_id)
+    # recording order, not per-node or chronological order
+    assert tracer.children_of(parent) == [first, second, third]
+
+
+# -- cross-node trace context -------------------------------------------------
+
+
+def test_trace_ctx_links_server_work_to_client_op(cluster):
+    """Server CPU slots and NIC bookings share the client op's trace id."""
+    cluster.tracer.enable()
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    m = master.create_matrix(20, n_rows=2)
+    client.push_assign(m, 0, np.arange(20.0))
+    cluster.tracer.clear()
+    client.pull_row(m, 0)
+    pull = cluster.tracer.spans_for(cat="op", op="pull")[0]
+    assert pull.trace_id == pull.span_id
+    related = cluster.tracer.spans_for(trace_id=pull.trace_id)
+    assert {s.cat for s in related} >= {"op", "cpu", "nic-send", "nic-recv"}
+    cpu = [s for s in related if s.cat == "cpu"]
+    assert cpu and all(s.parent_id == pull.span_id for s in cpu)
+    assert all(s.node.startswith("server-") for s in cpu)
+    # no span outside this pull claims its trace
+    others = [s for s in cluster.tracer.spans
+              if s.trace_id != pull.trace_id]
+    assert all(s.cat not in ("cpu",) for s in others)
+
+
+def test_trace_ctx_never_costs_wire_bytes():
+    """Stamping a trace context onto a message changes no byte formula."""
+    from repro.ps import messages
+
+    plain = messages.PullRowRequest(0, 1, row=0, n_values=64)
+    stamped = messages.PullRowRequest(0, 1, row=0, n_values=64)
+    stamped.trace_ctx = (17, 23)
+    assert stamped.wire_bytes() == plain.wire_bytes()
+    assert stamped.response_bytes() == plain.response_bytes()
+
+    inner = [messages.PullRowRequest(0, 1, row=r, n_values=8)
+             for r in range(3)]
+    batch = messages.BatchRequest(list(inner))
+    before = (batch.wire_bytes(), batch.response_bytes())
+    batch.trace_ctx = (17, 23)
+    for request in inner:
+        request.trace_ctx = (17, 23)
+    assert (batch.wire_bytes(), batch.response_bytes()) == before
+
+
 # -- histogram: percentiles vs numpy ----------------------------------------
 
 
