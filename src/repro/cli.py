@@ -13,6 +13,9 @@ Usage (``python -m repro <command>``):
 - ``critical-path <workload>`` — traced run that prints the whole-run and
   per-stage critical-path attribution (compute / network / queueing /
   staleness-wait / retry-backoff over virtual time);
+- ``profile <workload>`` — train one workload under ``cProfile`` and print
+  the hottest *host* frames (where the simulator itself burns CPU, as
+  opposed to where virtual time goes — that is ``critical-path``);
 - ``bench-gate`` — compare ``BENCH_*.json`` benchmark records against
   checked-in baselines and fail on makespan/byte regressions;
 - ``experiments`` — list every table/figure benchmark and how to run it.
@@ -206,6 +209,31 @@ def _cmd_critical_path(args):
     return 0
 
 
+def _cmd_profile(args):
+    from cProfile import Profile
+    import pstats
+
+    from repro.experiments import make_context
+
+    ctx = make_context(n_executors=args.executors, n_servers=args.servers,
+                       seed=args.seed)
+    profiler = Profile()
+    profiler.enable()
+    result = _run_workload(ctx, args.workload, args.iterations, args.seed)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    print("host profile: %s on %s (%d iterations, virtual makespan %.4f s)"
+          % (result.system, result.workload, args.iterations, result.elapsed))
+    print()
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("profile dump: %s  (open with snakeviz or pstats)" % args.out)
+    return 0
+
+
 def _cmd_bench_gate(args):
     from repro.obs import bench
 
@@ -299,6 +327,23 @@ def build_parser():
     p_cp.add_argument("--stages", action="store_true",
                       help="also print the per-stage breakdowns")
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="train one workload under cProfile; print the hottest frames",
+    )
+    p_profile.add_argument("workload", choices=_WORKLOADS)
+    p_profile.add_argument("--iterations", type=int, default=5)
+    p_profile.add_argument("--executors", type=int, default=8)
+    p_profile.add_argument("--servers", type=int, default=8)
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--top", type=int, default=25,
+                           help="number of frames to print (default 25)")
+    p_profile.add_argument("--sort", default="tottime",
+                           choices=("tottime", "cumtime", "ncalls"),
+                           help="pstats sort key (default tottime)")
+    p_profile.add_argument("--out", default=None,
+                           help="also dump raw pstats data to this path")
+
     p_gate = sub.add_parser(
         "bench-gate",
         help="compare BENCH_*.json records against checked-in baselines",
@@ -324,6 +369,7 @@ def main(argv=None):
         "train": _cmd_train,
         "trace": _cmd_trace,
         "critical-path": _cmd_critical_path,
+        "profile": _cmd_profile,
         "bench-gate": _cmd_bench_gate,
         "experiments": _cmd_experiments,
     }

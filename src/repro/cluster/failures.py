@@ -13,6 +13,9 @@ from __future__ import annotations
 
 from repro.common.errors import ConfigError
 
+#: Shared empty result for the no-failures fast path (callers only read it).
+_NO_EVENTS = []
+
 
 class FailureInjector:
     """Decides, deterministically, when simulated components fail."""
@@ -50,6 +53,8 @@ class FailureInjector:
 
     def due_server_failures(self, server_id, now):
         """Pop and return the failures scheduled for *server_id* up to *now*."""
+        if not self._server_failures:
+            return _NO_EVENTS
         due = [
             event
             for event in self._server_failures
@@ -77,6 +82,8 @@ class FailureInjector:
 
     def due_executor_failures(self, executor_id, now):
         """Pop and return the crashes scheduled for *executor_id* up to *now*."""
+        if not self._executor_failures:
+            return _NO_EVENTS
         due = [
             event
             for event in self._executor_failures
@@ -108,8 +115,23 @@ class FailureInjector:
             )
         self._partitions.append({"node": node_id, "start": start, "stop": stop})
 
+    def has_partitions(self):
+        """Whether any partition window is scheduled at all.
+
+        The network model's bulk fast path is only taken when this is
+        False, so the per-transfer window checks (three per message) cost
+        nothing in the overwhelmingly common partition-free run.
+        """
+        return bool(self._partitions)
+
+    def has_pending_server_failures(self):
+        """Whether any server crash is still scheduled (fast-path gate)."""
+        return bool(self._server_failures)
+
     def partition_active(self, node_id, at_time):
         """Whether *node_id* is inside a partition window at *at_time*."""
+        if not self._partitions:
+            return False
         return any(
             window["node"] == node_id
             and window["start"] <= at_time < window["stop"]

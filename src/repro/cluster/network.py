@@ -107,21 +107,28 @@ class NetworkModel:
             self.metrics.record_transfer(src, dst, 0, tag=tag,
                                          messages=messages)
             return self.clock.now(src)
-        if self.failures is not None:
-            departs = self.clock.now(src) if depart_at is None else depart_at
-            if self.failures.partition_active(src, departs) \
-                    or self.failures.partition_active(dst, departs):
-                self.metrics.increment("partition-drops")
-                raise NetworkPartitionedError(
-                    "transfer %s -> %s at t=%.6f hit a network partition"
-                    % (src, dst, departs)
-                )
         total = float(nbytes) + MESSAGE_OVERHEAD_BYTES
         send_seconds = total / self.bandwidth_of(src)
         recv_seconds = total / self.bandwidth_of(dst)
 
         earliest = self.clock.now(src) if depart_at is None else depart_at
-        depart = self._nic_send[src].reserve(earliest, send_seconds)
+        # Probe first, commit after the partition check: the message hits
+        # the wire at the *post-NIC-queue* ``depart``, so that is when the
+        # partition windows apply — a backlog can push a transfer into (or
+        # out of) a window that was inactive (or active) at ``earliest``.
+        # A dropped attempt never consumes NIC capacity.
+        sender_nic = self._nic_send[src]
+        index, depart = sender_nic.probe(earliest, send_seconds)
+        failures = self.failures
+        if failures is not None and failures.has_partitions():
+            if failures.partition_active(src, depart) \
+                    or failures.partition_active(dst, depart):
+                self.metrics.increment("partition-drops")
+                raise NetworkPartitionedError(
+                    "transfer %s -> %s departing t=%.6f hit a network "
+                    "partition" % (src, dst, depart)
+                )
+        sender_nic.commit(index, depart, send_seconds)
         send_done = depart + send_seconds
 
         recv_start = self._nic_recv[dst].reserve(
@@ -141,6 +148,118 @@ class NetworkModel:
         if deliver:
             self.clock.set_at_least(dst, recv_done)
         return recv_done
+
+    def transfer_many(self, src, items, depart_at=None):
+        """Book a fan-out — many transfers leaving *src* — in one call.
+
+        *items* is a sequence of ``(dst, nbytes, tag, messages)``; every
+        transfer departs no earlier than ``depart_at`` (default: the
+        sender's clock) and is booked ``deliver=False`` (fan-out callers
+        wait on the returned times themselves).  Returns the list of
+        ``recv_done`` times, aligned with *items*.
+
+        Bit-identical to calling :meth:`transfer` once per item in order —
+        the sender's NIC bookings go through one :meth:`TimelineResource
+        .reserve_many` round instead of N reserve calls, receiver NICs are
+        distinct timelines anyway, and the metrics land through one bulk
+        record.  Callers must keep to the per-message path when partition
+        windows are scheduled (drops raise per-message there) or when spans
+        must interleave with per-message service; this method asserts the
+        former.
+        """
+        if self.failures is not None and self.failures.has_partitions():
+            raise AssertionError(
+                "transfer_many is partition-unaware; use transfer() while "
+                "partition windows are scheduled"
+            )
+        earliest = self.clock.now(src) if depart_at is None else depart_at
+        send_bw = self.bandwidth_of(src)
+        totals = [float(nbytes) + MESSAGE_OVERHEAD_BYTES
+                  for _, nbytes, _, _ in items]
+        send_durations = [total / send_bw for total in totals]
+        departs = self._nic_send[src].reserve_many(
+            [(earliest, duration) for duration in send_durations]
+        )
+
+        latency = self.latency
+        nic_recv = self._nic_recv
+        bandwidth = self._bandwidth
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        recv_times = []
+        metric_items = []
+        for pos, (dst, _, tag, messages) in enumerate(items):
+            total = totals[pos]
+            depart = departs[pos]
+            send_done = depart + send_durations[pos]
+            recv_seconds = total / bandwidth[dst]
+            recv_start = nic_recv[dst].reserve(
+                send_done + latency, recv_seconds
+            )
+            recv_done = recv_start + recv_seconds
+            recv_times.append(recv_done)
+            metric_items.append((dst, total, tag, messages))
+            if traced:
+                tracer.record(src, "net:" + tag, depart, send_done,
+                              cat="nic-send", dst=dst, nbytes=total)
+                tracer.record(dst, "net:" + tag, recv_start, recv_done,
+                              cat="nic-recv", src=src, nbytes=total)
+        self.metrics.record_transfer_fanout(src, metric_items)
+        return recv_times
+
+    def transfer_gather(self, dst, items):
+        """Book a fan-in — many transfers converging on *dst* — in one call.
+
+        *items* is a sequence of ``(src, nbytes, tag, messages,
+        depart_at)`` (the RPC-response shape: each response leaves its
+        server when that request's service completes).  Booked
+        ``deliver=False``; returns the ``recv_done`` times aligned with
+        *items*.  Same equivalence and partition caveats as
+        :meth:`transfer_many`, mirrored: per-item sender NICs are distinct
+        timelines, and the shared receiver NIC is booked through one
+        ``reserve_many`` round.
+        """
+        if self.failures is not None and self.failures.has_partitions():
+            raise AssertionError(
+                "transfer_gather is partition-unaware; use transfer() "
+                "while partition windows are scheduled"
+            )
+        latency = self.latency
+        nic_send = self._nic_send
+        bandwidth = self._bandwidth
+        recv_bw = bandwidth[dst]
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+
+        totals = []
+        recv_jobs = []
+        sends = []
+        for src, nbytes, tag, messages, depart_at in items:
+            total = float(nbytes) + MESSAGE_OVERHEAD_BYTES
+            send_seconds = total / bandwidth[src]
+            depart = nic_send[src].reserve(depart_at, send_seconds)
+            send_done = depart + send_seconds
+            totals.append(total)
+            sends.append((depart, send_done))
+            recv_jobs.append((send_done + latency, total / recv_bw))
+        recv_starts = self._nic_recv[dst].reserve_many(recv_jobs)
+
+        recv_times = []
+        metric_items = []
+        for pos, (src, _, tag, messages, _) in enumerate(items):
+            total = totals[pos]
+            recv_done = recv_starts[pos] + recv_jobs[pos][1]
+            recv_times.append(recv_done)
+            metric_items.append((src, total, tag, messages))
+            if traced:
+                depart, send_done = sends[pos]
+                tracer.record(src, "net:" + tag, depart, send_done,
+                              cat="nic-send", dst=dst, nbytes=total)
+                tracer.record(dst, "net:" + tag, recv_starts[pos],
+                              recv_done, cat="nic-recv", src=src,
+                              nbytes=total)
+        self.metrics.record_transfer_gather(dst, metric_items)
+        return recv_times
 
     def reset(self):
         """Clear NIC queues (used together with ``SimClock.reset``)."""

@@ -64,6 +64,49 @@ class StreamingHistogram:
         if value > self.max:
             self.max = value
 
+    def record_many(self, values):
+        """Add one observation per entry of *values* (bulk :meth:`record`).
+
+        Identical accumulation order to calling :meth:`record` in a loop —
+        count, total, min/max and bucket contents all match bit-for-bit —
+        with the bucket-index math and dict access done with cached locals.
+        """
+        buckets = self._buckets
+        min_value = self.min_value
+        log_growth = self._log_growth
+        log = math.log
+        count = self.count
+        total = self.total
+        lo = self.min
+        hi = self.max
+        # Service chains repeat the same duration heavily (uniform-sized
+        # rows); memoizing the last value -> bucket skips the log() call on
+        # repeats without changing any result.
+        memo_value = None
+        memo_index = -1
+        for value in values:
+            value = float(value)
+            if value == memo_value:
+                index = memo_index
+            else:
+                if value <= min_value:
+                    index = -1
+                else:
+                    index = int(log(value / min_value) / log_growth)
+                memo_value = value
+                memo_index = index
+            buckets[index] = buckets.get(index, 0) + 1
+            count += 1
+            total += value
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+        self.count = count
+        self.total = total
+        self.min = lo
+        self.max = hi
+
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0

@@ -47,6 +47,10 @@ from repro.ps.cache import WorkerCache
 from repro.ps.partitioner import ColumnLayout, RowLayout
 from repro.ps.transport import Transport
 
+#: Entry cap for a layout's pooled fan-out plans (cleared when exceeded;
+#: id-keyed sparse plans from list inputs would otherwise accumulate).
+_PLAN_POOL_CAP = 64
+
 
 class PSClient:
     """A worker-side handle for pull/push and server-side execution."""
@@ -132,6 +136,20 @@ class PSClient:
         arrivals = [a for a in arrivals if a is not None]
         if arrivals:
             self.cluster.clock.set_at_least(self.node_id, max(arrivals))
+
+    def _plan_pool(self, layout):
+        """The layout's pooled fan-out plans, or ``None`` when ineligible.
+
+        A plan reuses the *same* typed request objects across ops (and, via
+        the shared layout, across clients), so it is only safe when no one
+        mutates requests between sends: the replication manager retargets
+        reads in place (``route_read``), so any replication disables the
+        pool.  Pushes swap same-length value views into pooled requests,
+        which keeps every memoized wire-size formula input unchanged.
+        """
+        if getattr(self.cluster, "replication", None) is not None:
+            return None
+        return layout.op_plans
 
     def _split_for_row(self, layout, row, indices):
         """Map global *indices* to owning servers under *layout*."""
@@ -225,14 +243,26 @@ class PSClient:
                 return self._pull_row_cached(matrix_id, row, indices)
         with self._op("pull", matrix_id):
             layout = self._layout(matrix_id)
+            plans = self._plan_pool(layout)
             if indices is None:
-                shards = layout.shards_for_row(row)
-                requests = [
-                    messages.PullRowRequest(server_index, matrix_id, row,
-                                            stop - start)
-                    for server_index, start, stop in shards
-                ]
-                values, arrivals = self.transport.send_all(requests)
+                plan = None
+                if plans is not None:
+                    key = ("pull-dense", matrix_id, row)
+                    plan = plans.get(key)
+                if plan is None:
+                    shards = layout.shards_for_row(row)
+                    requests = [
+                        messages.PullRowRequest(server_index, matrix_id, row,
+                                                stop - start)
+                        for server_index, start, stop in shards
+                    ]
+                    if plans is not None:
+                        plans[key] = (shards, requests)
+                else:
+                    shards, requests = plan
+                values, arrivals = self.transport.send_all(
+                    requests, pooled=plans is not None
+                )
                 result = np.empty(layout.dim)
                 for (server_index, start, stop), block in zip(shards, values):
                     result[start:stop] = block
@@ -240,15 +270,31 @@ class PSClient:
                 return result
 
             indices = np.asarray(indices, dtype=np.int64)
-            order = np.argsort(indices, kind="stable")
-            sorted_indices = indices[order]
-            by_server = self._split_for_row(layout, row, sorted_indices)
-            requests = [
-                messages.PullRowRequest(server_index, matrix_id, row,
-                                        group.size, indices=group)
-                for server_index, group in by_server.items()
-            ]
-            values, arrivals = self.transport.send_all(requests)
+            plan = None
+            if plans is not None:
+                key = ("pull-sparse", matrix_id, row, indices.size,
+                       id(indices))
+                plan = plans.get(key)
+                if plan is not None and not np.array_equal(plan[0], indices):
+                    plan = None
+            if plan is None:
+                order = np.argsort(indices, kind="stable")
+                sorted_indices = indices[order]
+                by_server = self._split_for_row(layout, row, sorted_indices)
+                requests = [
+                    messages.PullRowRequest(server_index, matrix_id, row,
+                                            group.size, indices=group)
+                    for server_index, group in by_server.items()
+                ]
+                if plans is not None:
+                    if len(plans) >= _PLAN_POOL_CAP:
+                        plans.clear()
+                    plans[key] = (indices.copy(), order, requests)
+            else:
+                _snapshot, order, requests = plan
+            values, arrivals = self.transport.send_all(
+                requests, pooled=plans is not None
+            )
             values_by_index = np.empty(indices.size)
             cursor = 0
             for request, block in zip(requests, values):
@@ -268,36 +314,72 @@ class PSClient:
                 # Write-through: the worker's own updates stay visible in
                 # its cached copy (read-your-writes within the bound).
                 self.cache.apply_push(matrix_id, row, values, indices, mode)
+            plans = self._plan_pool(layout)
             if indices is None:
                 if values.size != layout.dim:
                     raise PSError(
                         "dense push of %d values into dim-%d matrix"
                         % (values.size, layout.dim)
                     )
-                requests = [
-                    messages.PushRequest(server_index, matrix_id, row,
-                                         values[start:stop], mode=mode)
-                    for server_index, start, stop
-                    in layout.shards_for_row(row)
-                ]
-                self.transport.send_all(requests)
+                plan = None
+                if plans is not None:
+                    key = ("push-dense", matrix_id, row, mode)
+                    plan = plans.get(key)
+                if plan is None:
+                    shards = layout.shards_for_row(row)
+                    requests = [
+                        messages.PushRequest(server_index, matrix_id, row,
+                                             values[start:stop], mode=mode)
+                        for server_index, start, stop in shards
+                    ]
+                    if plans is not None:
+                        plans[key] = (shards, requests)
+                else:
+                    # Pooled requests: swap in this call's value views (same
+                    # slice lengths, so the memoized wire sizes stay valid).
+                    shards, requests = plan
+                    for request, (_srv, start, stop) in zip(requests, shards):
+                        request.values = values[start:stop]
+                self.transport.send_all(requests, pooled=plans is not None)
                 return
 
             indices = np.asarray(indices, dtype=np.int64)
+            plan = None
+            if plans is not None:
+                key = ("push-sparse", matrix_id, row, indices.size,
+                       id(indices), mode)
+                plan = plans.get(key)
+                if plan is not None and not np.array_equal(plan[0], indices):
+                    plan = None
+            if plan is not None:
+                _snapshot, order, requests, sizes = plan
+                sorted_values = values[order]
+                cursor = 0
+                for request, size in zip(requests, sizes):
+                    request.values = sorted_values[cursor : cursor + size]
+                    cursor += size
+                self.transport.send_all(requests, pooled=True)
+                return
             order = np.argsort(indices, kind="stable")
             sorted_indices = indices[order]
             sorted_values = values[order]
             by_server = self._split_for_row(layout, row, sorted_indices)
             requests = []
+            sizes = []
             cursor = 0
             for server_index, group in by_server.items():
                 block = sorted_values[cursor : cursor + group.size]
                 cursor += group.size
+                sizes.append(group.size)
                 requests.append(
                     messages.PushRequest(server_index, matrix_id, row, block,
                                          indices=group, mode=mode)
                 )
-            self.transport.send_all(requests)
+            if plans is not None:
+                if len(plans) >= _PLAN_POOL_CAP:
+                    plans.clear()
+                plans[key] = (indices.copy(), order, requests, sizes)
+            self.transport.send_all(requests, pooled=plans is not None)
 
     def push_add(self, matrix_id, row, values, indices=None):
         """Accumulate a (dense or sparse) delta into a model row."""
@@ -426,16 +508,32 @@ class PSClient:
                 raise PSError("unsupported layout %r" % (layout,))
 
             if indices is None:
-                requests = []
-                placements = []
-                for server_index, start, stop in layout.shards_for_row(rows[0]):
-                    for row_pos, row in enumerate(rows):
-                        requests.append(messages.PullRowRequest(
-                            server_index, matrix_id, row, stop - start,
-                            value_bytes=value_bytes, tag="pull-block",
-                        ))
-                        placements.append((row_pos, start, stop))
-                values, arrivals = self.transport.send_all(requests)
+                plans = self._plan_pool(layout)
+                plan = None
+                if plans is not None:
+                    key = ("pull-block-dense", matrix_id, tuple(rows),
+                           value_bytes)
+                    plan = plans.get(key)
+                if plan is None:
+                    requests = []
+                    placements = []
+                    for server_index, start, stop \
+                            in layout.shards_for_row(rows[0]):
+                        for row_pos, row in enumerate(rows):
+                            requests.append(messages.PullRowRequest(
+                                server_index, matrix_id, row, stop - start,
+                                value_bytes=value_bytes, tag="pull-block",
+                            ))
+                            placements.append((row_pos, start, stop))
+                    if plans is not None:
+                        if len(plans) >= _PLAN_POOL_CAP:
+                            plans.clear()
+                        plans[key] = (placements, requests)
+                else:
+                    placements, requests = plan
+                values, arrivals = self.transport.send_all(
+                    requests, pooled=plans is not None
+                )
                 block = np.empty((len(rows), layout.dim))
                 for (row_pos, start, stop), row_values in zip(placements,
                                                               values):
@@ -516,6 +614,36 @@ class PSClient:
                 raise PSError("unsupported layout %r" % (layout,))
 
             if indices is None:
+                plans = self._plan_pool(layout)
+                plan = None
+                if plans is not None and block.shape == (len(rows),
+                                                         layout.dim):
+                    key = ("push-block-dense", matrix_id, tuple(rows),
+                           value_bytes)
+                    plan = plans.get(key)
+                    if plan is None:
+                        shards = layout.shards_for_row(rows[0])
+                        requests = []
+                        placements = []
+                        for server_index, start, stop in shards:
+                            for row_pos, row in enumerate(rows):
+                                requests.append(messages.PushRequest(
+                                    server_index, matrix_id, row,
+                                    block[row_pos, start:stop], mode="add",
+                                    value_bytes=value_bytes,
+                                    tag="push-block",
+                                ))
+                                placements.append((row_pos, start, stop))
+                        if len(plans) >= _PLAN_POOL_CAP:
+                            plans.clear()
+                        plans[key] = (placements, requests)
+                    else:
+                        placements, requests = plan
+                        for request, (row_pos, start, stop) \
+                                in zip(requests, placements):
+                            request.values = block[row_pos, start:stop]
+                    self.transport.send_all(requests, pooled=True)
+                    return
                 requests = [
                     messages.PushRequest(
                         server_index, matrix_id, row,

@@ -63,6 +63,13 @@ class PSMaster:
         ]
         self.checkpoints = CheckpointManager(cluster)
         self._matrices = {}
+        #: Memoized send_all groupings for client plan-pool request lists,
+        #: keyed by ``(id(list), coalesce)`` with the list ref pinned so
+        #: the id stays valid (see Transport.send_all).
+        self.fanout_group_plans = {}
+        #: Bumped whenever a server process is replaced (failover): any
+        #: pooled artifact that resolved server objects must rebuild.
+        self.topology_epoch = 0
         self._next_matrix_id = 0
         self.checkpoint_interval = float(
             cluster.config.failures.checkpoint_interval
@@ -253,6 +260,7 @@ class PSMaster:
                           epoch=failed.epoch + 1)
         server.revive()  # resets the CPU timeline to the node's current time
         self.servers[server_index] = server
+        self.topology_epoch += 1
         checkpoint_time = self.checkpoints.recover_server(server)
         reinitialized = self._reconcile(server)
         self.cluster.network.transfer(

@@ -136,7 +136,7 @@ class Request:
     """
 
     __slots__ = ("server_index", "matrix_id", "tag", "n_values", "replica_of",
-                 "trace_ctx")
+                 "trace_ctx", "_wb", "_rb")
 
     op = "?"
 
@@ -147,6 +147,12 @@ class Request:
         self.n_values = int(n_values)
         self.replica_of = None
         self.trace_ctx = None
+        # Wire-size memos (0 = not computed; real sizes are positive).
+        # Safe because every size input (n_values, payload lengths,
+        # value_bytes) is fixed at construction — pooled requests only
+        # swap same-length value views between sends.
+        self._wb = 0
+        self._rb = 0
 
     # -- wire accounting ---------------------------------------------------
 
@@ -169,9 +175,13 @@ class Request:
         return 0
 
     def wire_bytes(self):
-        """Total request bytes when sent standalone."""
-        return (REQUEST_HEADER_BYTES + self.shared_payload_bytes()
-                + self.payload_bytes())
+        """Total request bytes when sent standalone (memoized)."""
+        wb = self._wb
+        if not wb:
+            wb = self._wb = (REQUEST_HEADER_BYTES
+                             + self.shared_payload_bytes()
+                             + self.payload_bytes())
+        return wb
 
     def response_bytes(self):
         """Reply size, or ``None`` for fire-and-forget requests."""
@@ -219,7 +229,11 @@ class PullRowRequest(Request):
         return len(self.indices) * INDEX_BYTES
 
     def response_bytes(self):
-        return RESPONSE_HEADER_BYTES + self.n_values * self.value_bytes
+        rb = self._rb
+        if not rb:
+            rb = self._rb = (RESPONSE_HEADER_BYTES
+                             + self.n_values * self.value_bytes)
+        return rb
 
 
 class PullRangeRequest(Request):
@@ -473,7 +487,7 @@ class BatchRequest(Request):
     per-sub value payloads (sub-responses are positional).
     """
 
-    __slots__ = ("requests",)
+    __slots__ = ("requests", "_wire_bytes", "_response_bytes")
 
     op = "batch"
 
@@ -494,19 +508,32 @@ class BatchRequest(Request):
             sum(request.n_values for request in requests),
         )
         self.requests = list(requests)
+        # The sub-request list is fixed at construction and no formula input
+        # can change afterwards (trace_ctx is stamped later but is never a
+        # formula input), so both envelope sizes are computed once and
+        # memoized — the transport prices every message at least twice
+        # (shard telemetry + the transfer itself).
+        self._wire_bytes = None
+        self._response_bytes = 0
 
     def wire_bytes(self):
-        total = REQUEST_HEADER_BYTES
-        seen = set()
-        for request in self.requests:
-            total += SUBREQUEST_HEADER_BYTES + request.payload_bytes()
-            key = request.shared_key()
-            if key is not None and key not in seen:
-                seen.add(key)
-                total += request.shared_payload_bytes()
+        total = self._wire_bytes
+        if total is None:
+            total = REQUEST_HEADER_BYTES
+            seen = set()
+            for request in self.requests:
+                total += SUBREQUEST_HEADER_BYTES + request.payload_bytes()
+                key = request.shared_key()
+                if key is not None and key not in seen:
+                    seen.add(key)
+                    total += request.shared_payload_bytes()
+            self._wire_bytes = total
         return total
 
     def response_bytes(self):
+        cached = self._response_bytes
+        if cached != 0:
+            return cached
         payload = 0
         any_response = False
         for request in self.requests:
@@ -514,9 +541,9 @@ class BatchRequest(Request):
             if sub is not None:
                 any_response = True
                 payload += sub - RESPONSE_HEADER_BYTES
-        if not any_response:
-            return None
-        return RESPONSE_HEADER_BYTES + payload
+        total = RESPONSE_HEADER_BYTES + payload if any_response else None
+        self._response_bytes = total
+        return total
 
     def message_count(self):
         return len(self.requests)

@@ -52,6 +52,15 @@ class ColumnLayout:
         ]
         bounds = np.cumsum([0] + block_sizes) * self.block
         self.bounds = np.minimum(bounds, self.dim)
+        # Iterative workloads split the same sparse index set op after op
+        # (and, with shared routing, client after client); the grouping
+        # work depends only on the index contents, so memoize a few recent
+        # results.  Entries hold a snapshot of the input, verified on every
+        # hit, so an in-place-mutated array can never serve stale groups.
+        self._split_cache = {}
+        # Per-(op, row, indices) fan-out plans pooled by the PS client —
+        # the layout is the one object every client of a matrix shares.
+        self.op_plans = {}
 
     def _server_at_position(self, position):
         return (position + self.rotation) % self.n_servers
@@ -100,17 +109,26 @@ class ColumnLayout:
         omitted.  Input need not be sorted; output arrays are sorted, and
         the dict's iteration order follows ascending COLUMN ranges (clients
         rely on this: walking the groups in order re-assembles the sorted
-        index sequence, rotation or not).
+        index sequence, rotation or not).  The result may be memoized and
+        shared between callers — treat it (and its arrays) as read-only.
         """
         indices = np.asarray(indices, dtype=np.int64)
         if indices.size == 0:
             return {}
-        indices = np.sort(indices)
-        positions = np.searchsorted(self.bounds, indices, side="right") - 1
+        key = (indices.size, int(indices[0]), int(indices[-1]))
+        entry = self._split_cache.get(key)
+        if entry is not None and np.array_equal(entry[0], indices):
+            return entry[1]
+        sorted_indices = np.sort(indices)
+        positions = np.searchsorted(self.bounds, sorted_indices,
+                                    side="right") - 1
         result = {}
         for position in np.unique(positions):
             server_index = self._server_at_position(int(position))
-            result[server_index] = indices[positions == position]
+            result[server_index] = sorted_indices[positions == position]
+        if len(self._split_cache) >= 16:
+            self._split_cache.clear()
+        self._split_cache[key] = (indices.copy(), result)
         return result
 
     def same_layout(self, other):
@@ -155,14 +173,34 @@ class RowLayout:
             raise ConfigError("n_servers must be positive, got %r" % (n_servers,))
         self.dim = int(dim)
         self.n_servers = int(n_servers)
+        # Same snapshot-verified memo as ColumnLayout._split_cache.
+        self._split_cache = {}
+        # See ColumnLayout: pooled client fan-out plans.
+        self.op_plans = {}
 
     def shards_for_row(self, row):
         return [(int(row) % self.n_servers, 0, self.dim)]
 
     def split_indices_for_row(self, row, indices):
-        """All of *indices* map to row's single owning server."""
-        indices = np.sort(np.asarray(indices, dtype=np.int64))
-        return {int(row) % self.n_servers: indices}
+        """All of *indices* map to row's single owning server.
+
+        Memoized like :meth:`ColumnLayout.split_indices`; treat the result
+        as read-only.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        server_index = int(row) % self.n_servers
+        if indices.size == 0:
+            return {server_index: indices}
+        key = (server_index, indices.size, int(indices[0]),
+               int(indices[-1]))
+        entry = self._split_cache.get(key)
+        if entry is not None and np.array_equal(entry[0], indices):
+            return entry[1]
+        result = {server_index: np.sort(indices)}
+        if len(self._split_cache) >= 16:
+            self._split_cache.clear()
+        self._split_cache[key] = (indices.copy(), result)
+        return result
 
     def same_layout(self, other):
         return (

@@ -43,6 +43,38 @@ def _aggregate_values(values, kind):
     raise PSError("unknown aggregate %r" % (kind,))
 
 
+def _copy_rows(rows):
+    """Deep-copy a ``{row: RowShard}`` map.
+
+    Equal-range shard sets — the common case under a column layout, where
+    every pool row of a matrix holds the same ``[start, stop)`` slice —
+    are copied as one contiguous 2-D block (a single C-level ``np.stack``
+    instead of one allocation per row) and handed back as per-row views of
+    that block; ragged sets fall back to per-row copies.  Views are safe:
+    every mutation path writes *into* ``shard.values`` (``+=``, slice and
+    fancy assignment, ``fill``), never rebinds it.
+    """
+    if len(rows) > 1:
+        items = list(rows.items())
+        first = items[0][1]
+        start = first.start
+        stop = first.stop
+        uniform = all(
+            shard.start == start and shard.stop == stop
+            for _row, shard in items
+        )
+        if uniform:
+            block = np.stack([shard.values for _row, shard in items])
+            return {
+                row: RowShard(start, stop, block[i])
+                for i, (row, _shard) in enumerate(items)
+            }
+    return {
+        row: RowShard(shard.start, shard.stop, shard.values.copy())
+        for row, shard in rows.items()
+    }
+
+
 class RowShard:
     """The slice ``[start, stop)`` of one model row held by one server."""
 
@@ -116,6 +148,15 @@ class PSServer:
         #: parent for the CPU spans :meth:`_service` records.  Pure
         #: observability; never consulted by any cost computation.
         self._trace_ctx = None
+        #: ``(id(indices), shard.start) -> (indices, local_offsets)`` memo
+        #: for the fast dispatch path.  Message index arrays are identity-
+        #: stable and treated as immutable throughout (``messages``
+        #: deduplicates shared lists by ``id`` for wire sizing already);
+        #: holding the array reference keeps the id valid while cached.
+        self._local_cache = {}
+        #: Lazily cached ``node.spec.flops`` (immutable) so the fan-out
+        #: serve loop prices compute without a node lookup per request.
+        self._node_flops = None
 
     # -- version vectors ----------------------------------------------------
 
@@ -222,6 +263,18 @@ class PSServer:
             self._dispatch_depth -= 1
             self._trace_ctx = prior_ctx
 
+    def _local_offsets(self, indices, start):
+        """Global -> shard-local index conversion, memoized per array."""
+        key = (id(indices), start)
+        entry = self._local_cache.get(key)
+        if entry is not None and entry[0] is indices:
+            return entry[1]
+        local = np.asarray(indices, dtype=np.int64) - start
+        if len(self._local_cache) >= 64:
+            self._local_cache.clear()
+        self._local_cache[key] = (indices, local)
+        return local
+
     def _is_replica_read(self, request):
         return (request.replica_of is not None
                 and request.replica_of != self.server_index)
@@ -277,7 +330,141 @@ class PSServer:
         return tokens
 
     def _serve_batch(self, request):
-        return [self.dispatch(sub) for sub in request.requests]
+        subs = request.requests
+        if len(subs) > 1:
+            fused = self._serve_batch_fused(subs)
+            if fused is not None:
+                return fused
+        return [self.dispatch(sub) for sub in subs]
+
+    # -- fused batch serving (the vectorized fast path) ----------------------
+
+    def _serve_batch_fused(self, subs):
+        """Serve a homogeneous batch without per-sub dispatch rounds.
+
+        A coalesced block op arrives as one envelope of N same-type
+        sub-requests; dispatching them one by one costs N handler rounds, N
+        CPU reservations and 3N metric calls.  The fused path validates
+        every shard up front (so a missing shard falls back and fails at
+        exactly the sub the per-sub path would), applies the row ops in one
+        loop with shared index arrays converted to local offsets once per
+        ``(array, shard-start)``, books the CPU through one
+        ``reserve_chain``, and records metrics through one bulk call — all
+        bit-identical to per-sub dispatch.  Returns ``None`` to fall back
+        whenever any per-sub observable could differ: span tracing (spans
+        nest per sub), pending scheduled crashes (a crash may fire
+        mid-batch), a replication manager (replica reads/demotions), a dead
+        server, or a mixed batch.
+        """
+        cluster = self.cluster
+        if not self.alive or cluster.tracer.enabled \
+                or cluster.failures.has_pending_server_failures() \
+                or getattr(cluster, "replication", None) is not None:
+            return None
+        first = subs[0]
+        kind = type(first)
+        if kind is messages.PullRowRequest:
+            for sub in subs:
+                if type(sub) is not kind or sub.replica_of is not None:
+                    return None
+            return self._fused_pull_rows(subs)
+        if kind is messages.PushRequest:
+            mode = first.mode
+            for sub in subs:
+                if type(sub) is not kind or sub.mode != mode \
+                        or sub.replica_of is not None:
+                    return None
+            return self._fused_pushes(subs, mode)
+        return None
+
+    def _fused_shards(self, subs):
+        """Resolve every sub-request's shard, or ``None`` to fall back.
+
+        Validation happens before any mutation: a batch with a missing
+        shard must take the per-sub path so earlier subs apply exactly once
+        before the error surfaces, matching per-sub dispatch state.
+        """
+        store = self._store
+        shards = []
+        for sub in subs:
+            rows = store.get(sub.matrix_id)
+            shard = None if rows is None else rows.get(sub.row)
+            if shard is None:
+                return None
+            shards.append(shard)
+        return shards
+
+    def _fused_pull_rows(self, subs):
+        shards = self._fused_shards(subs)
+        if shards is None:
+            return None
+        results = []
+        flops = []
+        for sub, shard in zip(subs, shards):
+            indices = sub.indices
+            if indices is None:
+                values = shard.values.copy()
+            else:
+                values = shard.values[
+                    self._local_offsets(indices, shard.start)
+                ]
+            results.append(values)
+            flops.append(max(1.0, values.size))
+        self._service_chain(flops, "ps-read")
+        return results
+
+    def _fused_pushes(self, subs, mode):
+        shards = self._fused_shards(subs)
+        if shards is None:
+            return None
+        add = mode == "add"
+        versions = self.versions
+        flops = []
+        for sub, shard in zip(subs, shards):
+            indices = sub.indices
+            if indices is None:
+                if add:
+                    shard.values += sub.values
+                else:
+                    shard.values[:] = sub.values
+                n = shard.values.size
+            else:
+                local = self._local_offsets(indices, shard.start)
+                if add:
+                    np.add.at(shard.values, local, sub.values)
+                else:
+                    shard.values[local] = sub.values
+                n = len(sub.values)
+            version_key = (sub.matrix_id, sub.row)
+            versions[version_key] = versions.get(version_key, 0) + 1
+            flops.append(ELEMENTWISE_FLOPS * max(1, n) if add else max(1, n))
+        # _notify_direct_write is a no-op here by construction: the fused
+        # path only runs inside an envelope dispatch (depth > 0) and never
+        # with a replication manager configured.
+        self._service_chain(flops, "ps-add" if add else "ps-assign")
+        return [None] * len(subs)
+
+    def _service_chain(self, flops_list, tag):
+        """Bulk twin of :meth:`_service`: chain N same-tag service slots.
+
+        Same anchoring (the request's arrival, each slot no earlier than
+        the previous completion), same per-slot seconds, same counter and
+        histogram updates in the same order — one ``reserve_chain`` and one
+        bulk metrics call instead of N of each.  Callers ensure tracing is
+        off (the per-slot path records a span per reservation).
+        """
+        arrival = self._arrival
+        if arrival is None:
+            arrival = self.cluster.clock.now(self.node_id)
+        compute_seconds = self.cluster.node(self.node_id).compute_seconds
+        seconds = [compute_seconds(flops) for flops in flops_list]
+        starts = self.cpu.reserve_chain(arrival, seconds)
+        completion = starts[-1] + seconds[-1]
+        self.last_completion = completion
+        self._arrival = completion
+        self.cluster.metrics.record_service_chain(self.node_id, tag, seconds)
+        self.cluster.clock.set_at_least(self.node_id, completion)
+        return completion
 
     def _serve_replicated_push(self, request):
         """Apply a fanned-out mutation to this server's replica copies.
@@ -427,12 +614,8 @@ class PSServer:
         time — it is the fence replica reads and fan-out applies validate.
         """
         self._check_alive()
-        copied = {
-            row: RowShard(shard.start, shard.stop, shard.values.copy())
-            for row, shard in rows.items()
-        }
         self.replica_store[(matrix_id, int(primary_index))] = ReplicaEntry(
-            copied, dict(versions), install_epoch
+            _copy_rows(rows), dict(versions), install_epoch
         )
 
     def drop_replica(self, matrix_id, primary_index):
@@ -635,26 +818,138 @@ class PSServer:
     # -- checkpointing ------------------------------------------------------
 
     def snapshot(self):
-        """Deep copy of all shard state (for the checkpoint manager)."""
+        """Deep copy of all shard state (for the checkpoint manager).
+
+        Copied through :func:`_copy_rows`: one contiguous block copy per
+        equal-range matrix instead of a numpy allocation per row.
+        """
         self._check_alive()
         return {
-            matrix_id: {
-                row: RowShard(shard.start, shard.stop, shard.values.copy())
-                for row, shard in rows.items()
-            }
+            matrix_id: _copy_rows(rows)
             for matrix_id, rows in self._store.items()
         }
 
     def restore(self, snapshot):
         """Replace all state with *snapshot* (deep-copied in)."""
         self._store = {
-            matrix_id: {
-                row: RowShard(shard.start, shard.stop, shard.values.copy())
-                for row, shard in rows.items()
-            }
+            matrix_id: _copy_rows(rows)
             for matrix_id, rows in snapshot.items()
         }
         self.alive = True
+
+
+def serve_fast_fanout(cluster, fan_servers, fan_messages, fan_arrivals):
+    """Serve a whole fan-out of requests — phase 2 of the bulk transmit.
+
+    The three parallel sequences give the serving ``PSServer``, the
+    message, and the request arrival time per outgoing wire message,
+    pre-validated by the transport's bulk gates
+    (every server alive, tracing off, no pending scheduled crashes, no
+    replication manager).  Singleton pull/push messages whose shard is
+    present are served inline — the same numpy mutation, version bump,
+    single CPU reservation (via :meth:`TimelineResource.reserve`), metric
+    updates and clock advance as ``begin()`` + ``dispatch()``, minus ~10
+    Python frames per message.  Anything else (batch envelopes, replica
+    reads, missing shards) falls back to the full dispatch in place, with
+    pending bulk metrics flushed first so every per-key accumulation —
+    float compute totals, histogram sums — happens in exactly the
+    per-message order.  Returns ``(values, completions)`` aligned with
+    the inputs; results and all virtual times are bit-identical to the
+    per-message loop this replaces.
+    """
+    metrics = cluster.metrics
+    clock_times = cluster.clock._times
+    node = cluster.node
+    PullRow = messages.PullRowRequest
+    Push = messages.PushRequest
+    values_out = []
+    completions = []
+    run_tag = None
+    run_nodes = []
+    run_secs = []
+    record_bulk = metrics.record_service_bulk
+    for server, message, arrival in zip(fan_servers, fan_messages,
+                                        fan_arrivals):
+        kind = type(message)
+        shard = None
+        if (kind is PullRow or kind is Push) and message.replica_of is None:
+            rows = server._store.get(message.matrix_id)
+            if rows is not None:
+                shard = rows.get(message.row)
+        if shard is None:
+            # Slow lane: flush the pending metric run first so per-key
+            # accumulation order matches the per-message path exactly.
+            if run_secs:
+                record_bulk(run_tag, run_nodes, run_secs)
+                run_nodes = []
+                run_secs = []
+            server.begin(arrival)
+            values_out.append(server.dispatch(message))
+            completions.append(server.last_completion)
+            continue
+        indices = message.indices
+        if kind is PullRow:
+            if indices is None:
+                value = shard.values.copy()
+            else:
+                value = shard.values[
+                    server._local_offsets(indices, shard.start)
+                ]
+            flops = value.size
+            if flops < 1:
+                flops = 1.0
+            tag = "ps-read"
+        else:
+            if indices is None:
+                if message.mode == "add":
+                    shard.values += message.values
+                else:
+                    shard.values[:] = message.values
+                n = shard.values.size
+            else:
+                local = server._local_offsets(indices, shard.start)
+                if message.mode == "add":
+                    np.add.at(shard.values, local, message.values)
+                else:
+                    shard.values[local] = message.values
+                n = len(message.values)
+            if n < 1:
+                n = 1
+            version_key = (message.matrix_id, message.row)
+            versions = server.versions
+            versions[version_key] = versions.get(version_key, 0) + 1
+            if message.mode == "add":
+                flops = ELEMENTWISE_FLOPS * n
+                tag = "ps-add"
+            else:
+                flops = n
+                tag = "ps-assign"
+            value = None
+        rate = server._node_flops
+        if rate is None:
+            rate = server._node_flops = float(node(server.node_id).spec.flops)
+        seconds = float(flops) / rate
+        start = server.cpu.reserve(arrival, seconds)
+        completion = start + seconds
+        server.last_completion = completion
+        server._arrival = completion
+        node_id = server.node_id
+        if completion > clock_times[node_id]:
+            clock_times[node_id] = completion
+        if tag is run_tag:
+            run_nodes.append(node_id)
+            run_secs.append(seconds)
+        else:
+            if run_secs:
+                record_bulk(run_tag, run_nodes, run_secs)
+            run_tag = tag
+            run_nodes = [node_id]
+            run_secs = [seconds]
+        values_out.append(value)
+        completions.append(completion)
+    if run_secs:
+        record_bulk(run_tag, run_nodes, run_secs)
+    return values_out, completions
 
 
 #: The server-side protocol: one handler per message type.

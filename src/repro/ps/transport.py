@@ -37,6 +37,7 @@ from repro.common.errors import MatrixNotFoundError, NetworkPartitionedError, \
     PSError, ServerDownError
 from repro.ps import messages
 from repro.ps.retry import RetryPolicy
+from repro.ps.server import serve_fast_fanout
 
 #: Failures a message attempt can hit that are retryable under the policy.
 RETRYABLE_ERRORS = (ServerDownError, MatrixNotFoundError,
@@ -44,6 +45,17 @@ RETRYABLE_ERRORS = (ServerDownError, MatrixNotFoundError,
 
 #: Client-side CPU cost of issuing one RPC (serialization, bookkeeping).
 RPC_CPU_SECONDS = 5e-6
+
+#: Memoized ``tag -> (tag + ":req", tag + ":resp")`` — tags come from a
+#: small fixed vocabulary, so the hot transmit loops never re-concatenate.
+_TAG_PAIRS = {}
+
+
+def _tag_pair(tag):
+    pair = _TAG_PAIRS.get(tag)
+    if pair is None:
+        pair = _TAG_PAIRS[tag] = (tag + ":req", tag + ":resp")
+    return pair
 
 
 class Transport:
@@ -133,7 +145,7 @@ class Transport:
         self._send_fanout(self._fan_out([request]))
         return result
 
-    def send_all(self, requests):
+    def send_all(self, requests, pooled=False):
         """Ship a message list; returns ``(values, arrivals)`` aligned.
 
         With a replication manager configured, each read is first offered
@@ -150,37 +162,70 @@ class Transport:
         original was transmitted (mutations applied to their primaries),
         replica fan-out messages are built from the post-apply version
         counters and shipped the same way.
+
+        ``pooled=True`` marks *requests* as a client plan-pool list whose
+        composition never changes between calls: the grouping (and any
+        batch envelopes) is then memoized master-wide keyed on the list's
+        identity, skipping the group/coalesce rebuild on every op.  With a
+        replication manager the memo is bypassed — ``route_read`` may
+        retarget ``server_index`` in place, invalidating any cached
+        grouping.
         """
-        for request in requests:
-            self._route(request)
-        groups = {}
-        for position, request in enumerate(requests):
-            groups.setdefault(request.server_index, []).append(position)
-        outgoing = []
-        for server_index, positions in groups.items():
-            if self.coalesce and len(positions) > 1:
-                batch = messages.BatchRequest(
-                    [requests[p] for p in positions]
+        manager = getattr(self.cluster, "replication", None)
+        outgoing = None
+        bulk_cache = None
+        if manager is not None:
+            for request in requests:
+                manager.route_read(request)
+        elif pooled:
+            plans = self.master.fanout_group_plans
+            key = (id(requests), self.coalesce)
+            entry = plans.get(key)
+            if entry is not None and entry[0] is requests:
+                outgoing = entry[1]
+                bulk_cache = entry[2]
+        if outgoing is None:
+            groups = {}
+            for position, request in enumerate(requests):
+                groups.setdefault(request.server_index, []).append(position)
+            outgoing = []
+            for server_index, positions in groups.items():
+                if self.coalesce and len(positions) > 1:
+                    batch = messages.BatchRequest(
+                        [requests[p] for p in positions]
+                    )
+                    outgoing.append((batch, positions))
+                else:
+                    for p in positions:
+                        outgoing.append((requests[p], [p]))
+            if pooled and manager is None:
+                plans = self.master.fanout_group_plans
+                if len(plans) >= 64:
+                    plans.clear()
+                # The third slot caches the bulk path's phase-1 product
+                # (see _transmit_bulk); one mutable cell per plan.
+                bulk_cache = [None]
+                plans[(id(requests), self.coalesce)] = (
+                    requests, outgoing, bulk_cache
                 )
-                outgoing.append((batch, positions))
-            else:
-                for p in positions:
-                    outgoing.append((requests[p], [p]))
         self._charge_rpc(len(outgoing))
         values = [None] * len(requests)
         arrivals = [None] * len(requests)
-        for message, positions in outgoing:
-            value, arrival = self._transmit(message)
-            if isinstance(message, messages.BatchRequest):
-                metrics = self.cluster.metrics
-                metrics.increment("coalesced-batches")
-                metrics.increment("coalesced-requests", len(positions))
-                for p, sub_value in zip(positions, value):
-                    values[p] = sub_value
-                    arrivals[p] = arrival
-            else:
-                values[positions[0]] = value
-                arrivals[positions[0]] = arrival
+        if len(outgoing) > 1 and self._bulk_ok(outgoing):
+            self._transmit_bulk(outgoing, values, arrivals, bulk_cache)
+        else:
+            for message, positions in outgoing:
+                value, arrival = self._transmit(message)
+                if isinstance(message, messages.BatchRequest):
+                    metrics = self.cluster.metrics
+                    metrics.increment("coalesced-batches")
+                    metrics.increment("coalesced-requests", len(positions))
+                    for p, sub_value in zip(positions, value):
+                        values[p] = sub_value
+                        arrivals[p] = arrival
+                else:
+                    values[positions[0]] = value
+                    arrivals[positions[0]] = arrival
         self._send_fanout(self._fan_out(requests))
         return values, arrivals
 
@@ -222,6 +267,204 @@ class Transport:
         for message in outgoing:
             self._transmit(message)
 
+    # -- the bulk fast path --------------------------------------------------
+
+    def _bulk_ok(self, outgoing):
+        """Whether this fan-out may take the bulk transmit path.
+
+        The bulk path is bit-identical to per-message :meth:`_transmit`
+        only when nothing can interleave with the phase-reordered bookings:
+        no span tracing (spans must nest per message), no partition windows
+        or pending server crashes (retries re-send individual messages), no
+        replication manager (replica reads/fan-out have their own dispatch
+        semantics), and no cold routing entry (a mid-loop routing RPC books
+        the client NIC between message sends).  Every condition is a cheap
+        flag check; chaos and traced runs simply keep the per-message path.
+        """
+        cluster = self.cluster
+        if cluster.tracer.enabled:
+            return False
+        failures = cluster.failures
+        if failures.has_partitions() or failures.has_pending_server_failures():
+            return False
+        if getattr(cluster, "replication", None) is not None:
+            return False
+        routing = self._routing
+        server = self.master.server
+        for message, _positions in outgoing:
+            if message.matrix_id is not None \
+                    and message.matrix_id not in routing:
+                return False
+            # A directly-crashed server (chaos tooling calls ``crash()``
+            # without a schedule) must fail per message so the retry loop
+            # can recover it.
+            if not server(message.server_index).alive:
+                return False
+        return True
+
+    def _batch_shard_entries(self, message):
+        """Shard-telemetry entries for one batch envelope.
+
+        Mirrors the batch arm of :meth:`_record_shard_access` but returns
+        ``(matrix_id, heat_server, n_values, nbytes)`` entries for
+        :meth:`~repro.cluster.metrics.MetricsRegistry.record_shard_access_many`
+        instead of recording — the bulk path folds them into its per-fan-out
+        entry list (and its pooled plan).  Per-key accumulation is
+        order-insensitive for these integer-valued quantities, so the fold
+        is bit-identical to recording the batch inline.
+        """
+        first_key = None
+        n_values = 0
+        nbytes = 0.0
+        by_shard = None
+        for request in message.requests:
+            if request.matrix_id is None:
+                continue
+            heat_server = (request.replica_of
+                           if request.replica_of is not None
+                           else request.server_index)
+            key = (request.matrix_id, heat_server)
+            sub_bytes = (request.wire_bytes()
+                         + (request.response_bytes() or 0))
+            if by_shard is None:
+                if first_key is None or key == first_key:
+                    first_key = key
+                    n_values += request.n_values
+                    nbytes += sub_bytes
+                    continue
+                by_shard = {first_key: (n_values, nbytes)}
+            prev_values, prev_bytes = by_shard.get(key, (0, 0.0))
+            by_shard[key] = (prev_values + request.n_values,
+                             prev_bytes + sub_bytes)
+        if by_shard is not None:
+            return [
+                (matrix_id, heat_server, n_values, nbytes)
+                for (matrix_id, heat_server), (n_values, nbytes)
+                in by_shard.items()
+            ]
+        if first_key is not None:
+            return [(first_key[0], first_key[1], n_values, nbytes)]
+        return []
+
+    def _transmit_bulk(self, outgoing, values, arrivals, bulk_cache=None):
+        """Transmit a whole fan-out in three phases instead of N round trips.
+
+        Phase 1 books every request transfer through one
+        :meth:`~repro.cluster.network.NetworkModel.transfer_many` call,
+        phase 2 runs every server dispatch (capturing each server's
+        completion immediately, as the per-message path would see it), and
+        phase 3 books every response through one ``transfer_gather``.  The
+        per-direction NIC timelines are disjoint across phases and
+        order-insensitive within them, so virtual times, bytes and counters
+        are bit-identical to the interleaved per-message path — only the
+        Python call count drops.  Callers must have checked
+        :meth:`_bulk_ok`.
+
+        *bulk_cache*, when given, is the one-element cache cell of a pooled
+        send plan (see :meth:`send_all`): the entire phase-1 product —
+        resolved servers, wire sizes, NIC fan-out items, shard-telemetry
+        entries — depends only on the (pooled, composition-stable) message
+        list and the server topology, so it is computed once and replayed,
+        guarded by :attr:`~repro.ps.master.PSMaster.topology_epoch` (a
+        failover swaps server objects and must force a rebuild).
+        """
+        cluster = self.cluster
+        network = cluster.network
+        metrics = cluster.metrics
+        node_id = self.node_id
+        BatchRequest = messages.BatchRequest
+        epoch = self.master.topology_epoch
+
+        plan = None
+        if bulk_cache is not None:
+            plan = bulk_cache[0]
+            if plan is not None and plan[0] != epoch:
+                plan = None
+        if plan is not None:
+            (_, servers, response_sizes, fan_items, shard_entries, msgs,
+             counts, resp_tags) = plan
+        else:
+            master_servers = self.master.servers
+            tag_pair = _tag_pair
+            servers = []
+            response_sizes = []
+            fan_items = []
+            shard_entries = []
+            msgs = []
+            counts = []
+            resp_tags = []
+            servers_append = servers.append
+            for message, _positions in outgoing:
+                # Size memos read at the call site: wire formulas run once
+                # per pooled message, later sends pay one slot load.
+                request_bytes = message._wb
+                if not request_bytes:
+                    request_bytes = message.wire_bytes()
+                    message._wb = request_bytes
+                response_bytes = message._rb
+                if response_bytes == 0:
+                    response_bytes = message.response_bytes()
+                    message._rb = response_bytes
+                if type(message) is BatchRequest:
+                    shard_entries.extend(self._batch_shard_entries(message))
+                    count = len(message.requests)
+                else:
+                    count = 1
+                    if message.matrix_id is not None:
+                        heat_server = (message.replica_of
+                                       if message.replica_of is not None
+                                       else message.server_index)
+                        shard_entries.append((
+                            message.matrix_id, heat_server, message.n_values,
+                            request_bytes + (response_bytes or 0),
+                        ))
+                server = master_servers[message.server_index]
+                servers_append(server)
+                response_sizes.append(response_bytes)
+                tag_req, tag_resp = tag_pair(message.tag)
+                fan_items.append(
+                    (server.node_id, request_bytes, tag_req, count)
+                )
+                msgs.append(message)
+                counts.append(count)
+                resp_tags.append(tag_resp)
+            if bulk_cache is not None:
+                bulk_cache[0] = (
+                    epoch, servers, response_sizes, fan_items, shard_entries,
+                    msgs, counts, resp_tags,
+                )
+        if shard_entries:
+            metrics.record_shard_access_many(shard_entries)
+        request_arrivals = network.transfer_many(node_id, fan_items)
+
+        entry_values, completions = serve_fast_fanout(
+            cluster, servers, msgs, request_arrivals
+        )
+
+        response_items = []
+        response_slots = []
+        for i, (message, positions) in enumerate(outgoing):
+            value = entry_values[i]
+            if type(message) is BatchRequest:
+                metrics.increment("coalesced-batches")
+                metrics.increment("coalesced-requests", len(positions))
+                for p, sub_value in zip(positions, value):
+                    values[p] = sub_value
+            else:
+                values[positions[0]] = value
+            response_bytes = response_sizes[i]
+            if response_bytes is not None:
+                response_items.append(
+                    (servers[i].node_id, response_bytes, resp_tags[i],
+                     counts[i], completions[i])
+                )
+                response_slots.append(positions)
+        if response_items:
+            recv_times = network.transfer_gather(node_id, response_items)
+            for positions, response_arrival in zip(response_slots, recv_times):
+                for p in positions:
+                    arrivals[p] = response_arrival
+
     # -- plumbing ----------------------------------------------------------
 
     def _charge_rpc(self, n_transfers):
@@ -231,7 +474,8 @@ class Transport:
                 self.node_id, RPC_CPU_SECONDS * n_transfers, tag="rpc-cpu"
             )
 
-    def _record_shard_access(self, message):
+    def _record_shard_access(self, message, wire_bytes=None,
+                             response_bytes=None):
         """Feed the hot-shard telemetry: one access per wire message.
 
         A batch records one access per distinct matrix it touches, with the
@@ -243,10 +487,21 @@ class Transport:
         read (``replica_of`` set) is charged to the *primary* shard key:
         rerouting must never drain the heat signal that justified the
         replica.
+
+        ``wire_bytes`` / ``response_bytes`` let :meth:`_transmit` share the
+        sizes it already computed for a *standalone* message (for batches
+        the standalone-equivalent sub sizes differ from the envelope's, so
+        the hints are ignored).
         """
         metrics = self.cluster.metrics
         if isinstance(message, messages.BatchRequest):
-            by_shard = {}
+            # The common batch touches one (matrix, shard) key — a block op
+            # fanned over rows of one matrix — so accumulate scalars and
+            # only fall back to a dict for genuinely mixed batches.
+            first_key = None
+            n_values = 0
+            nbytes = 0.0
+            by_shard = None
             for request in message.requests:
                 if request.matrix_id is None:
                     continue
@@ -254,24 +509,39 @@ class Transport:
                                if request.replica_of is not None
                                else request.server_index)
                 key = (request.matrix_id, heat_server)
-                n_values, nbytes = by_shard.get(key, (0, 0.0))
-                by_shard[key] = (
-                    n_values + request.n_values,
-                    nbytes + request.wire_bytes()
-                    + (request.response_bytes() or 0),
-                )
-            for (matrix_id, heat_server), (n_values, nbytes) in \
-                    by_shard.items():
+                sub_bytes = (request.wire_bytes()
+                             + (request.response_bytes() or 0))
+                if by_shard is None:
+                    if first_key is None or key == first_key:
+                        first_key = key
+                        n_values += request.n_values
+                        nbytes += sub_bytes
+                        continue
+                    by_shard = {first_key: (n_values, nbytes)}
+                prev_values, prev_bytes = by_shard.get(key, (0, 0.0))
+                by_shard[key] = (prev_values + request.n_values,
+                                 prev_bytes + sub_bytes)
+            if by_shard is not None:
+                for (matrix_id, heat_server), (n_values, nbytes) in \
+                        by_shard.items():
+                    metrics.record_shard_access(
+                        matrix_id, heat_server, n_values, nbytes=nbytes
+                    )
+            elif first_key is not None:
                 metrics.record_shard_access(
-                    matrix_id, heat_server, n_values, nbytes=nbytes
+                    first_key[0], first_key[1], n_values, nbytes=nbytes
                 )
         elif message.matrix_id is not None:
             heat_server = (message.replica_of
                            if message.replica_of is not None
                            else message.server_index)
+            if wire_bytes is None:
+                wire_bytes = message.wire_bytes()
+            if response_bytes is None:
+                response_bytes = message.response_bytes()
             metrics.record_shard_access(
                 message.matrix_id, heat_server, message.n_values,
-                nbytes=message.wire_bytes() + (message.response_bytes() or 0),
+                nbytes=wire_bytes + (response_bytes or 0),
             )
 
     def _handle_failure(self, exc, server_index, matrix_id, attempt):
@@ -326,9 +596,9 @@ class Transport:
         fire-and-forget messages.
         """
         network = self.cluster.network
-        self._record_shard_access(message)
         request_bytes = message.wire_bytes()
         response_bytes = message.response_bytes()
+        self._record_shard_access(message, request_bytes, response_bytes)
         tracer = self.cluster.tracer
         trace_parent = None
         if tracer.enabled:

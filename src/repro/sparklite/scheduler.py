@@ -67,7 +67,13 @@ class Scheduler:
         # deliver=False: they do not gate the executor) and each worker is
         # gated only by the model's own sync rule (TaskContext.sync_clock).
         model = self.cluster.consistency
+        metrics = self.cluster.metrics
         stage_start = clock.now(DRIVER)
+        # Hoisted off the per-task loop: these names are rebuilt for every
+        # task otherwise (thousands of times per training run).
+        task_span_name = "task:" + tag
+        result_tag = tag + ":result"
+        n_partitions = rdd.get_num_partitions()
 
         # The stage span stays open for the whole stage so everything it
         # causes hangs off it in the trace DAG: task spans (explicit
@@ -77,9 +83,9 @@ class Scheduler:
         # transport's trace_ctx).  The critical-path walk starts here.
         with tracer.span(DRIVER, "stage:%d:%s" % (stage_id, tag),
                          cat="stage",
-                         n_tasks=rdd.get_num_partitions()) as stage_span:
+                         n_tasks=n_partitions) as stage_span:
             stage_parent = None if stage_span is None else stage_span.span_id
-            for partition_id in range(rdd.get_num_partitions()):
+            for partition_id in range(n_partitions):
                 executor = self.executor_for(partition_id)
                 # Executors run their queued tasks after the driver
                 # submitted the stage, but in parallel with each other.
@@ -103,7 +109,7 @@ class Scheduler:
                         DRIVER, executor, nbytes, tag="executor-recovery",
                         trace_parent=stage_parent,
                     )
-                    self.cluster.metrics.increment("partition-reloads")
+                    metrics.increment("partition-reloads")
                 self._placements[partition_id] = executor
                 attempt = 0
                 while True:
@@ -121,7 +127,7 @@ class Scheduler:
                     )
                     task_start = clock.now(executor)
                     try:
-                        with tracer.span(executor, "task:" + tag, cat="task",
+                        with tracer.span(executor, task_span_name, cat="task",
                                          parent_id=stage_parent,
                                          stage=stage_id,
                                          partition=partition_id,
@@ -139,16 +145,14 @@ class Scheduler:
                             partition_id=partition_id,
                             attempt=attempt,
                         ) from exc
-                    self.cluster.metrics.observe(
-                        "task", clock.now(executor) - task_start
-                    )
+                    metrics.observe("task", clock.now(executor) - task_start)
                     if failures.should_fail_task():
                         # The attempt's compute and pull traffic was already
                         # charged (it really happened); its deferred pushes
                         # are dropped so a retry can never double-apply them.
                         ctx.abandon()
                         self.tasks_failed += 1
-                        self.cluster.metrics.increment("task-retries")
+                        metrics.increment("task-retries")
                         attempt += 1
                         if attempt > failures.max_task_retries:
                             raise JobAbortedError(
@@ -169,7 +173,7 @@ class Scheduler:
                     arrivals.append(
                         network.transfer(
                             executor, DRIVER, sizeof(result),
-                            tag=tag + ":result", deliver=False,
+                            tag=result_tag, deliver=False,
                             trace_parent=stage_parent,
                         )
                     )
@@ -196,7 +200,7 @@ class Scheduler:
             if arrivals and model.barrier:
                 clock.set_at_least(DRIVER, max(arrivals))
         stage_end = clock.now(DRIVER)
-        self.cluster.metrics.observe("stage", stage_end - stage_start)
+        metrics.observe("stage", stage_end - stage_start)
         # Post-barrier hooks (periodic checkpoint sweeps, time-series
         # window flushes): run once per stage, after every result landed,
         # on the driver's clock.

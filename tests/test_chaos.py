@@ -512,3 +512,54 @@ def test_ssp_training_survives_scheduled_server_crash():
     hist = metrics.latency.get("staleness-clocks")
     if hist is not None:
         assert hist.summary()["max"] <= 2.0
+
+
+# -- partition timing: fate decided at the booked departure ------------------
+
+
+def _backlogged_sender(horizon_target=6e-3):
+    """A cluster whose executor-0 send NIC is booked out past *horizon_target*
+    while its virtual clock still reads ~0 (deliver=False books only NICs)."""
+    cluster = _chaos_cluster()
+    network = cluster.network
+    src = cluster.executors[0]
+    sink = cluster.servers[0]
+    while network.nic_horizon(src)[0] < horizon_target:
+        network.transfer(src, sink, 200_000, deliver=False)
+    assert cluster.clock.now(src) == 0.0
+    return cluster, network, src
+
+
+def test_backlog_pushes_transfer_into_partition_window():
+    """Regression (PR 7): the partition check applies at the booked
+    post-queue ``depart``, not the pre-queue arrival.  A window that opens
+    only AFTER the message entered the NIC queue — but covers its true
+    departure — must still drop it."""
+    from repro.common.errors import NetworkPartitionedError
+
+    cluster, network, src = _backlogged_sender()
+    dst = cluster.executors[1]
+    depart = network.nic_horizon(src)[0]
+    # Inactive at the pre-queue arrival (t=0), active at the departure.
+    cluster.failures.schedule_partition(dst, depart - 1e-4, depart + 1e-2)
+    assert not cluster.failures.partition_active(dst, 0.0)
+    with pytest.raises(NetworkPartitionedError):
+        network.transfer(src, dst, 100, deliver=False)
+    assert cluster.metrics.counters["partition-drops"] == 1
+    # The dropped attempt consumed no send-side NIC capacity.
+    assert network.nic_horizon(src)[0] == depart
+
+
+def test_backlog_pushes_transfer_past_healed_window():
+    """The mirror image: a window active when the message entered the
+    queue, but healed by the time the backlog lets it depart, must NOT
+    drop the transfer."""
+    cluster, network, src = _backlogged_sender()
+    dst = cluster.executors[1]
+    depart = network.nic_horizon(src)[0]
+    # Active at the pre-queue arrival (t=0), healed before the departure.
+    cluster.failures.schedule_partition(dst, 0.0, depart - 1e-4)
+    assert cluster.failures.partition_active(dst, 0.0)
+    recv_done = network.transfer(src, dst, 100, deliver=False)
+    assert recv_done > depart
+    assert cluster.metrics.counters.get("partition-drops", 0) == 0

@@ -137,3 +137,26 @@ def test_parser_rejects_unknown_command():
 def test_parser_rejects_unknown_workload():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["train", "resnet"])
+
+
+def test_profile_command(capsys, tmp_path):
+    dump = tmp_path / "profile.pstats"
+    code = main([
+        "profile", "fm", "--iterations", "1",
+        "--executors", "4", "--servers", "3", "--seed", "1",
+        "--top", "5", "--out", str(dump),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "host profile" in out
+    assert "tottime" in out
+    assert dump.exists()
+    import pstats
+
+    stats = pstats.Stats(str(dump))
+    assert stats.total_calls > 0
+
+
+def test_profile_sort_choices():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["profile", "lr", "--sort", "bogus"])

@@ -84,6 +84,122 @@ def test_adjacent_intervals_merge():
     assert r.horizon() == 2.0
 
 
+# -- probe boundary values (PR 7 audit of bisect_left on interval ends) ------
+
+
+def test_arrival_exactly_at_interval_end_starts_there():
+    """bisect_left lands an arrival == an interval's end ON that interval;
+    the zero-width gap it probes is rejected and the walk advances — the
+    booking starts exactly at the arrival (no phantom delay, no overlap)."""
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    assert r.reserve(1.0, 1.0) == 1.0
+    assert len(r) == 1  # merged: [0, 2)
+    assert r.horizon() == 2.0
+
+
+def test_arrival_exactly_at_interior_interval_end():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(5.0, 1.0)
+    # Arrival == first interval's end, gap [1, 5) fits: starts at 1.0.
+    assert r.reserve(1.0, 2.0) == 1.0
+    assert len(r) == 2
+
+
+def test_gap_exactly_duration_fits():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(2.0, 1.0)
+    # Gap [1, 2) is exactly the duration.
+    assert r.reserve(0.0, 1.0) == 1.0
+    assert len(r) == 1
+
+
+def test_gap_short_by_less_than_eps_still_fits():
+    """The fit test tolerates a sub-epsilon shortfall (floating-point
+    hygiene): a gap short by < _MERGE_EPS is treated as fitting."""
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(2.0, 1.0)
+    assert r.reserve(0.0, 1.0 + 0.5e-12) == 1.0
+
+
+def test_gap_short_by_more_than_eps_is_skipped():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(2.0, 1.0)
+    assert r.reserve(0.0, 1.0 + 1e-9) == 3.0
+
+
+def test_sub_epsilon_duration_books_via_general_path():
+    """Durations <= 2 * _MERGE_EPS skip the shortcut branches but still
+    book through probe + _insert (they merge into a neighbor)."""
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    start = r.reserve(0.5, 1e-12)
+    assert start == 1.0
+    assert len(r) == 1
+
+
+# -- incremental busy_seconds exactness (PR 7 satellite) ----------------------
+
+
+def _resummed_busy(r):
+    return sum(e - s for s, e in zip(r._starts, r._ends))
+
+
+def test_busy_exact_merge_prev():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(1.0, 2.0)  # merge-prev
+    assert r.busy_seconds() == _resummed_busy(r)
+
+
+def test_busy_exact_merge_next():
+    r = TimelineResource()
+    r.reserve(2.0, 1.0)
+    r.reserve(0.5, 1.5)  # ends at 2.0: merge-next
+    assert r.busy_seconds() == _resummed_busy(r)
+    assert len(r) == 1
+
+
+def test_busy_exact_merge_both():
+    r = TimelineResource()
+    r.reserve(0.0, 1.0)
+    r.reserve(2.0, 1.0)
+    r.reserve(1.0, 1.0)  # bridges the gap: merge-both
+    assert r.busy_seconds() == _resummed_busy(r)
+    assert len(r) == 1
+
+
+dense_jobs_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        st.floats(min_value=0.001, max_value=10, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(dense_jobs_strategy)
+@settings(max_examples=200, deadline=None)
+def test_property_incremental_busy_tracks_resum(jobs):
+    """The running _busy total tracks an O(n) re-sum of the interval list
+    through merge-prev, merge-next and merge-both collapses.  Each branch
+    adds the EXACT float delta, so the only divergence is the association
+    order of the accumulation itself — bounded by a few ulps per booking,
+    never a dropped or double-counted interval."""
+    r = TimelineResource()
+    for i, (earliest, duration) in enumerate(jobs):
+        r.reserve(earliest, duration)
+        resum = _resummed_busy(r)
+        assert abs(r.busy_seconds() - resum) <= 1e-12 * (i + 1) * max(
+            1.0, resum
+        )
+
+
 jobs_strategy = st.lists(
     st.tuples(
         st.floats(min_value=0, max_value=100, allow_nan=False),

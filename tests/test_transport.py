@@ -305,9 +305,9 @@ def test_ops_flow_through_typed_messages(monkeypatch):
     seen = []
     original = client.transport.send_all
 
-    def spy(requests):
+    def spy(requests, **kwargs):
         seen.extend(requests)
-        return original(requests)
+        return original(requests, **kwargs)
 
     monkeypatch.setattr(client.transport, "send_all", spy)
     client.pull_row(m, 0)
