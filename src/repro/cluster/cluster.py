@@ -84,6 +84,10 @@ class Cluster:
         #: ``config.replication`` is on; ``None`` keeps every transport and
         #: server path bit-identical to a pre-replication build.
         self.replication = None
+        #: The wire-codec cost model, installed by the PS master when
+        #: ``config.wire_codec`` is on; ``None`` keeps every wire formula
+        #: bit-identical to a pre-codec build.
+        self.costmodel = None
         # Imported lazily: the repro.ps package init pulls in modules that
         # import this module back (e.g. ps.master needs DRIVER), so a
         # top-level import would run against a partially-initialized

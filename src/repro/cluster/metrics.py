@@ -49,6 +49,12 @@ class MetricsRegistry:
         self.cache_hits = defaultdict(int)
         self.cache_misses = defaultdict(int)
         self.cache_bytes_saved = defaultdict(float)
+        # Wire-codec decisions by the cost model, keyed (tag, codec name):
+        # how often each codec was chosen for each message tag, and the
+        # wire bytes saved vs the identity encoding ("identity" rows count
+        # the messages the model deliberately left uncompressed).
+        self.codec_decisions = defaultdict(int)
+        self.codec_bytes_saved = defaultdict(float)
         self.latency = {}
         #: Optional per-window sink (``repro.obs.timeseries``): when set,
         #: every ``observe()`` is mirrored into the sink's current-window
@@ -276,6 +282,17 @@ class MetricsRegistry:
         """One worker-cache miss on *node_id* (the pull went to the wire)."""
         self.cache_misses[node_id] += 1
 
+    def record_codec_decision(self, tag, codec_name, bytes_saved=0.0):
+        """One cost-model codec decision for a *tag* message.
+
+        ``bytes_saved`` is the wire volume avoided relative to the
+        identity encoding (0 for identity decisions) — the gap between
+        logical and wire bytes the codec layer created.
+        """
+        key = (tag, codec_name)
+        self.codec_decisions[key] += 1
+        self.codec_bytes_saved[key] += float(bytes_saved)
+
     def observe(self, tag, seconds):
         """Feed one latency/duration observation into *tag*'s histogram."""
         hist = self.latency.get(tag)
@@ -399,6 +416,8 @@ class MetricsRegistry:
             "cache_hits": dict(self.cache_hits),
             "cache_misses": dict(self.cache_misses),
             "cache_bytes_saved": dict(self.cache_bytes_saved),
+            "codec_decisions": dict(self.codec_decisions),
+            "codec_bytes_saved": dict(self.codec_bytes_saved),
             "latency": self.latency_summary(),
         }
 
@@ -456,5 +475,7 @@ class MetricsRegistry:
         self.cache_hits.clear()
         self.cache_misses.clear()
         self.cache_bytes_saved.clear()
+        self.codec_decisions.clear()
+        self.codec_bytes_saved.clear()
         self.latency = {}
         return snap

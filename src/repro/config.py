@@ -200,6 +200,21 @@ class ClusterConfig:
     (``repro.obs.timeseries``) with windows of that many virtual seconds;
     0 (the default) disables it.  The sampler is passive — enabling it
     never changes simulation results.
+
+    ``wire_codec`` selects the wire-codec policy (``repro.ps.codecs`` +
+    ``repro.ps.costmodel``):
+
+    - ``"off"`` (default): no cost model is constructed at all — every
+      wire formula is bit-identical to a pre-codec run;
+    - ``"auto"``: the cost model picks a codec per message from the
+      size/NIC-backlog/shard-heat regime (identity on latency-dominated
+      messages, fp16/int8 as the payload grows byte-dominated, top-k on
+      hot dense gradient pushes);
+    - a codec name (``"fp16"``, ``"int8"``, ``"topk"``, ``"delta"``)
+      forces that codec wherever its loss class is sound and identity
+      elsewhere — the ablation knob.
+
+    ``codec_topk_ratio`` is the kept fraction for top-k sparsification.
     """
 
     n_executors: int = 20
@@ -215,6 +230,8 @@ class ClusterConfig:
     replication_factor: int = 0
     rebalance_interval: float = 0.0
     timeseries_window: float = 0.0
+    wire_codec: str = "off"
+    codec_topk_ratio: float = 0.1
     seed: int = 0
 
     def __post_init__(self):
@@ -257,4 +274,15 @@ class ClusterConfig:
             raise ConfigError(
                 "timeseries_window must be >= 0, got %r"
                 % (self.timeseries_window,)
+            )
+        if self.wire_codec not in ("off", "auto", "fp16", "int8", "topk",
+                                   "delta"):
+            raise ConfigError(
+                "wire_codec must be 'off', 'auto', 'fp16', 'int8', 'topk' "
+                "or 'delta', got %r" % (self.wire_codec,)
+            )
+        if not 0.0 < self.codec_topk_ratio <= 1.0:
+            raise ConfigError(
+                "codec_topk_ratio must be in (0, 1], got %r"
+                % (self.codec_topk_ratio,)
             )

@@ -11,7 +11,8 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  coalesce_requests=True, consistency="bsp", staleness=0,
                  replication="off", hot_key_fraction=0.1,
                  replication_factor=0, rebalance_interval=0.0,
-                 timeseries_window=0.0):
+                 timeseries_window=0.0, wire_codec="off",
+                 codec_topk_ratio=0.1):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -47,6 +48,10 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     ``timeseries_window`` enables the virtual-time-windowed metrics
     sampler with windows of that many virtual seconds (0 disables it; the
     sampler is passive either way).
+
+    ``wire_codec`` / ``codec_topk_ratio`` configure the wire-codec cost
+    model for the compression-ablation experiments; the default ``"off"``
+    constructs no cost model at all (bit-identical to a pre-codec run).
     """
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
@@ -65,5 +70,7 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         replication_factor=replication_factor,
         rebalance_interval=rebalance_interval,
         timeseries_window=timeseries_window,
+        wire_codec=wire_codec,
+        codec_topk_ratio=codec_topk_ratio,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

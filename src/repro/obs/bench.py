@@ -55,6 +55,11 @@ DEFAULT_TOLERANCES = {
     "total_wire_bytes": 0.02,
 }
 
+#: Keys every ``repro-bench/v1`` context must carry.  Fields added after
+#: the schema froze (``compressed_bytes``, PR 8) are deliberately NOT in
+#: this tuple: ``validate_record`` and the gate must keep accepting
+#: checked-in baselines written before the field existed (forward
+#: compatibility within the v1 schema).
 _CONTEXT_KEYS = ("label", "makespan_s", "total_wire_bytes", "wire_messages",
                  "logical_messages", "imbalance_ratio", "cache", "latency",
                  "events")
@@ -82,6 +87,12 @@ def context_record(label, cluster, critical_path=None):
         },
         "latency": metrics.latency_summary(),
         "events": events,
+        # Wire bytes the codec layer saved vs identity encoding (0 when no
+        # cost model ran).  v1 baselines written before this field existed
+        # simply lack it; readers must .get() it.
+        "compressed_bytes": sum(
+            getattr(metrics, "codec_bytes_saved", {}).values()
+        ),
     }
     if critical_path is not None:
         record["critical_path"] = critical_path.to_dict()

@@ -130,6 +130,19 @@ def transport_table(metrics):
             "coalesced %d requests into %d batch envelopes"
             % (metrics.counters.get("coalesced-requests", 0), batches)
         )
+    decisions = getattr(metrics, "codec_decisions", None)
+    if decisions:
+        saved = metrics.codec_bytes_saved
+        lines.append(_format_rows(
+            ["tag", "codec", "decisions", "bytes_saved"],
+            [
+                (tag, codec, decisions[(tag, codec)],
+                 "%.0f" % saved.get((tag, codec), 0.0))
+                for tag, codec in sorted(decisions)
+            ],
+        ))
+        total = sum(saved.values())
+        lines.append("codec wire bytes saved: %.0f" % total)
     return "\n".join(lines)
 
 

@@ -97,7 +97,18 @@ class WorkerCache:
         )
 
     def apply_push(self, matrix_id, row, values, indices, mode):
-        """Write-through for the worker's own pushes (read-your-writes)."""
+        """Write-through for the worker's own pushes (read-your-writes).
+
+        Applies the values the client *intended* to push.  Under a lossy
+        wire codec the server applies the decoded (quantized/sparsified)
+        values instead, so a cached row can drift from the server copy by
+        at most the codec's per-message error bound; the divergence is
+        bounded by the staleness window — the next miss refills the row
+        from the server's (decoded) state.  Cache-hit ``bytes_saved``
+        telemetry stays priced at identity rates: it reports the wire
+        volume a pull *would* have cost in the uncompressed protocol, an
+        upper bound under codecs.
+        """
         entry = self.entries.get((matrix_id, int(row)))
         if entry is None:
             return

@@ -142,14 +142,27 @@ class PSClient:
 
         A plan reuses the *same* typed request objects across ops (and, via
         the shared layout, across clients), so it is only safe when no one
-        mutates requests between sends: the replication manager retargets
-        reads in place (``route_read``), so any replication disables the
-        pool.  Pushes swap same-length value views into pooled requests,
-        which keeps every memoized wire-size formula input unchanged.
+        mutates requests between sends.  Pushes swap same-length value
+        views into pooled requests, which keeps every memoized wire-size
+        formula input unchanged.  The replication manager retargets reads
+        in place (``route_read``), but the transport undoes any leftover
+        retarget before re-offering a request, so pooling stays on under
+        replication — the pool is merely *invalidated* (cleared) whenever
+        the topology or the replica set changes, keyed on
+        ``(topology_epoch, plan_epoch)``.  A cost model attaches per-send
+        codec state to pushes (encoded payloads, re-priced sizes), which
+        pooled reuse would corrupt, so codecs disable the pool.
         """
-        if getattr(self.cluster, "replication", None) is not None:
+        if getattr(self.cluster, "costmodel", None) is not None:
             return None
-        return layout.op_plans
+        plans = layout.op_plans
+        manager = getattr(self.cluster, "replication", None)
+        if manager is not None:
+            epoch = (self.master.topology_epoch, manager.plan_epoch)
+            if plans.get("_epoch") != epoch:
+                plans.clear()
+                plans["_epoch"] = epoch
+        return plans
 
     def _split_for_row(self, layout, row, indices):
         """Map global *indices* to owning servers under *layout*."""

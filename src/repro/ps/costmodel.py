@@ -1,0 +1,301 @@
+"""The unified communication cost model: compress-vs-replicate decisions.
+
+PR 5 left an open question: hot-key replication and (now) wire codecs
+both trade message count against byte volume, but each had — or would
+have had — its own hand-set knob.  This module folds the three signals
+the transport already maintains into one decision point:
+
+- **message size** relative to the bandwidth-delay product: a payload
+  whose serialization time dwarfs the per-message latency is
+  byte-dominated and benefits from compression; a payload that fits in
+  one latency quantum is latency-dominated and compression only adds
+  quantization loss for nothing;
+- **NIC-horizon backlog** from :meth:`NetworkModel.nic_horizon`: when
+  the sender's NIC timeline runs ahead of its clock the node is
+  queueing, and the model escalates one compression tier to drain it;
+- **shard heat** from :meth:`Metrics.shard_heat`: persistently hot
+  shards get the aggressive sparsifying codec on gradient pushes, and
+  :meth:`replication_worthwhile` prices the *same* heat against
+  migration bytes for :class:`HotKeyManager`'s promote sweeps — one
+  model, both knobs.
+
+The model runs **before routing** in ``Transport.send``/``send_all`` so
+decisions key on the primary ``server_index`` and the *sender's* NIC,
+and every eligible message produces exactly one recorded decision
+(``Metrics.record_codec_decision``) — including "identity", which
+attaches nothing and leaves the byte formulas bit-identical to a run
+without a cost model.
+
+Determinism: every input (virtual clocks, NIC horizons, heat counters,
+the decision-count refresh cadence) is a deterministic function of the
+seeded simulation, so identical runs make identical decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.sizeof import FLOAT_BYTES
+from repro.ps.codecs import CODEC_NAMES, make_codec
+from repro.ps.messages import PullRangeRequest, PullRowRequest, PushRequest
+
+#: Size-regime thresholds, in units of the bandwidth-delay ratio
+#: ``r = serialization_time / latency``.  Below ``FP16_RATIO`` a message
+#: is latency-dominated and ships identity.
+FP16_RATIO = 1.0
+INT8_RATIO = 4.0
+TOPK_RATIO = 8.0
+
+#: A sender whose NIC horizon runs more than this many latencies ahead
+#: of its clock is backlogged; the model escalates one tier.
+BACKLOG_LATENCIES = 50.0
+
+#: Decisions between lazy refreshes of the hot-shard set.
+HEAT_REFRESH_DECISIONS = 256
+
+#: Shard heat >= HOT_FACTOR x the matrix mean marks a shard hot.
+HOT_FACTOR = 2.0
+
+
+class CostModel:
+    """Per-message codec selection plus the replication gate.
+
+    One instance per cluster (constructed by :class:`PSMaster` when
+    ``ClusterConfig.wire_codec != "off"``), holding one shared instance
+    of every codec so stateful streams (top-k residuals, delta bases)
+    persist across messages.
+
+    ``mode`` is the config knob: ``"auto"`` picks a tier per message
+    from the size/backlog/heat regime; a codec name forces that codec
+    wherever its loss class is sound (top-k only on additive dense
+    pushes, delta only on assign-mode dense pushes, quantizers
+    anywhere) and identity elsewhere.
+    """
+
+    def __init__(self, cluster, config=None):
+        config = config if config is not None else cluster.config
+        self.cluster = cluster
+        self.mode = getattr(config, "wire_codec", "auto")
+        ratio = getattr(config, "codec_topk_ratio", 0.1)
+        self.codecs = {
+            name: make_codec(name, topk_ratio=ratio) for name in CODEC_NAMES
+        }
+        # The effective path bandwidth is the slower of the NIC and the
+        # fabric; the latency floor keeps the ratio finite.
+        self.bandwidth = min(config.network.bandwidth,
+                             config.node.nic_bandwidth)
+        self.latency = max(config.network.latency, 1e-12)
+        self._decisions = 0
+        self._hot_shards = frozenset()
+
+    # ------------------------------------------------------------------
+    # per-message codec selection
+
+    def prepare(self, request, node_id):
+        """Attach a codec to *request* if its regime warrants one.
+
+        Called by the transport before routing.  Only float64 value
+        payloads are eligible: pushes get their values encoded here
+        (the client is the encoder), pulls get a response codec tag the
+        server honors at serve time.  Ineligible messages (control
+        traffic, aggregates, batches — whose sub-requests were prepared
+        individually) pass through untouched.
+        """
+        kind = type(request)
+        if kind is PushRequest:
+            if request.value_bytes != FLOAT_BYTES \
+                    or request.encoded is not None:
+                return
+            self._attach_push(
+                request, self._choose_push(request, node_id), node_id)
+        elif kind is PullRowRequest:
+            if request.value_bytes != FLOAT_BYTES \
+                    or request.codec is not None:
+                return
+            self._attach_pull(
+                request,
+                self._choose_pull(request, node_id, request.n_values),
+                request.n_values,
+            )
+        elif kind is PullRangeRequest:
+            if request.codec is not None:
+                return
+            n_values = request.stop - request.start
+            self._attach_pull(
+                request,
+                self._choose_pull(request, node_id, n_values),
+                n_values,
+            )
+
+    def _choose_push(self, request, node_id):
+        """The codec for one push, or ``None`` for identity."""
+        dense = request.indices is None
+        if self.mode == "topk":
+            # Sparsification drops coordinates; only additive payloads
+            # recover the dropped mass through error feedback.
+            if dense and request.mode == "add":
+                return self.codecs["topk"]
+            return None
+        if self.mode == "delta":
+            # Delta encodes state against the previous payload of the
+            # stream — only assign-mode streams *are* state.
+            if dense and request.mode == "assign":
+                return self.codecs["delta"]
+            return None
+        if self.mode in ("fp16", "int8"):
+            return self.codecs[self.mode]
+        tier = self._tier(len(request.values) * FLOAT_BYTES, node_id)
+        if dense and request.mode == "add" and tier >= 2 and (
+                tier >= 3 or self._shard_hot(request)):
+            return self.codecs["topk"]
+        if tier >= 2:
+            return self.codecs["int8"]
+        if tier == 1:
+            return self.codecs["fp16"]
+        return None
+
+    def _choose_pull(self, request, node_id, n_values):
+        """The response codec for one pull, or ``None`` for identity.
+
+        Responses must be priced from the request alone, so only
+        fixed-rate stateless quantizers are eligible — never top-k or
+        delta (their sizes depend on stream state the client doesn't
+        have at pricing time).
+        """
+        if self.mode in ("fp16", "int8"):
+            return self.codecs[self.mode]
+        if self.mode in ("topk", "delta"):
+            return None
+        tier = self._tier(n_values * FLOAT_BYTES, node_id)
+        if tier >= 2:
+            return self.codecs["int8"]
+        if tier == 1:
+            return self.codecs["fp16"]
+        return None
+
+    def _tier(self, payload_bytes, node_id):
+        """Map one payload onto a compression tier (0 = identity).
+
+        ``r`` is the payload's serialization time in units of the
+        per-message latency: the knee where a message stops being
+        latency-dominated.  A backlogged sender NIC escalates one tier.
+        """
+        r = (payload_bytes / self.bandwidth) / self.latency
+        if r >= TOPK_RATIO:
+            tier = 3
+        elif r >= INT8_RATIO:
+            tier = 2
+        elif r >= FP16_RATIO:
+            tier = 1
+        else:
+            tier = 0
+        if tier and tier < 3 and self._backlogged(node_id):
+            tier += 1
+        return tier
+
+    def _backlogged(self, node_id):
+        send_h, recv_h = self.cluster.network.nic_horizon(node_id)
+        now = self.cluster.clock.now(node_id)
+        return max(send_h, recv_h) - now > BACKLOG_LATENCIES * self.latency
+
+    def _shard_hot(self, request):
+        return (request.matrix_id, request.server_index) in self._hot_shards
+
+    def _refresh_hot_shards(self):
+        """Recompute the hot-shard set from the unified heat counters."""
+        heat = self.cluster.metrics.shard_heat()
+        by_matrix = {}
+        for (matrix_id, _server), value in heat.items():
+            by_matrix.setdefault(matrix_id, []).append(value)
+        hot = set()
+        for key, value in heat.items():
+            group = by_matrix[key[0]]
+            if len(group) > 1 and \
+                    value >= HOT_FACTOR * (sum(group) / len(group)):
+                hot.add(key)
+        self._hot_shards = frozenset(hot)
+
+    def _attach_push(self, request, codec, node_id):
+        n_values = len(request.values)
+        if codec is None:
+            self._record(request.tag, "identity", 0.0)
+            return
+        key = None
+        if codec.stateful:
+            # One stream per (client, matrix, row, primary shard): the
+            # residual/base state must follow the exact sequence of
+            # payloads one client sends one shard.
+            key = (node_id, request.matrix_id, request.row,
+                   request.server_index)
+        encoded = codec.encode(
+            np.asarray(request.values, dtype=float), key=key)
+        request.codec = codec
+        request.encoded = encoded
+        request._enc_nbytes = encoded.nbytes
+        request._wb = 0  # invalidate the memoized wire size
+        self._record(request.tag, codec.name,
+                     n_values * FLOAT_BYTES - encoded.nbytes)
+
+    def _attach_pull(self, request, codec, n_values):
+        if codec is None:
+            self._record(request.tag, "identity", 0.0)
+            return
+        request.codec = codec
+        request._rb = 0  # invalidate the memoized response size
+        self._record(request.tag, codec.name,
+                     n_values * FLOAT_BYTES - codec.encoded_bytes(n_values))
+
+    def _record(self, tag, codec_name, bytes_saved):
+        if self._decisions % HEAT_REFRESH_DECISIONS == 0:
+            self._refresh_hot_shards()
+        self._decisions += 1
+        self.cluster.metrics.record_codec_decision(
+            tag, codec_name, bytes_saved)
+
+    # ------------------------------------------------------------------
+    # the replication gate
+
+    def replication_worthwhile(self, key, delta_heat, master):
+        """Should the hot key *key* = ``(matrix_id, server_index)`` still
+        replicate, given that codecs already shrink its traffic?
+
+        Replication pays ``migrate_bytes`` up front to spread a shard's
+        read volume over replicas; compression shrinks that same volume
+        by ``factor`` for free.  The gate admits a promotion only when
+        the heat observed this window, *deflated by the compression
+        factor*, still exceeds the migration cost — the NuPS trade
+        priced in the codec-aware regime.  Keys already replicated are
+        not re-gated (churn is what the demote sweep is for).
+        """
+        matrix_id, server_index = key
+        try:
+            info = master.info(matrix_id)
+        except Exception:
+            return True
+        width = 0
+        for shard_server, start, stop in info.layout.shards_for_row(0):
+            if shard_server == server_index:
+                width = stop - start
+                break
+        migrate_bytes = info.n_rows * width * FLOAT_BYTES
+        factor = self._read_compression_factor(max(width, 1))
+        worthwhile = delta_heat / factor > migrate_bytes
+        self.cluster.metrics.increment(
+            "codec-replication-allowed" if worthwhile
+            else "codec-replication-vetoed")
+        return worthwhile
+
+    def _read_compression_factor(self, n_values):
+        """The factor reads of an ``n_values``-wide shard shrink by."""
+        if self.mode == "fp16":
+            return 4.0
+        if self.mode == "int8":
+            return (n_values * FLOAT_BYTES) / float(n_values + FLOAT_BYTES)
+        if self.mode in ("topk", "delta"):
+            return 1.0  # stateful codecs never encode responses
+        r = (n_values * FLOAT_BYTES / self.bandwidth) / self.latency
+        if r >= INT8_RATIO:
+            return (n_values * FLOAT_BYTES) / float(n_values + FLOAT_BYTES)
+        if r >= FP16_RATIO:
+            return 4.0
+        return 1.0

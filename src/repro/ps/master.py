@@ -91,6 +91,14 @@ class PSMaster:
             self.replication = HotKeyManager(cluster, self)
             cluster.replication = self.replication
             cluster.stage_end_hooks.append(self._rebalance_at_stage_end)
+        #: The wire-codec cost model — ``None`` with the knob off, so every
+        #: wire-size formula stays bit-identical to a pre-codec build.
+        self.costmodel = None
+        if getattr(cluster.config, "wire_codec", "off") != "off":
+            from repro.ps.costmodel import CostModel
+
+            self.costmodel = CostModel(cluster, cluster.config)
+            cluster.costmodel = self.costmodel
 
     @property
     def n_servers(self):

@@ -133,10 +133,16 @@ class Request:
     invariant that traced runs are bit-identical to untraced runs is worth
     more than that fidelity — no ``wire_bytes()`` / ``response_bytes()``
     implementation may read it.
+
+    ``codec`` is the wire codec (:mod:`repro.ps.codecs`) the cost model
+    attached, or ``None`` for the identity wire format.  Unlike
+    ``trace_ctx`` it *is* a formula input: a push's payload is priced at
+    its encoded size and a pull's response at the codec's fixed rate.
+    ``None`` keeps every formula bit-identical to a codec-free build.
     """
 
     __slots__ = ("server_index", "matrix_id", "tag", "n_values", "replica_of",
-                 "trace_ctx", "_wb", "_rb")
+                 "trace_ctx", "codec", "_wb", "_rb")
 
     op = "?"
 
@@ -147,6 +153,7 @@ class Request:
         self.n_values = int(n_values)
         self.replica_of = None
         self.trace_ctx = None
+        self.codec = None
         # Wire-size memos (0 = not computed; real sizes are positive).
         # Safe because every size input (n_values, payload lengths,
         # value_bytes) is fixed at construction — pooled requests only
@@ -186,6 +193,15 @@ class Request:
     def response_bytes(self):
         """Reply size, or ``None`` for fire-and-forget requests."""
         return None
+
+    def materialize(self):
+        """Decode any encoded payload in place before the server applies.
+
+        Base requests carry no encoded payload (a pull's ``codec`` only
+        shapes the *response* size); :class:`PushRequest` overrides this
+        to replace its encoded values with the decoded array.  Idempotent,
+        so retries that re-dispatch the same message are safe.
+        """
 
     def message_count(self):
         """Logical sub-messages carried (1; batches report their size)."""
@@ -231,8 +247,12 @@ class PullRowRequest(Request):
     def response_bytes(self):
         rb = self._rb
         if not rb:
-            rb = self._rb = (RESPONSE_HEADER_BYTES
-                             + self.n_values * self.value_bytes)
+            if self.codec is not None:
+                rb = (RESPONSE_HEADER_BYTES
+                      + self.codec.encoded_bytes(self.n_values))
+            else:
+                rb = RESPONSE_HEADER_BYTES + self.n_values * self.value_bytes
+            self._rb = rb
         return rb
 
 
@@ -257,6 +277,9 @@ class PullRangeRequest(Request):
         return 2 * INDEX_BYTES
 
     def response_bytes(self):
+        if self.codec is not None:
+            return (RESPONSE_HEADER_BYTES
+                    + self.codec.encoded_bytes(self.stop - self.start))
         return dense_pull_response_bytes(self.stop - self.start)
 
 
@@ -265,9 +288,16 @@ class PushRequest(Request):
 
     ``mode`` is ``"add"`` (accumulate) or ``"assign"`` (overwrite);
     ``value_bytes`` supports compressed block pushes.
+
+    When the cost model attached a codec, ``encoded`` holds the encoded
+    payload between the client's send and the server's dispatch, and
+    ``_enc_nbytes`` its honest wire size.  ``_enc_nbytes`` survives
+    :meth:`materialize` so post-apply pricing (replica fan-out envelopes)
+    still charges the encoded size the wire actually carried.
     """
 
-    __slots__ = ("row", "values", "indices", "mode", "value_bytes")
+    __slots__ = ("row", "values", "indices", "mode", "value_bytes",
+                 "encoded", "_enc_nbytes")
 
     op = "push"
 
@@ -281,6 +311,8 @@ class PushRequest(Request):
         self.indices = indices
         self.mode = mode
         self.value_bytes = int(value_bytes)
+        self.encoded = None
+        self._enc_nbytes = 0
 
     def shared_key(self):
         if self.indices is None:
@@ -293,7 +325,15 @@ class PushRequest(Request):
         return len(self.indices) * INDEX_BYTES
 
     def payload_bytes(self):
+        if self._enc_nbytes:
+            return self._enc_nbytes
         return len(self.values) * self.value_bytes
+
+    def materialize(self):
+        encoded = self.encoded
+        if encoded is not None:
+            self.values = self.codec.decode(encoded)
+            self.encoded = None
 
 
 class PushRangeRequest(Request):

@@ -87,6 +87,12 @@ class HotKeyManager:
         self._last_heat = {}
         #: Virtual times at which rebalance sweeps ran (telemetry).
         self.rebalance_sweep_times = []
+        #: Bumped whenever the replica topology may have changed (rebalance
+        #: sweeps, recovery re-installs).  The client plan pool keys its
+        #: pooled fan-out plans on ``(topology_epoch, plan_epoch)`` so
+        #: pooling stays enabled under replication and is invalidated
+        #: exactly when routing inputs change.
+        self.plan_epoch = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -306,10 +312,23 @@ class HotKeyManager:
         self._last_heat = dict(heat)
         if self.master.n_servers >= 2:
             hot = self._classify(delta)
+            costmodel = getattr(self.cluster, "costmodel", None)
+            if costmodel is not None:
+                # The unified cost model gates *new* promotions: when
+                # codecs already shrink a key's read traffic, replication
+                # must still beat its migration bytes in the compressed
+                # regime.  Keys already replicated are kept (churn is the
+                # demote sweep's job, not the gate's).
+                hot = {
+                    key for key in hot
+                    if key in self.replicas or costmodel.replication_worthwhile(
+                        key, delta.get(key, 0.0), self.master)
+                }
             for key in sorted(k for k in self.replicas if k not in hot):
                 self._demote(key)
             for key in sorted(hot):
                 self._promote(key)
+        self.plan_epoch += 1
         metrics.increment("rebalance-sweeps")
         self.rebalance_sweep_times.append(self.cluster.clock.global_time())
 
@@ -466,6 +485,7 @@ class HotKeyManager:
                     del self.replicas[key]
         if reinstalled:
             self.cluster.metrics.increment("replica-reinstalls", reinstalled)
+        self.plan_epoch += 1
 
     def on_matrix_freed(self, matrix_id):
         """Forget replica metadata for a freed matrix (the servers already
@@ -484,4 +504,5 @@ class HotKeyManager:
         key = (matrix_id, int(server_index))
         if key in self.replicas:
             self._demote(key)
+            self.plan_epoch += 1
             self.cluster.metrics.increment("replica-direct-write-demotions")

@@ -256,6 +256,13 @@ class PSServer:
             # the client op that sent the batch.
             ctx = prior_ctx
         self._trace_ctx = ctx
+        if request.codec is not None:
+            # Decode-before-apply: an encoded push replaces its payload
+            # with the decoded values here, so every storage primitive
+            # (and the replica fan-out reading ``inner.values``) sees
+            # exactly what the wire delivered.  Batch sub-requests hit
+            # this through their own dispatch round.
+            request.materialize()
         self._dispatch_depth += 1
         try:
             return handler(self, request)
@@ -279,18 +286,36 @@ class PSServer:
         return (request.replica_of is not None
                 and request.replica_of != self.server_index)
 
+    def _encode_response(self, request, values):
+        """Apply the request's response codec (quantize-at-serve-time).
+
+        The client priced the response at the codec's fixed rate; the
+        server round-trips the values through the codec so the floats
+        delivered are exactly the floats that size paid for.  Stateless
+        quantizers only — the cost model never attaches stateful codecs
+        to pulls.
+        """
+        codec = request.codec
+        if codec is None:
+            return values
+        return codec.decode(codec.encode(values))
+
     def _serve_pull_row(self, request):
         if self._is_replica_read(request):
-            return self.replica_read(request.matrix_id, request.replica_of,
-                                     request.row, request.indices)
-        return self.read(request.matrix_id, request.row, request.indices)
+            values = self.replica_read(request.matrix_id, request.replica_of,
+                                       request.row, request.indices)
+        else:
+            values = self.read(request.matrix_id, request.row, request.indices)
+        return self._encode_response(request, values)
 
     def _serve_pull_range(self, request):
         span = np.arange(request.start, request.stop, dtype=np.int64)
         if self._is_replica_read(request):
-            return self.replica_read(request.matrix_id, request.replica_of,
-                                     request.row, span)
-        return self.read(request.matrix_id, request.row, span)
+            values = self.replica_read(request.matrix_id, request.replica_of,
+                                       request.row, span)
+        else:
+            values = self.read(request.matrix_id, request.row, span)
+        return self._encode_response(request, values)
 
     def _serve_push(self, request):
         if request.mode == "add":
@@ -359,20 +384,23 @@ class PSServer:
         cluster = self.cluster
         if not self.alive or cluster.tracer.enabled \
                 or cluster.failures.has_pending_server_failures() \
-                or getattr(cluster, "replication", None) is not None:
+                or getattr(cluster, "replication", None) is not None \
+                or getattr(cluster, "costmodel", None) is not None:
             return None
         first = subs[0]
         kind = type(first)
         if kind is messages.PullRowRequest:
             for sub in subs:
-                if type(sub) is not kind or sub.replica_of is not None:
+                if type(sub) is not kind or sub.replica_of is not None \
+                        or sub.codec is not None:
                     return None
             return self._fused_pull_rows(subs)
         if kind is messages.PushRequest:
             mode = first.mode
             for sub in subs:
                 if type(sub) is not kind or sub.mode != mode \
-                        or sub.replica_of is not None:
+                        or sub.replica_of is not None \
+                        or sub.codec is not None:
                     return None
             return self._fused_pushes(subs, mode)
         return None

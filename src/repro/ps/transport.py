@@ -139,6 +139,9 @@ class Transport:
         ``response_arrival`` is ``None`` for fire-and-forget messages; the
         caller decides when to block on arrivals.
         """
+        costmodel = getattr(self.cluster, "costmodel", None)
+        if costmodel is not None:
+            costmodel.prepare(request, self.node_id)
         self._route(request)
         self._charge_rpc(1)
         result = self._transmit(request)
@@ -169,13 +172,27 @@ class Transport:
         identity, skipping the group/coalesce rebuild on every op.  With a
         replication manager the memo is bypassed — ``route_read`` may
         retarget ``server_index`` in place, invalidating any cached
-        grouping.
+        grouping — but the requests themselves may still come from the
+        client plan pool: any retarget left over from a previous call is
+        undone below before re-offering, so a pooled read routes exactly
+        like a freshly built one.
         """
+        costmodel = getattr(self.cluster, "costmodel", None)
+        if costmodel is not None:
+            # Codec selection runs before routing so decisions key on the
+            # primary server_index and the sender's NIC backlog.
+            for request in requests:
+                costmodel.prepare(request, self.node_id)
         manager = getattr(self.cluster, "replication", None)
         outgoing = None
         bulk_cache = None
         if manager is not None:
             for request in requests:
+                if request.replica_of is not None:
+                    # A pooled request retargeted on an earlier call:
+                    # restore the primary before routing afresh.
+                    request.server_index = request.replica_of
+                    request.replica_of = None
                 manager.route_read(request)
         elif pooled:
             plans = self.master.fanout_group_plans
@@ -235,6 +252,9 @@ class Transport:
         """Offer one read to the replication manager's replica router."""
         manager = getattr(self.cluster, "replication", None)
         if manager is not None:
+            if request.replica_of is not None:
+                request.server_index = request.replica_of
+                request.replica_of = None
             manager.route_read(request)
         return request
 
@@ -288,6 +308,11 @@ class Transport:
         if failures.has_partitions() or failures.has_pending_server_failures():
             return False
         if getattr(cluster, "replication", None) is not None:
+            return False
+        # The bulk path reads the _wb/_rb memo slots directly; a cost model
+        # may attach codecs that re-price messages, so it keeps the
+        # per-message path.
+        if getattr(cluster, "costmodel", None) is not None:
             return False
         routing = self._routing
         server = self.master.server

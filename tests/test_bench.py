@@ -107,6 +107,40 @@ def test_append_trajectory_accumulates_lines(tmp_path):
                for line in lines)
 
 
+# -- v1 forward compatibility (PR 8: compressed_bytes) ------------------------
+
+
+def test_new_records_carry_compressed_bytes():
+    record = _record()
+    for context in record["contexts"]:
+        assert context["compressed_bytes"] == 0.0  # no cost model ran
+
+
+def test_v1_baselines_without_compressed_bytes_still_accepted(tmp_path):
+    """Checked-in ``repro-bench/v1`` baselines predate ``compressed_bytes``;
+    validate / compare / gate must keep accepting them unchanged."""
+    current = _record(name="compat")
+    baseline = json.loads(json.dumps(current))
+    for context in baseline["contexts"]:
+        del context["compressed_bytes"]
+    # Old-shape records still validate as v1 ...
+    bench.validate_record(baseline)
+    # ... compare cleanly against new-shape records in either direction ...
+    assert bench.compare_records(current, baseline) == []
+    assert bench.compare_records(baseline, current) == []
+    # ... and pass a full gate round-trip through disk.
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    bench.write_record(current, str(results))
+    path = baselines / "BENCH_compat.json"
+    path.write_text(json.dumps(baseline), encoding="utf-8")
+    failures, notes = bench.gate(str(results), str(baselines))
+    assert failures == []
+    assert notes == []
+
+
 # -- comparison and gating ----------------------------------------------------
 
 

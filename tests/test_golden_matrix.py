@@ -34,7 +34,7 @@ GOLDEN_BSP_HASH = \
 
 
 def _run(consistency, staleness, coalesce, replication,
-         timeseries_window=0.0, trace=False):
+         timeseries_window=0.0, trace=False, wire_codec="off"):
     ctx = make_context(
         n_executors=2, n_servers=3, seed=11,
         coalesce_requests=coalesce,
@@ -42,6 +42,7 @@ def _run(consistency, staleness, coalesce, replication,
         replication=replication, hot_key_fraction=0.34,
         replication_factor=2,
         timeseries_window=timeseries_window,
+        wire_codec=wire_codec,
     )
     if trace:
         ctx.cluster.tracer.enable()
@@ -99,6 +100,69 @@ def test_canonical_bsp_cell_matches_checked_in_golden():
     # no replication tag ever appears in the transfer accounting.
     assert not any("replica" in tag for tag in ctx.metrics.bytes_by_tag)
     assert _loss_hash(losses) == GOLDEN_BSP_HASH
+
+
+@pytest.mark.parametrize("consistency,staleness", MODELS)
+@pytest.mark.parametrize("replication", ["off", "topk"])
+@pytest.mark.parametrize("wire_codec", ["fp16", "topk"])
+def test_codec_cell_is_bit_identical_across_runs(consistency, staleness,
+                                                 replication, wire_codec):
+    """The codec axis of the matrix: forced-codec cells are deterministic.
+
+    Lossy codecs may legitimately change the losses (that drift is bounded
+    and benchmarked elsewhere); what the matrix pins is that every codec
+    cell is still a pure function of the seed — two identical runs are
+    bit-identical in losses, weights and makespan, replication included.
+    The codec=off axis is the pre-existing matrix above plus the canonical
+    golden-hash cell below.
+    """
+    losses_a, weights_a, ctx_a = _run(consistency, staleness, True,
+                                      replication, wire_codec=wire_codec)
+    losses_b, weights_b, ctx_b = _run(consistency, staleness, True,
+                                      replication, wire_codec=wire_codec)
+    assert losses_a == losses_b
+    assert np.array_equal(weights_a, weights_b)
+    assert ctx_a.elapsed() == ctx_b.elapsed()
+    # The cost model genuinely ran and both runs decided identically.
+    assert ctx_a.metrics.codec_decisions
+    assert ctx_a.metrics.codec_decisions == ctx_b.metrics.codec_decisions
+    assert ctx_a.metrics.codec_bytes_saved == ctx_b.metrics.codec_bytes_saved
+
+
+def test_codec_off_cell_still_matches_golden():
+    """wire_codec="off" is byte- and float-identical to the pre-codec repo:
+    the canonical cell run with the knob explicitly off still hashes to the
+    checked-in golden."""
+    losses, _weights, ctx = _run("bsp", 0, True, "off", wire_codec="off")
+    assert ctx.cluster.costmodel is None
+    assert not ctx.metrics.codec_decisions
+    assert _loss_hash(losses) == GOLDEN_BSP_HASH
+
+
+def test_pooled_fanout_bit_identical_under_replication(monkeypatch):
+    """Pooled fan-out plans are re-enabled under replication (PR 8): a
+    replicated run with the plan pool active must be bit-identical to the
+    same run with pooling disabled — the transport undoes stale replica
+    retargets and the pool is invalidated on every topology/plan epoch
+    bump, so reuse can never change routing outcomes."""
+    losses_p, weights_p, ctx_p = _run("bsp", 0, True, "topk")
+    # Pooling genuinely engaged: layouts carry epoch-stamped plan pools,
+    # and replication was live (promotions happened mid-run).
+    assert any("_epoch" in info.layout.op_plans
+               for info in ctx_p.master._matrices.values())
+    assert ctx_p.metrics.counters.get("replica-promotions", 0) > 0
+
+    from repro.ps.client import PSClient
+
+    monkeypatch.setattr(PSClient, "_plan_pool", lambda self, layout: None)
+    losses_u, weights_u, ctx_u = _run("bsp", 0, True, "topk")
+    assert not any("_epoch" in info.layout.op_plans
+                   for info in ctx_u.master._matrices.values())
+    assert losses_p == losses_u
+    assert np.array_equal(weights_p, weights_u)
+    assert ctx_p.elapsed() == ctx_u.elapsed()
+    assert ctx_p.metrics.total_bytes() == ctx_u.metrics.total_bytes()
+    assert ctx_p.metrics.total_messages() == ctx_u.metrics.total_messages()
 
 
 def test_observability_never_perturbs_the_golden_cell():
