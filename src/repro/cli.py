@@ -16,6 +16,9 @@ Usage (``python -m repro <command>``):
 - ``profile <workload>`` — train one workload under ``cProfile`` and print
   the hottest *host* frames (where the simulator itself burns CPU, as
   opposed to where virtual time goes — that is ``critical-path``);
+- ``serve <scenario>`` — replay a named online-serving scenario (Zipf
+  traffic over a lazy embedding table) and print the serving report;
+  ``--elastic`` turns the autoscaler on (live shard migration included);
 - ``bench-gate`` — compare ``BENCH_*.json`` benchmark records against
   checked-in baselines and fail on makespan/byte regressions;
 - ``experiments`` — list every table/figure benchmark and how to run it.
@@ -234,6 +237,40 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.experiments import make_context
+    from repro.obs import render_report
+    from repro.serving.scenario import SCENARIOS, run_serving
+
+    if args.scenario not in SCENARIOS:
+        print("unknown scenario %r; have: %s"
+              % (args.scenario, ", ".join(sorted(SCENARIOS))))
+        return 1
+    ctx = make_context(
+        n_executors=args.workers, n_servers=args.servers, seed=args.seed,
+        timeseries_window=args.window,
+        elasticity="auto" if args.elastic else None,
+    )
+    result = run_serving(ctx, args.scenario)
+    print(render_report(
+        ctx.cluster,
+        title="serving scenario %r (%s)"
+        % (args.scenario, "elastic" if args.elastic else "static"),
+    ))
+    print()
+    print("requests served: %d  (SLO violations: %d)"
+          % (result["requests"], result["violations"]))
+    print("embedding rows created lazily: %d" % result["created_rows"])
+    print("final topology: %d servers / %d workers"
+          % (result["n_servers"], result["n_workers"]))
+    for event in result["events"]:
+        print("  t=%8.4fs scale %-4s (%s) -> %d servers / %d workers"
+              % (event["time"], event["direction"],
+                 ",".join(event["actions"]),
+                 event["n_servers"], event["n_workers"]))
+    return 0
+
+
 def _cmd_bench_gate(args):
     from repro.obs import bench
 
@@ -344,6 +381,19 @@ def build_parser():
     p_profile.add_argument("--out", default=None,
                            help="also dump raw pstats data to this path")
 
+    p_serve = sub.add_parser(
+        "serve", help="replay an online-serving scenario; print the report"
+    )
+    p_serve.add_argument("scenario",
+                         help="scenario name (smoke, step, diurnal)")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--servers", type=int, default=2)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--window", type=float, default=0.25,
+                         help="time-series window width in virtual seconds")
+    p_serve.add_argument("--elastic", action="store_true",
+                         help="enable the autoscaler (elasticity mode auto)")
+
     p_gate = sub.add_parser(
         "bench-gate",
         help="compare BENCH_*.json records against checked-in baselines",
@@ -370,6 +420,7 @@ def main(argv=None):
         "trace": _cmd_trace,
         "critical-path": _cmd_critical_path,
         "profile": _cmd_profile,
+        "serve": _cmd_serve,
         "bench-gate": _cmd_bench_gate,
         "experiments": _cmd_experiments,
     }

@@ -76,6 +76,11 @@ class Cluster:
         #: Callbacks the scheduler runs after every stage barrier — the
         #: virtual-time hook that drives periodic checkpoint sweeps.
         self.stage_end_hooks = []
+        #: Callbacks fired whenever the server/worker topology changes
+        #: (elastic resize, live shard migration).  Routing caches and
+        #: worker caches register here: anything derived from a shard
+        #: layout must be dropped when the shard map moves.
+        self.topology_change_hooks = []
         #: Callbacks fired when a worker's logical clock ticks (SSP/ASP):
         #: ``hook(node_id, new_clock)``.  Worker-side parameter caches
         #: register here to run their version-vector renewal RPC.
@@ -97,6 +102,12 @@ class Cluster:
 
         self.consistency = make_consistency(self.config)
         self._nodes = {}
+        # Live topology counts.  They start at the configured sizes and
+        # move only under elastic scaling (Cluster.add_executor /
+        # add_server_node and PSMaster.resize_servers); with elasticity
+        # off they are constants and everything behaves as before.
+        self._n_executors = self.config.n_executors
+        self._n_servers = self.config.n_servers
         self._add_node(DRIVER, ROLE_DRIVER)
         for index in range(self.config.n_executors):
             self._add_node(executor_id(index), ROLE_EXECUTOR)
@@ -144,12 +155,70 @@ class Cluster:
     @property
     def executors(self):
         """Executor node ids in index order."""
-        return [executor_id(i) for i in range(self.config.n_executors)]
+        return [executor_id(i) for i in range(self._n_executors)]
 
     @property
     def servers(self):
         """Server node ids in index order."""
-        return [server_id(i) for i in range(self.config.n_servers)]
+        return [server_id(i) for i in range(self._n_servers)]
+
+    def add_executor(self):
+        """Register one more executor (elastic scale-up); returns its id.
+
+        Re-adding an index that existed earlier in the run reuses the
+        registered node (clock/NIC state persists — the simulated machine
+        was idle, not deallocated); a brand-new index registers a fresh
+        node whose clock starts at the current global time, so a machine
+        that joins mid-run cannot report completions in the past.
+        """
+        index = self._n_executors
+        node_id = executor_id(index)
+        if node_id not in self._nodes:
+            self._add_node(node_id, ROLE_EXECUTOR)
+            self.clock.set_at_least(node_id, self.clock.global_time())
+        self._nodes[node_id].alive = True
+        self._n_executors += 1
+        return node_id
+
+    def remove_executor(self):
+        """Retire the highest-indexed executor (elastic scale-down).
+
+        The node stays registered (its clock and NIC history are part of
+        the run) but leaves the active set; a later :meth:`add_executor`
+        can bring it back.
+        """
+        if self._n_executors <= 1:
+            raise ClusterError("cannot remove the last executor")
+        self._n_executors -= 1
+        return executor_id(self._n_executors)
+
+    def add_server_node(self):
+        """Register one more server node (elastic scale-up); returns its id.
+
+        Same reuse semantics as :meth:`add_executor`.  The PS master owns
+        the server-side state machine (:meth:`PSMaster.resize_servers`);
+        this only provides the simulated machine.
+        """
+        index = self._n_servers
+        node_id = server_id(index)
+        if node_id not in self._nodes:
+            self._add_node(node_id, ROLE_SERVER)
+            self.clock.set_at_least(node_id, self.clock.global_time())
+        self._nodes[node_id].alive = True
+        self._n_servers += 1
+        return node_id
+
+    def remove_server_node(self):
+        """Retire the highest-indexed server node (elastic scale-down)."""
+        if self._n_servers <= 1:
+            raise ClusterError("cannot remove the last server")
+        self._n_servers -= 1
+        return server_id(self._n_servers)
+
+    def notify_topology_change(self):
+        """Fan a topology change out to registered invalidation hooks."""
+        for hook in self.topology_change_hooks:
+            hook()
 
     def nodes_by_role(self, role):
         """All node ids with the given role."""

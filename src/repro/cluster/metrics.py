@@ -273,6 +273,23 @@ class MetricsRegistry:
             if nbytes:
                 shard_bytes[key] += nbytes
 
+    def retire_shards(self, keys):
+        """Drop shard-heat state for *keys* = ``(matrix_id, server_index)``.
+
+        Called by the master after a live shard migration: heat recorded
+        against a (matrix, server) pair that no longer owns the shard is
+        *ghost* heat — :meth:`shard_heat` would keep reporting it, and the
+        replication classifier would promote (and the cost model would
+        compress) against a server the traffic left.  Retiring the keys
+        makes the post-migration heat picture start from the traffic the
+        new owners actually serve.
+        """
+        for key in keys:
+            key = (key[0], int(key[1]))
+            self.shard_requests.pop(key, None)
+            self.shard_values.pop(key, None)
+            self.shard_bytes.pop(key, None)
+
     def record_cache_hit(self, node_id, bytes_saved=0.0):
         """One worker-cache hit on *node_id*, avoiding *bytes_saved* wire."""
         self.cache_hits[node_id] += 1

@@ -154,6 +154,90 @@ class FailureConfig:
 
 
 @dataclass(frozen=True)
+class ElasticitySpec:
+    """Autoscaler policy for the online serving tier (``repro.serving``).
+
+    ``mode`` is the master switch:
+
+    - ``"off"`` (default): no autoscaler is constructed at all — the
+      topology stays exactly ``(n_executors, n_servers)`` for the whole
+      run and every code path is bit-identical to a pre-elasticity build;
+    - ``"auto"``: the serving loop polls the autoscaler between requests;
+      it scales the PS tier on the NIC-backlog signal
+      (:meth:`NetworkModel.nic_horizon`) and the worker tier on the
+      windowed p99-vs-SLO signal, within ``[min_servers, max_servers]``
+      and ``[min_workers, max_workers]``.
+
+    Signals:
+
+    - ``scale_up_backlog`` / ``scale_down_backlog``: virtual seconds of
+      NIC reservation horizon past "now" on the *busiest* server.  Above
+      the up threshold the PS tier grows by one (live shard migration);
+      below the down threshold it shrinks by one.
+    - ``slo_target``: the windowed p99 latency (seconds) the worker tier
+      defends; 0 disables the latency signal.  p99 above the target adds
+      a worker, p99 under ``slo_target / 4`` with more than
+      ``min_workers`` active retires one.
+    - ``cooldown``: virtual seconds between scaling decisions — one
+      resize per cooldown window, so a single burst cannot thrash the
+      shard map.
+    """
+
+    mode: str = "off"
+    min_servers: int = 1
+    max_servers: int = 8
+    min_workers: int = 1
+    max_workers: int = 8
+    scale_up_backlog: float = 5e-3
+    scale_down_backlog: float = 5e-4
+    slo_target: float = 0.0
+    cooldown: float = 1.0
+
+    def __post_init__(self):
+        if self.mode not in ("off", "auto"):
+            raise ConfigError(
+                "elasticity mode must be 'off' or 'auto', got %r"
+                % (self.mode,)
+            )
+        if self.min_servers < 1:
+            raise ConfigError(
+                "min_servers must be >= 1, got %r" % (self.min_servers,)
+            )
+        if self.max_servers < self.min_servers:
+            raise ConfigError(
+                "max_servers must be >= min_servers, got %r < %r"
+                % (self.max_servers, self.min_servers)
+            )
+        if self.min_workers < 1:
+            raise ConfigError(
+                "min_workers must be >= 1, got %r" % (self.min_workers,)
+            )
+        if self.max_workers < self.min_workers:
+            raise ConfigError(
+                "max_workers must be >= min_workers, got %r < %r"
+                % (self.max_workers, self.min_workers)
+            )
+        if self.scale_up_backlog <= 0:
+            raise ConfigError(
+                "scale_up_backlog must be positive, got %r"
+                % (self.scale_up_backlog,)
+            )
+        if not 0 <= self.scale_down_backlog < self.scale_up_backlog:
+            raise ConfigError(
+                "scale_down_backlog must be in [0, scale_up_backlog), got %r"
+                % (self.scale_down_backlog,)
+            )
+        if self.slo_target < 0:
+            raise ConfigError(
+                "slo_target must be >= 0, got %r" % (self.slo_target,)
+            )
+        if self.cooldown < 0:
+            raise ConfigError(
+                "cooldown must be >= 0, got %r" % (self.cooldown,)
+            )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Top-level description of a simulated deployment.
 
@@ -232,6 +316,7 @@ class ClusterConfig:
     timeseries_window: float = 0.0
     wire_codec: str = "off"
     codec_topk_ratio: float = 0.1
+    elasticity: ElasticitySpec = field(default_factory=ElasticitySpec)
     seed: int = 0
 
     def __post_init__(self):

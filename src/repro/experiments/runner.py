@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.config import ClusterConfig, FailureConfig, NodeSpec
+from repro.config import ClusterConfig, ElasticitySpec, FailureConfig, \
+    NodeSpec
 from repro.core.context import PS2Context
 
 
@@ -12,7 +13,7 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  replication="off", hot_key_fraction=0.1,
                  replication_factor=0, rebalance_interval=0.0,
                  timeseries_window=0.0, wire_codec="off",
-                 codec_topk_ratio=0.1):
+                 codec_topk_ratio=0.1, elasticity=None):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -52,7 +53,17 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     ``wire_codec`` / ``codec_topk_ratio`` configure the wire-codec cost
     model for the compression-ablation experiments; the default ``"off"``
     constructs no cost model at all (bit-identical to a pre-codec run).
+
+    ``elasticity`` configures elastic scaling for the serving-tier
+    experiments: pass a full :class:`repro.config.ElasticitySpec`, or the
+    mode string ``"auto"`` as a shortcut for the default-bounded spec.
+    The default ``None`` keeps the topology static (bit-identical to a
+    pre-elasticity run).
     """
+    if elasticity is None:
+        elasticity = ElasticitySpec()
+    elif isinstance(elasticity, str):
+        elasticity = ElasticitySpec(mode=elasticity)
     node = NodeSpec() if node_flops is None else NodeSpec(flops=node_flops)
     config = ClusterConfig(
         n_executors=n_executors,
@@ -72,5 +83,6 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         timeseries_window=timeseries_window,
         wire_codec=wire_codec,
         codec_topk_ratio=codec_topk_ratio,
+        elasticity=elasticity,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

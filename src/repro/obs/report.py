@@ -261,6 +261,55 @@ def replication_table(cluster):
     return "\n".join(lines)
 
 
+def serving_table(cluster):
+    """Per-request-class SLO accounting plus elasticity activity.
+
+    Rendered only for runs that installed an
+    :class:`~repro.serving.slo.SLOTracker` (``cluster.slo``).  The
+    percentile columns are cumulative run-level numbers; windowed views
+    live in the time-series section.  The footer lines summarize the
+    lazy-table and elastic machinery: rows materialized by
+    ``get_or_create``, resizes performed, shard slices migrated and the
+    wire bytes the migrations cost.
+    """
+    tracker = getattr(cluster, "slo", None)
+    if tracker is None:
+        return "(serving tier inactive)"
+    metrics = cluster.metrics
+    summary = tracker.summary()
+    lines = []
+    if summary:
+        lines.append(_format_rows(
+            ["class", "requests", "violations", "miss_rate", "p50_s",
+             "p95_s", "p99_s"],
+            [
+                (request_class, s["requests"], s["violations"],
+                 "%.1f%%" % (100.0 * s["violation_rate"]),
+                 _seconds(s["p50"]), _seconds(s["p95"]), _seconds(s["p99"]))
+                for request_class, s in summary.items()
+            ],
+        ))
+    else:
+        lines.append("(no serving requests observed)")
+    if tracker.slo_target > 0:
+        lines.append("slo target: %s s" % _seconds(tracker.slo_target))
+    counters = metrics.counters
+    lines.append(
+        "lazy rows created=%d elastic resizes=%d (up=%d down=%d)"
+        % (counters.get("lazy-creates", 0),
+           counters.get("elastic-resizes", 0),
+           counters.get("autoscale-up", 0),
+           counters.get("autoscale-down", 0))
+    )
+    migrated = counters.get("migrated-shard-slices", 0)
+    if migrated:
+        lines.append(
+            "shard migration: %d slices, %.0f wire bytes"
+            % (migrated, metrics.bytes_for_tag("shard-migrate"))
+        )
+    return "\n".join(lines)
+
+
 def timeseries_table(sampler):
     """Per-window rates and gauges from one time-series sampler.
 
@@ -344,6 +393,12 @@ def render_report(cluster, title="observability report"):
         "-- hot-key replication --",
         replication_table(cluster),
     ]
+    if getattr(cluster, "slo", None) is not None:
+        sections += [
+            "",
+            "-- serving tier --",
+            serving_table(cluster),
+        ]
     sampler = getattr(cluster, "timeseries", None)
     if sampler is not None:
         sampler.finalize()

@@ -68,6 +68,10 @@ class WorkerCache:
         self.model = model
         self.transport = transport
         self.entries = {}
+        # An elastic resize re-shards every matrix; cached rows carry
+        # per-server tokens keyed on the old primary indices, so they are
+        # unconditionally dropped rather than renewed against a new map.
+        cluster.topology_change_hooks.append(self.invalidate)
 
     @property
     def bound(self):
@@ -105,9 +109,11 @@ class WorkerCache:
         at most the codec's per-message error bound; the divergence is
         bounded by the staleness window — the next miss refills the row
         from the server's (decoded) state.  Cache-hit ``bytes_saved``
-        telemetry stays priced at identity rates: it reports the wire
-        volume a pull *would* have cost in the uncompressed protocol, an
-        upper bound under codecs.
+        telemetry is priced through the active cost model when one is
+        configured (:meth:`CostModel.priced_pull_response_bytes`): a hit
+        reports the wire volume the pull *would* have cost under the
+        codec regime in force, falling back to identity rates only when
+        no cost model is installed.
         """
         entry = self.entries.get((matrix_id, int(row)))
         if entry is None:

@@ -55,6 +55,19 @@ class CheckpointManager:
     def has_checkpoint(self, server_index):
         return server_index in self._snapshots
 
+    def invalidate(self):
+        """Drop every snapshot; returns whether any existed.
+
+        Called after a live shard migration: a pre-migration snapshot
+        holds pre-migration shard *ranges*, and restoring it afterwards
+        would reinstate wrong widths (reconciliation only fills missing
+        shards, it never validates ranges).  The master takes a fresh
+        sweep right after when checkpoint protection was in play.
+        """
+        had = bool(self._snapshots)
+        self._snapshots.clear()
+        return had
+
     def recover_server(self, server):
         """Load the latest snapshot into a replacement server.
 

@@ -174,11 +174,25 @@ class PSClient:
 
     # -- row access: pull ----------------------------------------------------
 
+    def _priced_response_bytes(self, n_values):
+        """Response bytes a dense pull of *n_values* would put on the wire.
+
+        Priced through the active cost model when one is configured
+        (satellite telemetry honesty: a cache hit saves the bytes the
+        codec regime *would* have shipped, not the identity-rate upper
+        bound); identity rates otherwise — bit-identical to the
+        pre-costmodel formulas when the knob is off.
+        """
+        costmodel = getattr(self.cluster, "costmodel", None)
+        if costmodel is None:
+            return messages.dense_pull_response_bytes(n_values)
+        return costmodel.priced_pull_response_bytes(self.node_id, n_values)
+
     def _dense_pull_wire_bytes(self, layout, row):
         """Wire cost (request + response) of a full dense pull of *row*."""
         return sum(
             messages.dense_pull_request_bytes()
-            + messages.dense_pull_response_bytes(stop - start)
+            + self._priced_response_bytes(stop - start)
             for _server, start, stop in layout.shards_for_row(row)
         )
 
@@ -230,7 +244,7 @@ class PSClient:
             else:
                 idx = np.asarray(indices, dtype=np.int64)
                 saved = (messages.sparse_pull_request_bytes(idx.size)
-                         + messages.sparse_pull_response_bytes(idx.size))
+                         + self._priced_response_bytes(idx.size))
                 result = entry.values[idx]
             metrics.record_cache_hit(self.node_id, saved)
             return result
@@ -316,6 +330,63 @@ class PSClient:
                 cursor += request.n_values
             self._await(arrivals)
             return values_by_index
+
+    # -- lazy tables: get_or_create pulls --------------------------------------
+
+    def pull_or_create(self, matrix_id, rows):
+        """Pull embedding rows, materializing unseen ids server-side.
+
+        The serving tier's read path over a lazy table
+        (:meth:`~repro.ps.master.PSMaster.create_table`): one
+        :class:`~repro.ps.messages.PullOrCreateRequest` per id, routed to
+        ``id % n_servers`` under the table's
+        :class:`~repro.ps.partitioner.RowLayout` and coalesced per server
+        by the transport.  A server that does not hold a row yet
+        initializes it from the table's deterministic, layout-independent
+        RNG stream before serving — ElasticDL-style ``get_or_create``, so
+        the table grows unbounded during online learning.  Ids this round
+        materialized are then registered with the master (one control
+        message: header plus one key per fresh id), which is what lets
+        recovery and live shard migration re-materialize the table.
+
+        Always server-authoritative: the worker cache is bypassed — a
+        cache miss cannot distinguish "stale" from "never created", and
+        serving reads must observe creations by other workers.
+
+        Returns a ``len(rows) x dim`` array aligned with the input order.
+        """
+        rows = [int(row) for row in rows]
+        with self._op("pull-create", matrix_id):
+            layout = self._layout(matrix_id)
+            info = self.master.info(matrix_id)
+            if not info.lazy:
+                raise PSError("matrix %r is not a lazy table" % (matrix_id,))
+            requests = [
+                messages.PullOrCreateRequest(
+                    row % layout.n_servers, matrix_id, row, layout.dim,
+                    init=info.init, scale=info.scale,
+                )
+                for row in rows
+            ]
+            values, arrivals = self.transport.send_all(requests)
+            result = np.empty((len(rows), layout.dim))
+            created = []
+            for pos, (block, was_created) in enumerate(values):
+                result[pos, :] = block
+                if was_created:
+                    created.append(rows[pos])
+            self._await(arrivals)
+            if created:
+                from repro.cluster.cluster import DRIVER
+
+                self.cluster.network.transfer(
+                    self.node_id, DRIVER,
+                    messages.REQUEST_HEADER_BYTES
+                    + len(created) * messages.INDEX_BYTES,
+                    tag="lazy-register",
+                )
+                self.master.register_lazy_rows(matrix_id, created)
+            return result
 
     # -- row access: push (fire-and-forget) ------------------------------------
 
@@ -433,9 +504,7 @@ class PSClient:
                     self.cluster.metrics.record_cache_hit(
                         self.node_id,
                         messages.dense_pull_request_bytes()
-                        + messages.dense_pull_response_bytes(
-                            int(stop) - int(start)
-                        ),
+                        + self._priced_response_bytes(int(stop) - int(start)),
                     )
                     return entry.values[int(start):int(stop)].copy()
                 full = self._cache_full_row(matrix_id, row, layout)

@@ -201,6 +201,33 @@ class CostModel:
     def _shard_hot(self, request):
         return (request.matrix_id, request.server_index) in self._hot_shards
 
+    def on_topology_resized(self):
+        """Drop the memoized hot-shard set after a shard migration.
+
+        The heat ledger just retired the migrated-away keys; without this
+        the stale frozenset could keep marking ghost shards hot for up to
+        ``HEAT_REFRESH_DECISIONS`` more decisions.
+        """
+        self._hot_shards = frozenset()
+        self._decisions = 0
+
+    def priced_pull_response_bytes(self, node_id, n_values):
+        """The wire bytes a dense pull response of *n_values* would cost
+        under the model's current regime — header plus the codec-encoded
+        payload, or the identity size when the regime says identity.
+
+        Used to price cache-hit ``bytes_saved`` telemetry honestly: a hit
+        avoids the response the model *would have compressed*, not the
+        identity-rate upper bound.  Pricing only — no decision is
+        recorded and no codec state advances.
+        """
+        from repro.ps.messages import RESPONSE_HEADER_BYTES
+
+        codec = self._choose_pull(None, node_id, n_values)
+        if codec is None:
+            return RESPONSE_HEADER_BYTES + n_values * FLOAT_BYTES
+        return RESPONSE_HEADER_BYTES + codec.encoded_bytes(n_values)
+
     def _refresh_hot_shards(self):
         """Recompute the hot-shard set from the unified heat counters."""
         heat = self.cluster.metrics.shard_heat()

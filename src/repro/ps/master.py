@@ -22,12 +22,16 @@ regression, bounded by the updates-since-last-checkpoint.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cluster.cluster import DRIVER
-from repro.common.errors import MatrixNotFoundError
+from repro.common.errors import MatrixNotFoundError, PSError
+from repro.common.rng import generator
+from repro.common.sizeof import FLOAT_BYTES, INDEX_BYTES
 from repro.ps.checkpoint import CheckpointManager
 from repro.ps.messages import REQUEST_HEADER_BYTES
-from repro.ps.partitioner import ColumnLayout
-from repro.ps.server import PSServer
+from repro.ps.partitioner import ColumnLayout, RowLayout
+from repro.ps.server import PSServer, RowShard
 
 
 class MatrixInfo:
@@ -36,13 +40,19 @@ class MatrixInfo:
     Carries everything needed to rebuild any shard from scratch after a
     failure: the layout (placement) plus the initialization recipe
     (``init``/``scale``), replayed against the same named RNG streams.
+
+    ``lazy`` marks an embedding table whose rows materialize on first
+    access (:meth:`PSMaster.create_table`): ``created_rows`` is the
+    master's authoritative registry of ids that exist — the recovery
+    metadata that lets :meth:`PSMaster._reconcile` rebuild a lazy table
+    after a crash, since no ``range(n_rows)`` enumerates it.
     """
 
     __slots__ = ("matrix_id", "dim", "n_rows", "layout", "name", "init",
-                 "scale")
+                 "scale", "lazy", "created_rows")
 
     def __init__(self, matrix_id, dim, n_rows, layout, name, init="zero",
-                 scale=0.01):
+                 scale=0.01, lazy=False):
         self.matrix_id = matrix_id
         self.dim = int(dim)
         self.n_rows = int(n_rows)
@@ -50,6 +60,8 @@ class MatrixInfo:
         self.name = name
         self.init = init
         self.scale = float(scale)
+        self.lazy = bool(lazy)
+        self.created_rows = set() if lazy else None
 
 
 class PSMaster:
@@ -155,6 +167,58 @@ class PSMaster:
             )
         return matrix_id
 
+    def _lazy_rng(self, matrix_id, row):
+        """The one-shot init stream for one lazy-table row.
+
+        Unlike :meth:`_init_rng` the stream carries **no server index** and
+        is constructed fresh per call: creation on whichever server the
+        current layout routes the row to, re-materialization during
+        recovery, and re-creation after a shard migration all draw
+        bit-identical values — layout-independent determinism, the
+        property the serving tier's property tests pin down.
+        """
+        return generator(self.cluster.rng.seed,
+                         "ps-lazy-init-%s-%d" % (matrix_id, int(row)))
+
+    def create_table(self, dim, init="random", scale=0.01, name=None):
+        """Create a lazy embedding table; returns the matrix id.
+
+        No shards are allocated up front: rows materialize server-side on
+        the first :class:`~repro.ps.messages.PullOrCreateRequest` that
+        references them (ElasticDL's ``get_or_create``), so the table
+        grows unbounded during online learning.  Row placement uses a
+        :class:`RowLayout` — one whole embedding vector per id, the
+        classic single-server embedding lookup.
+        """
+        matrix_id = self._next_matrix_id
+        self._next_matrix_id += 1
+        info = MatrixInfo(matrix_id, dim, 0, RowLayout(dim, self.n_servers),
+                          name or "t%d" % matrix_id, init=init, scale=scale,
+                          lazy=True)
+        self._matrices[matrix_id] = info
+        return matrix_id
+
+    def register_lazy_rows(self, matrix_id, rows):
+        """Record ids a client's get_or_create round materialized.
+
+        The registry is create-once: ids already known are ignored, so
+        concurrent workers racing on the same id converge on one creation
+        record.  Returns the number of ids that were new.  The wire cost
+        of the registration message is charged by the client.
+        """
+        info = self.info(matrix_id)
+        if not info.lazy:
+            raise PSError("matrix %r is not a lazy table" % (matrix_id,))
+        fresh = 0
+        for row in rows:
+            row = int(row)
+            if row not in info.created_rows:
+                info.created_rows.add(row)
+                if row >= info.n_rows:
+                    info.n_rows = row + 1
+                fresh += 1
+        return fresh
+
     def free_matrix(self, matrix_id):
         """Release every shard of *matrix_id* (replicas included)."""
         self._matrices.pop(matrix_id, None)
@@ -228,16 +292,18 @@ class PSMaster:
         """
         reinitialized = 0
         for info in self._matrices.values():
-            for row in range(info.n_rows):
+            for row in self._assigned_rows(info):
                 for server_index, start, stop in info.layout.shards_for_row(row):
                     if server_index != server.server_index:
                         continue
                     if server.has_shard(info.matrix_id, row):
                         continue
+                    rng = (self._lazy_rng(info.matrix_id, row) if info.lazy
+                           else self._init_rng(info.matrix_id, row,
+                                               server_index))
                     server.allocate_row(
                         info.matrix_id, row, start, stop, init=info.init,
-                        rng=self._init_rng(info.matrix_id, row, server_index),
-                        scale=info.scale,
+                        rng=rng, scale=info.scale,
                     )
                     reinitialized += 1
         for matrix_id in server.stored_matrix_ids():
@@ -248,6 +314,14 @@ class PSMaster:
                 "recovery-reinit-shards", reinitialized
             )
         return reinitialized
+
+    @staticmethod
+    def _assigned_rows(info):
+        """The rows a matrix actually has: dense range, or the lazy
+        registry in sorted (deterministic) order."""
+        if info.lazy:
+            return sorted(info.created_rows)
+        return range(info.n_rows)
 
     def recover(self, server_index):
         """Start a replacement server and rebuild the failed one's state.
@@ -290,6 +364,193 @@ class PSMaster:
                 reinit_shards=reinitialized,
             )
         return server
+
+    # -- elastic topology ---------------------------------------------------
+
+    def add_server(self):
+        """Grow the PS tier by one server (live shard migration)."""
+        self.resize_servers(self.n_servers + 1)
+
+    def remove_server(self):
+        """Shrink the PS tier by one server (its shards migrate off)."""
+        self.resize_servers(self.n_servers - 1)
+
+    def resize_servers(self, new_count):
+        """Resize the PS tier to *new_count* servers with live migration.
+
+        Growth appends fresh server processes (their node clocks start at
+        the current global time); shrink removes the highest-indexed
+        servers — only after every shard they own has migrated off, so
+        indices stay dense and routing stays a pure function of the
+        layout.  Either way :meth:`_migrate` re-partitions every matrix
+        under a same-shape layout at the new server count, then
+        :meth:`_after_resize` invalidates everything derived from the old
+        shard map (routing caches, pooled plans, worker caches, stale
+        checkpoints, the hot-shard heat ledger).
+        """
+        new_count = int(new_count)
+        old_count = self.n_servers
+        if new_count == old_count:
+            return
+        if new_count < 1:
+            raise PSError(
+                "cannot resize the PS tier below one server (got %d)"
+                % new_count
+            )
+        if new_count > old_count:
+            for _ in range(new_count - old_count):
+                node_id = self.cluster.add_server_node()
+                server = PSServer(self.cluster, node_id, len(self.servers))
+                server.revive()
+                self.servers.append(server)
+            self._migrate(new_count)
+        else:
+            self._migrate(new_count)
+            # Replicas were installed against the pre-resize topology and
+            # may live on (or point at) departing indices: demote them all
+            # while every server object is still addressable.
+            if self.replication is not None:
+                self.replication.on_topology_resized()
+            for _ in range(old_count - new_count):
+                self.servers.pop()
+                self.cluster.remove_server_node()
+        if new_count > old_count and self.replication is not None:
+            self.replication.on_topology_resized()
+        self._after_resize(old_count, new_count)
+
+    def _remapped_layout(self, layout, new_n):
+        """The same-shape layout at *new_n* servers.
+
+        Column layouts keep their rotation and block, so pool-mates (which
+        share a rotation) remain co-located after the resize; row layouts
+        stay row layouts.
+        """
+        if isinstance(layout, RowLayout):
+            return RowLayout(layout.dim, new_n)
+        return ColumnLayout(layout.dim, new_n, rotation=layout.rotation,
+                            block=layout.block)
+
+    def _live_source(self, server_index):
+        """The current server at *server_index*, recovered if a scheduled
+        crash fired — a migration must survive mid-flight failures (the
+        recovered process restores its checkpoint and re-initializes the
+        rest against the still-current old layout, then migration
+        continues from that state)."""
+        server = self.servers[server_index]
+        if not server.is_alive():
+            server = self.recover(server_index)
+        return server
+
+    def _migrate(self, new_n):
+        """Re-partition every matrix onto *new_n* servers, live.
+
+        For each matrix the new shard map is computed first, every new
+        shard's values are assembled from the overlapping old shards
+        (reading through :meth:`_live_source`, so a server dying mid-sweep
+        is recovered and the copy continues), and only then is the old
+        shard map dropped and the new one installed — a reader can never
+        observe a half-moved matrix because the swap is per-matrix atomic
+        in virtual time (the simulator interleaves nothing inside it).
+        Per-row version counters travel with the data (the max over
+        contributing old shards), so worker-cache tokens can never
+        *regress* across a migration.  Slices that change owner are
+        charged to the NIC model under ``shard-migrate``, coalesced into
+        one stream per (source, target) pair; the shard-heat ledger
+        entries of (matrix, server) keys that lost their assignment are
+        retired (no ghost heat).
+        """
+        transfers = {}
+        moved_slices = 0
+        old_keys = set()
+        new_keys = set()
+        for info in self._matrices.values():
+            old_layout = info.layout
+            new_layout = self._remapped_layout(old_layout, new_n)
+            for server_index in range(old_layout.n_servers):
+                old_keys.add((info.matrix_id, server_index))
+            for server_index in range(new_n):
+                new_keys.add((info.matrix_id, server_index))
+            new_store = {}
+            new_versions = {}
+            for row in self._assigned_rows(info):
+                old_shards = old_layout.shards_for_row(row)
+                for new_server, nstart, nstop in new_layout.shards_for_row(row):
+                    values = np.zeros(nstop - nstart)
+                    version = 0
+                    for old_server, ostart, ostop in old_shards:
+                        lo = max(nstart, ostart)
+                        hi = min(nstop, ostop)
+                        if lo >= hi:
+                            continue
+                        source = self._live_source(old_server)
+                        rows_held = source._store.get(info.matrix_id)
+                        shard = None if rows_held is None \
+                            else rows_held.get(row)
+                        if shard is None:
+                            # A drifted store (e.g. a crash recovered
+                            # against stale metadata) heals in place.
+                            self._reconcile(source)
+                            shard = source._store[info.matrix_id][row]
+                        values[lo - nstart:hi - nstart] = \
+                            shard.values[lo - ostart:hi - ostart]
+                        version = max(
+                            version,
+                            source.versions.get((info.matrix_id, row), 0),
+                        )
+                        if old_server != new_server:
+                            pair = (source.node_id,
+                                    self.servers[new_server].node_id)
+                            transfers[pair] = (
+                                transfers.get(pair, 0)
+                                + (hi - lo) * FLOAT_BYTES + 2 * INDEX_BYTES
+                            )
+                            moved_slices += 1
+                    new_store.setdefault(new_server, {})[row] = RowShard(
+                        nstart, nstop, values
+                    )
+                    if version:
+                        new_versions.setdefault(new_server, {})[
+                            (info.matrix_id, row)
+                        ] = version
+            for server in self.servers:
+                server._store.pop(info.matrix_id, None)
+            for server_index, rows in new_store.items():
+                target = self.servers[server_index]
+                target._store[info.matrix_id] = rows
+                for key, counter in new_versions.get(server_index, {}).items():
+                    if counter > target.versions.get(key, 0):
+                        target.versions[key] = counter
+            info.layout = new_layout
+        for (src, dst), nbytes in sorted(transfers.items()):
+            self.cluster.network.transfer(
+                src, dst, REQUEST_HEADER_BYTES + nbytes, tag="shard-migrate"
+            )
+        retired = sorted(old_keys - new_keys)
+        if retired:
+            self.cluster.metrics.retire_shards(retired)
+        if moved_slices:
+            self.cluster.metrics.increment("migrated-shard-slices",
+                                           moved_slices)
+
+    def _after_resize(self, old_count, new_count):
+        """Invalidate every artifact derived from the old shard map."""
+        self.topology_epoch += 1
+        self.fanout_group_plans.clear()
+        if self.costmodel is not None:
+            self.costmodel.on_topology_resized()
+        # Pre-resize snapshots hold pre-migration shard ranges; restoring
+        # one would corrupt widths (reconcile only fills *missing* shards).
+        # Drop them, and — when checkpointing was in play — take a fresh
+        # sweep so the protection level survives the resize.
+        if self.checkpoints.invalidate():
+            self.checkpoint_all()
+        for server in self.servers:
+            self.cluster.network.transfer(
+                DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-resize"
+            )
+        self.cluster.metrics.increment("elastic-resizes")
+        self.cluster.metrics.observe("elastic-server-count", new_count)
+        self.cluster.notify_topology_change()
 
     def repair(self, server_index):
         """Heal a server whose shard set drifted from the metadata.

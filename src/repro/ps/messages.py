@@ -256,6 +256,51 @@ class PullRowRequest(Request):
         return rb
 
 
+class PullOrCreateRequest(Request):
+    """Pull one embedding row, creating it server-side if it is unseen.
+
+    The lazy-table read path (ElasticDL's ``get_or_create``): online
+    requests may reference ids no training pass ever touched, so the
+    *server* owns initialization — if the row's shard is absent it is
+    allocated from the table's deterministic per-row RNG stream (the same
+    discipline :meth:`PSMaster.recover` replays, so creation, migration
+    and recovery all materialize bit-identical values) and the freshly
+    initialized values come back like any other pull.
+
+    Wire accounting is honest but *deterministic*: the request carries the
+    row id plus the init descriptor (init code + scale — the server cannot
+    create without them), and the response always carries a created-marker
+    word on top of the value payload.  The client prices the response
+    before dispatch and cannot know whether creation will happen, so the
+    marker is part of the fixed response layout rather than a
+    data-dependent size — the create-path bytes are on the wire ledger
+    either way.
+    """
+
+    __slots__ = ("row", "init", "scale")
+
+    op = "pull-or-create"
+
+    def __init__(self, server_index, matrix_id, row, n_values, init="random",
+                 scale=0.01, tag="pull-create"):
+        super().__init__(server_index, matrix_id, tag, n_values)
+        self.row = int(row)
+        self.init = init
+        self.scale = float(scale)
+
+    def payload_bytes(self):
+        # Row id + init code word + the init scale.
+        return 2 * INDEX_BYTES + FLOAT_BYTES
+
+    def response_bytes(self):
+        rb = self._rb
+        if not rb:
+            rb = (RESPONSE_HEADER_BYTES + INDEX_BYTES
+                  + self.n_values * FLOAT_BYTES)
+            self._rb = rb
+        return rb
+
+
 class PullRangeRequest(Request):
     """Pull the contiguous columns ``[start, stop)`` of one row.
 

@@ -487,6 +487,22 @@ class HotKeyManager:
             self.cluster.metrics.increment("replica-reinstalls", reinstalled)
         self.plan_epoch += 1
 
+    def on_topology_resized(self):
+        """Reset replication state after an elastic resize.
+
+        Every replica was installed against the pre-resize shard map —
+        its column range no longer matches any primary shard — so all
+        keys are demoted wholesale, and the heat baselines restart so the
+        next sweep classifies on post-migration traffic only (the retired
+        ledger entries must not look like sudden negative deltas).
+        Called by the master *before* departing servers leave the
+        addressable set, so every holder can still be reached.
+        """
+        for key in sorted(self.replicas):
+            self._demote(key)
+        self._last_heat = {}
+        self.plan_epoch += 1
+
     def on_matrix_freed(self, matrix_id):
         """Forget replica metadata for a freed matrix (the servers already
         purged their stores in ``drop_matrix``)."""

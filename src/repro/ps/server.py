@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.cluster.resource import TimelineResource
 from repro.common.errors import MatrixNotFoundError, PSError, ServerDownError
+from repro.common.rng import generator
 from repro.ps import messages
 
 #: Flops charged per element for simple elementwise mutations.
@@ -316,6 +317,38 @@ class PSServer:
         else:
             values = self.read(request.matrix_id, request.row, span)
         return self._encode_response(request, values)
+
+    def _serve_pull_or_create(self, request):
+        """Serve a lazy-table read, creating the row if it is unseen.
+
+        The init values come from a **one-shot** per-(matrix, row) RNG
+        stream whose name carries no server index: creation here, a
+        re-materialization after a crash (:meth:`PSMaster._reconcile`) and
+        a re-creation on a different server after a shard migration all
+        draw bit-identical values.  Returns ``(values, created)`` — the
+        created flag is the marker word the response size always carries.
+        """
+        self._check_alive()
+        matrix_id = request.matrix_id
+        row = request.row
+        created = not self.has_shard(matrix_id, row)
+        if created:
+            rng = generator(self.cluster.rng.seed,
+                            "ps-lazy-init-%s-%d" % (matrix_id, row))
+            self.allocate_row(matrix_id, row, 0, request.n_values,
+                              init=request.init, rng=rng, scale=request.scale)
+            self._service(
+                ELEMENTWISE_FLOPS * max(1, request.n_values), "ps-create"
+            )
+            self.cluster.metrics.increment("lazy-creates")
+            # A replica of this shard key (installed before the row
+            # existed) would silently miss the new row; de-replicate via
+            # the direct-write hook rather than letting it diverge.
+            manager = getattr(self.cluster, "replication", None)
+            if manager is not None:
+                manager.on_direct_write(matrix_id, self.server_index)
+        values = self.read(matrix_id, row)
+        return values, created
 
     def _serve_push(self, request):
         if request.mode == "add":
@@ -983,6 +1016,7 @@ def serve_fast_fanout(cluster, fan_servers, fan_messages, fan_arrivals):
 #: The server-side protocol: one handler per message type.
 _HANDLERS = {
     messages.PullRowRequest: PSServer._serve_pull_row,
+    messages.PullOrCreateRequest: PSServer._serve_pull_or_create,
     messages.PullRangeRequest: PSServer._serve_pull_range,
     messages.PushRequest: PSServer._serve_push,
     messages.PushRangeRequest: PSServer._serve_push_range,

@@ -72,6 +72,9 @@ class Transport:
             getattr(cluster.config, "coalesce_requests", True)
         )
         self._routing = {}
+        # A live resize replaces every layout object wholesale; routing
+        # cached before the migration would hand out stale shard ranges.
+        cluster.topology_change_hooks.append(self.invalidate)
 
     # -- routing -----------------------------------------------------------
 

@@ -1,0 +1,41 @@
+"""The online serving tier: traffic, lazy tables, SLOs, elasticity.
+
+Training produces a model; *serving* is what the model is for.  This
+package adds the online half of the parameter-server story the paper's
+offline benchmarks stop short of:
+
+- :mod:`repro.serving.traffic` — a deterministic, seeded traffic
+  generator producing Zipf-skewed request streams from a simulated user
+  population, with diurnal/step load profiles, driven entirely on the
+  virtual clock;
+- :mod:`repro.serving.slo` — windowed per-request-class latency
+  percentiles and SLO-violation accounting, layered on the
+  :class:`~repro.obs.timeseries.TimeSeriesSampler`;
+- :mod:`repro.serving.autoscaler` — an elastic controller that adds and
+  removes workers *and* PS servers mid-run from NIC-backlog and
+  latency-SLO signals, driving the master's live shard migration;
+- :mod:`repro.serving.scenario` — named serving scenarios and the
+  open-loop driver (``python -m repro serve <scenario>``).
+
+The model side — lazy ``get_or_create`` embedding tables — lives in the
+PS layer itself (:meth:`~repro.ps.master.PSMaster.create_table`,
+:meth:`~repro.ps.client.PSClient.pull_or_create`); this package only
+*drives* it.
+"""
+
+from __future__ import annotations
+
+from repro.serving.autoscaler import Autoscaler
+from repro.serving.scenario import SCENARIOS, ServingScenario, run_serving
+from repro.serving.slo import SLOTracker
+from repro.serving.traffic import ServingRequest, TrafficGenerator
+
+__all__ = [
+    "Autoscaler",
+    "SCENARIOS",
+    "SLOTracker",
+    "ServingRequest",
+    "ServingScenario",
+    "TrafficGenerator",
+    "run_serving",
+]

@@ -1,0 +1,151 @@
+"""The elastic controller: scale workers and PS servers from live signals.
+
+The :class:`Autoscaler` closes the loop between the serving tier's load
+signals and the cluster's elastic topology primitives:
+
+- **scale-up** when either the worst per-server NIC backlog (how far any
+  server's NIC reservation horizon runs past the open-loop arrival
+  frontier — the same horizon the cost model's tier escalation reads)
+  exceeds ``ElasticitySpec.scale_up_backlog``, or the last closed
+  time-series window's ``serve:read`` p99 exceeds ``slo_target``;
+- **scale-down** when the backlog has drained below
+  ``scale_down_backlog`` *and* the windowed p99 sits under half the
+  target (hysteresis — the up and down thresholds never overlap, and a
+  ``cooldown`` of virtual seconds separates consecutive actions).
+
+One scale action moves **both tiers** toward the load: a PS server
+(through :meth:`~repro.ps.master.PSMaster.resize_servers`, which
+performs the live shard migration and fans invalidation out to every
+routing and worker cache) and a worker (through
+:meth:`~repro.cluster.cluster.Cluster.add_executor` /
+``remove_executor``), each clamped to the spec's ``min``/``max`` bounds
+independently.
+
+Determinism: every input — virtual clocks, NIC horizons, closed-window
+percentiles, the cooldown arithmetic — is a deterministic function of
+the seeded simulation, so identical runs scale identically.
+"""
+
+from __future__ import annotations
+
+
+class Autoscaler:
+    """NIC-backlog + latency-SLO driven elastic scaling, with cooldown."""
+
+    def __init__(self, ctx, spec=None, slo=None):
+        self.ctx = ctx
+        self.cluster = ctx.cluster
+        self.master = ctx.master
+        self.spec = spec if spec is not None else \
+            ctx.cluster.config.elasticity
+        #: The serving tier's :class:`~repro.serving.slo.SLOTracker`
+        #: (optional — without one, only the backlog signal drives).
+        self.slo = slo
+        #: Chronological log of every action taken, for reports/benches.
+        self.events = []
+        # Cooldown separates *consecutive* actions; the first evaluation
+        # is never gated (None = no action taken yet).
+        self._last_action = None
+
+    # -- signals -----------------------------------------------------------
+
+    def backlog_seconds(self, now=None):
+        """The worst per-server NIC backlog, in virtual seconds.
+
+        For each PS server: how far its NIC reservation horizon (send or
+        receive, whichever is later) runs past *now*.  A positive value
+        means requests are queueing on that server's NIC faster than it
+        drains them.
+
+        *now* should be the **arrival frontier** — the scheduled time of
+        the request just served (the serving driver passes it).  In an
+        open-loop run the completion clocks (and hence the global
+        ``elapsed()``) run *ahead* of the arrival stream exactly when the
+        system is saturated, so a horizon measured against the global
+        clock would read zero precisely when the backlog is worst;
+        measured against the arrival frontier it reads the queueing
+        delay a request arriving now would face.  Falls back to the
+        global clock when no frontier is given.
+        """
+        network = self.cluster.network
+        if now is None:
+            now = self.cluster.elapsed()
+        worst = 0.0
+        for server in self.master.servers:
+            send_h, recv_h = network.nic_horizon(server.node_id)
+            worst = max(worst, max(send_h, recv_h) - now)
+        return max(worst, 0.0)
+
+    def windowed_p99(self):
+        """Last closed window's ``serve:read`` p99 (0.0 = no signal)."""
+        if self.slo is None:
+            return 0.0
+        return self.slo.windowed("read", q="p99")
+
+    # -- the control loop --------------------------------------------------
+
+    def maybe_scale(self, now=None):
+        """Evaluate the signals once; act at most once per cooldown.
+
+        *now* is the arrival frontier (see :meth:`backlog_seconds`); the
+        scenario driver passes each request's scheduled time, so both
+        the backlog signal and the cooldown run on the open-loop arrival
+        timeline.  Returns the event dict when an action was taken,
+        ``None`` otherwise.
+        """
+        spec = self.spec
+        if spec.mode != "auto":
+            return None
+        if now is None:
+            now = self.cluster.elapsed()
+        if self._last_action is not None and \
+                now - self._last_action < spec.cooldown:
+            return None
+        backlog = self.backlog_seconds(now)
+        p99 = self.windowed_p99()
+        slo_breach = spec.slo_target > 0 and p99 > spec.slo_target
+        if backlog > spec.scale_up_backlog or slo_breach:
+            reason = "slo" if slo_breach and backlog <= spec.scale_up_backlog \
+                else "backlog"
+            return self._scale(+1, now, backlog, p99, reason)
+        slo_headroom = spec.slo_target <= 0 or p99 <= 0.5 * spec.slo_target
+        if backlog < spec.scale_down_backlog and slo_headroom:
+            return self._scale(-1, now, backlog, p99, "drain")
+        return None
+
+    def _scale(self, direction, now, backlog, p99, reason):
+        """Move both tiers one step toward the load, within bounds."""
+        spec = self.spec
+        actions = []
+        if direction > 0:
+            if self.master.n_servers < spec.max_servers:
+                self.master.add_server()
+                actions.append("server+1")
+            if len(self.cluster.executors) < spec.max_workers:
+                self.cluster.add_executor()
+                actions.append("worker+1")
+        else:
+            if self.master.n_servers > spec.min_servers:
+                self.master.remove_server()
+                actions.append("server-1")
+            if len(self.cluster.executors) > spec.min_workers:
+                self.cluster.remove_executor()
+                actions.append("worker-1")
+        if not actions:
+            return None
+        self._last_action = now
+        self.cluster.metrics.increment(
+            "autoscale-up" if direction > 0 else "autoscale-down"
+        )
+        event = {
+            "time": now,
+            "direction": "up" if direction > 0 else "down",
+            "reason": reason,
+            "actions": actions,
+            "backlog": backlog,
+            "p99": p99,
+            "n_servers": self.master.n_servers,
+            "n_workers": len(self.cluster.executors),
+        }
+        self.events.append(event)
+        return event

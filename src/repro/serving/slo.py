@@ -1,0 +1,110 @@
+"""SLO accounting for the serving tier: windowed percentiles + violations.
+
+The :class:`SLOTracker` is the serving tier's observability seam.  Every
+completed request reports its class and client-observed latency here; the
+tracker feeds the observation into the metrics registry under a
+``serve:<class>`` tag — which means the
+:class:`~repro.obs.timeseries.TimeSeriesSampler` (when enabled) gets a
+*windowed* histogram per request class for free, via the registry's
+``window_sink`` hook — and keeps cumulative violation counters against
+the scenario's latency target.
+
+Like every observability piece in this repo the tracker is passive: it
+reads clocks and feeds histograms, never advances a clock or books a
+resource, so a run with SLO tracking attached is bit-identical to one
+without.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+#: Metric-tag prefix for per-class serving latency observations.
+SERVE_TAG_PREFIX = "serve:"
+
+
+class SLOTracker:
+    """Per-request-class latency accounting against one SLO target."""
+
+    def __init__(self, cluster, slo_target=0.0):
+        self.cluster = cluster
+        #: The latency SLO in virtual seconds (0 disables violation
+        #: accounting; observations still feed the histograms).
+        self.slo_target = float(slo_target)
+        self.requests = defaultdict(int)
+        self.violations = defaultdict(int)
+
+    def tag(self, request_class):
+        """The metrics tag one request class observes under."""
+        return SERVE_TAG_PREFIX + request_class
+
+    # -- feeding -----------------------------------------------------------
+
+    def observe(self, request_class, latency):
+        """Record one completed request of *request_class*.
+
+        *latency* is the client-observed virtual duration from scheduled
+        arrival to last response.  Feeds the cumulative histogram (and,
+        through the registry's window sink, the open time-series window)
+        and bumps the violation counters when a target is set.
+        """
+        self.cluster.metrics.observe(self.tag(request_class), float(latency))
+        self.requests[request_class] += 1
+        if self.slo_target > 0 and latency > self.slo_target:
+            self.violations[request_class] += 1
+            self.cluster.metrics.increment("slo-violations")
+
+    # -- queries -----------------------------------------------------------
+
+    def windowed(self, request_class, q="p99"):
+        """The *q* latency of the last **closed** window for one class.
+
+        0.0 when the time-series sampler is off, no window has closed
+        yet, or the class was silent in the last window — callers (the
+        autoscaler) treat 0.0 as "no signal".
+        """
+        sampler = self.cluster.timeseries
+        if sampler is None or not sampler.windows:
+            return 0.0
+        summary = sampler.windows[-1].latency.get(self.tag(request_class))
+        if not summary:
+            return 0.0
+        return summary.get(q, 0.0)
+
+    def series(self, request_class, q="p99"):
+        """``[(window_end, value)]`` of the windowed *q* for one class."""
+        sampler = self.cluster.timeseries
+        if sampler is None:
+            return []
+        return sampler.series("latency", key=self.tag(request_class), q=q)
+
+    def violation_rate(self, request_class=None):
+        """Fraction of requests that missed the SLO (None = all classes)."""
+        if request_class is None:
+            total = sum(self.requests.values())
+            missed = sum(self.violations.values())
+        else:
+            total = self.requests.get(request_class, 0)
+            missed = self.violations.get(request_class, 0)
+        return missed / total if total else 0.0
+
+    def summary(self):
+        """``{class: {requests, violations, violation_rate, p50/p95/p99}}``.
+
+        Percentiles are the *cumulative* run-level numbers from the
+        metrics registry; windowed views come from :meth:`series`.
+        """
+        metrics = self.cluster.metrics
+        out = {}
+        for request_class in sorted(self.requests):
+            hist = metrics.latency.get(self.tag(request_class))
+            latency = hist.summary() if hist is not None else {}
+            out[request_class] = {
+                "requests": self.requests[request_class],
+                "violations": self.violations.get(request_class, 0),
+                "violation_rate": self.violation_rate(request_class),
+                "p50": latency.get("p50", 0.0),
+                "p95": latency.get("p95", 0.0),
+                "p99": latency.get("p99", 0.0),
+            }
+        return out
