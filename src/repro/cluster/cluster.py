@@ -93,6 +93,10 @@ class Cluster:
         #: ``config.wire_codec`` is on; ``None`` keeps every wire formula
         #: bit-identical to a pre-codec build.
         self.costmodel = None
+        #: The chain replicator, installed by the PS master when
+        #: ``config.chain_replicas`` > 0; ``None`` keeps every transport
+        #: and server path bit-identical to a pre-chain build.
+        self.chain = None
         # Imported lazily: the repro.ps package init pulls in modules that
         # import this module back (e.g. ps.master needs DRIVER), so a
         # top-level import would run against a partially-initialized

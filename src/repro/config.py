@@ -299,6 +299,15 @@ class ClusterConfig:
       elsewhere — the ablation knob.
 
     ``codec_topk_ratio`` is the kept fraction for top-k sparsification.
+
+    ``chain_replicas`` enables ElasticDL-style chained shard replication
+    for zero-downtime recovery (``repro.ps.replication.ChainReplicator``):
+    every primary server keeps its full store mirrored on the next M live
+    servers in ring order, every applied write fans out epoch/counter-
+    fenced, and a crash promotes the most-advanced successor instead of
+    pausing for a checkpoint restore.  0 (the default) constructs no
+    chain replicator at all — every code path is bit-identical to a
+    pre-chain build; checkpoint-restore remains the only recovery path.
     """
 
     n_executors: int = 20
@@ -316,6 +325,7 @@ class ClusterConfig:
     timeseries_window: float = 0.0
     wire_codec: str = "off"
     codec_topk_ratio: float = 0.1
+    chain_replicas: int = 0
     elasticity: ElasticitySpec = field(default_factory=ElasticitySpec)
     seed: int = 0
 
@@ -370,4 +380,9 @@ class ClusterConfig:
             raise ConfigError(
                 "codec_topk_ratio must be in (0, 1], got %r"
                 % (self.codec_topk_ratio,)
+            )
+        if self.chain_replicas < 0:
+            raise ConfigError(
+                "chain_replicas must be >= 0, got %r"
+                % (self.chain_replicas,)
             )

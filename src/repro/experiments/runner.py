@@ -13,7 +13,7 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
                  replication="off", hot_key_fraction=0.1,
                  replication_factor=0, rebalance_interval=0.0,
                  timeseries_window=0.0, wire_codec="off",
-                 codec_topk_ratio=0.1, elasticity=None):
+                 codec_topk_ratio=0.1, chain_replicas=0, elasticity=None):
     """A fresh PS2 context on a fresh simulated cluster.
 
     ``failures`` takes a full :class:`repro.config.FailureConfig` (crash
@@ -54,6 +54,11 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
     model for the compression-ablation experiments; the default ``"off"``
     constructs no cost model at all (bit-identical to a pre-codec run).
 
+    ``chain_replicas`` configures chained shard replication (M successor
+    replicas per primary, promoted on crash) for the fault-tolerance
+    experiments; the default 0 constructs no chain replicator at all
+    (bit-identical to a pre-chain run).
+
     ``elasticity`` configures elastic scaling for the serving-tier
     experiments: pass a full :class:`repro.config.ElasticitySpec`, or the
     mode string ``"auto"`` as a shortcut for the default-bounded spec.
@@ -83,6 +88,7 @@ def make_context(n_executors=20, n_servers=20, seed=0, task_failure_prob=0.0,
         timeseries_window=timeseries_window,
         wire_codec=wire_codec,
         codec_topk_ratio=codec_topk_ratio,
+        chain_replicas=chain_replicas,
         elasticity=elasticity,
     )
     return PS2Context(config=config, strict_colocation=strict_colocation)

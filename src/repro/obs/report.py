@@ -261,6 +261,76 @@ def replication_table(cluster):
     return "\n".join(lines)
 
 
+def chain_table(cluster):
+    """Chain-replication activity: chain map, lag, promotions, fallbacks.
+
+    With the chain off the section is a stable one-line placeholder, so
+    the report keeps its shape across the knob.  The chain map rows list
+    every (matrix, primary) key with its ring successors and the worst
+    per-row counter lag of any valid copy (0 = fully caught up); the
+    counters below tell how the machinery behaved — full and incremental
+    syncs, write fan-outs (with the fence/skip splits shared with hot-key
+    replication), reads served by successors of a dead primary,
+    promotions and checkpoint fallbacks — followed by one row per
+    promotion event.
+    """
+    chain = getattr(cluster, "chain", None)
+    if chain is None:
+        return "(chain replication off)"
+    metrics = cluster.metrics
+    lines = ["successors per primary: %d (ring order over live servers)"
+             % chain.m]
+    keys = sorted(chain.links)
+    if keys:
+        lines.append(_format_rows(
+            ["matrix", "primary", "successors", "lag"],
+            [
+                (matrix_id, primary_index,
+                 ",".join(str(s) for s in
+                          sorted(chain.links[(matrix_id, primary_index)])),
+                 chain.key_lag(matrix_id, primary_index))
+                for matrix_id, primary_index in keys
+            ],
+        ))
+    else:
+        lines.append("(no chains formed)")
+    counters = metrics.counters
+    lines.append(
+        "syncs=%d row-syncs=%d reforms=%d direct-write-resyncs=%d"
+        % (counters.get("chain-syncs", 0),
+           counters.get("chain-row-syncs", 0),
+           counters.get("chain-reforms", 0),
+           counters.get("chain-direct-write-resyncs", 0))
+    )
+    lines.append(
+        "chain reads=%d fan-outs=%d (fenced=%d skipped=%d) "
+        "promotions=%d fallbacks=%d"
+        % (counters.get("chain-reads", 0),
+           counters.get("chain-fanouts", 0),
+           counters.get("replica-fanout-fenced", 0),
+           counters.get("replica-fanout-skipped", 0),
+           counters.get("chain-promotions", 0),
+           counters.get("chain-fallbacks", 0))
+    )
+    lines.append(
+        "sync bytes=%.0f promote bytes=%.0f"
+        % (metrics.bytes_for_tag("chain-sync"),
+           metrics.bytes_for_tag("chain-promote"))
+    )
+    if chain.promotions:
+        lines.append(_format_rows(
+            ["time_s", "primary", "sources", "matrices"],
+            [
+                (_seconds(time), primary_index,
+                 ",".join(str(s) for s in sources),
+                 ",".join(str(m) for m in matrix_ids))
+                for time, primary_index, sources, matrix_ids
+                in chain.promotions
+            ],
+        ))
+    return "\n".join(lines)
+
+
 def serving_table(cluster):
     """Per-request-class SLO accounting plus elasticity activity.
 
@@ -392,6 +462,9 @@ def render_report(cluster, title="observability report"):
         "",
         "-- hot-key replication --",
         replication_table(cluster),
+        "",
+        "-- chain replication --",
+        chain_table(cluster),
     ]
     if getattr(cluster, "slo", None) is not None:
         sections += [

@@ -68,21 +68,61 @@ class CheckpointManager:
         self._snapshots.clear()
         return had
 
-    def recover_server(self, server):
+    def recover_server(self, server, only_matrices=None):
         """Load the latest snapshot into a replacement server.
 
         Returns the virtual time at which the snapshot was taken, or ``None``
         when the server has never been checkpointed — a failure before the
         first sweep is legal, and the master then rebuilds the server from
         matrix metadata instead of from storage.
+
+        *only_matrices* restricts the restore to those matrix ids — the
+        chain-replication fallback path, where matrices already promoted
+        from chain successors carry post-checkpoint updates and must not
+        be rolled back.  Only the filtered bytes are charged (the storage
+        read is per-matrix), and each surviving matrix is merged in via
+        :meth:`~repro.ps.server.PSServer.restore_matrix` rather than a
+        wholesale store replacement.  Returns ``None`` when the filter
+        leaves nothing to restore.
         """
         entry = self._snapshots.get(server.server_index)
         if entry is None:
             return None
-        self.cluster.charge_seconds(
-            server.node_id, entry["bytes"] / self.storage_bandwidth, tag="recovery"
+        state = entry["state"]
+        nbytes = entry["bytes"]
+        if only_matrices is not None:
+            wanted = set(only_matrices)
+            state = {
+                matrix_id: rows
+                for matrix_id, rows in state.items()
+                if matrix_id in wanted
+            }
+            if not state:
+                return None
+            nbytes = sum(
+                shard.values.nbytes
+                for rows in state.values()
+                for shard in rows.values()
+            )
+        # The restore occupies the replacement's CPU timeline, not just its
+        # clock: requests arriving while the snapshot streams in from
+        # storage queue behind it — the recovery pause the chain-recovery
+        # benchmark measures.  (Chain promotion has no equivalent charge
+        # here because its state moves through NIC reservations, which
+        # delay subsequent arrivals on their own.)
+        seconds = nbytes / self.storage_bandwidth
+        now = self.cluster.clock.now(server.node_id)
+        start = server.cpu.reserve(now, seconds)
+        server.last_completion = start + seconds
+        self.cluster.metrics.record_compute(
+            server.node_id, seconds, tag="recovery"
         )
-        server.restore(entry["state"])
+        self.cluster.clock.set_at_least(server.node_id, server.last_completion)
+        if only_matrices is None:
+            server.restore(state)
+        else:
+            for matrix_id in sorted(state):
+                server.restore_matrix(matrix_id, state[matrix_id])
         self.recoveries += 1
         self.cluster.metrics.increment("recoveries")
         return entry["time"]

@@ -112,12 +112,20 @@ class PSClient:
         start = clock.now(self.node_id)
         retries_before = metrics.counters.get("op-retries", 0)
         tracer = self.cluster.tracer
-        if tracer.enabled:
-            with tracer.span(self.node_id, op, cat="op",
-                             matrix_id=matrix_id):
+        try:
+            if tracer.enabled:
+                with tracer.span(self.node_id, op, cat="op",
+                                 matrix_id=matrix_id):
+                    yield
+            else:
                 yield
-        else:
-            yield
+        except PSError:
+            # An op whose transport attempts were exhausted is a dropped
+            # request from the caller's point of view (the serving tier's
+            # zero-downtime claim is assertable on this counter); count it
+            # and let it propagate.
+            metrics.increment("client-dropped-ops")
+            raise
         duration = clock.now(self.node_id) - start
         if metrics.counters.get("op-retries", 0) > retries_before:
             metrics.observe(op + ".retried", duration)

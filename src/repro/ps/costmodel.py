@@ -312,6 +312,22 @@ class CostModel:
             else "codec-replication-vetoed")
         return worthwhile
 
+    def priced_chain_value_bytes(self, n_values):
+        """The value-payload bytes one chain state stream of *n_values*
+        floats costs under the model's read regime.
+
+        Chain sync and promotion streams are bulk state reads, so they
+        compress exactly like replication fan-out reads of the same width
+        rather than shipping identity-rate floats — the "chain-sync bytes
+        priced like replication fan-out" contract.  Pricing only: no
+        decision is recorded and no codec state advances.
+        """
+        n_values = int(n_values)
+        if n_values <= 0:
+            return 0
+        raw = n_values * FLOAT_BYTES
+        return int(round(raw / self._read_compression_factor(n_values)))
+
     def _read_compression_factor(self, n_values):
         """The factor reads of an ``n_values``-wide shard shrink by."""
         if self.mode == "fp16":

@@ -111,6 +111,16 @@ class PSMaster:
 
             self.costmodel = CostModel(cluster, cluster.config)
             cluster.costmodel = self.costmodel
+        #: The chain replicator — ``None`` with ``chain_replicas == 0``, so
+        #: every transport/server fast path stays bit-identical to a
+        #: pre-chain build and checkpoint restore stays the only recovery
+        #: path (the golden-run guarantee).
+        self.chain = None
+        if int(getattr(cluster.config, "chain_replicas", 0)) > 0:
+            from repro.ps.replication import ChainReplicator
+
+            self.chain = ChainReplicator(cluster, self)
+            cluster.chain = self.chain
 
     @property
     def n_servers(self):
@@ -165,6 +175,8 @@ class PSMaster:
                 REQUEST_HEADER_BYTES,
                 tag="ps-allocate",
             )
+        if self.chain is not None:
+            self.chain.on_matrix_created(matrix_id)
         return matrix_id
 
     def _lazy_rng(self, matrix_id, row):
@@ -226,6 +238,8 @@ class PSMaster:
             server.drop_matrix(matrix_id)
         if self.replication is not None:
             self.replication.on_matrix_freed(matrix_id)
+        if self.chain is not None:
+            self.chain.on_matrix_freed(matrix_id)
 
     def info(self, matrix_id):
         try:
@@ -235,6 +249,10 @@ class PSMaster:
 
     def layout(self, matrix_id):
         return self.info(matrix_id).layout
+
+    def matrix_ids(self):
+        """Sorted ids of every live matrix (replication/chain sweeps)."""
+        return sorted(self._matrices)
 
     # -- fault handling -----------------------------------------------------
 
@@ -323,15 +341,34 @@ class PSMaster:
             return sorted(info.created_rows)
         return range(info.n_rows)
 
+    def _matrices_assigned_to(self, server_index):
+        """Ids of matrices with at least one row assigned to the server
+        under the current layouts (an empty lazy table assigns nothing,
+        so it can never force a checkpoint fallback)."""
+        assigned = set()
+        for info in self._matrices.values():
+            for row in self._assigned_rows(info):
+                if any(owner == server_index for owner, _start, _stop
+                       in info.layout.shards_for_row(row)):
+                    assigned.add(info.matrix_id)
+                    break
+        return assigned
+
     def recover(self, server_index):
         """Start a replacement server and rebuild the failed one's state.
 
         The replacement is a **new** :class:`PSServer` object (the paper's
         coordinator "starts a new server"): clients holding the pre-failure
-        object must re-resolve through the master to reach it.  State is
-        rebuilt in three steps — load the latest checkpoint when one exists,
-        re-initialize shards the snapshot does not cover from matrix
-        metadata, and drop shards of matrices freed since the snapshot.
+        object must re-resolve through the master to reach it.  With chain
+        replication on, the replacement's matrices are first promoted from
+        the failed primary's ring successors — a per-row max-version merge
+        that loses **nothing**, not even updates applied after the last
+        checkpoint — and only matrices with no surviving valid holder
+        (correlated failure of all M+1 processes) fall back to the
+        checkpoint path.  That fallback rebuilds state the pre-chain way:
+        load the latest checkpoint where one exists, re-initialize shards
+        the snapshot does not cover from matrix metadata, and drop shards
+        of matrices freed since the snapshot.
         """
         failed = self.servers[server_index]
         recover_start = self.cluster.clock.now(failed.node_id)
@@ -343,12 +380,38 @@ class PSMaster:
         server.revive()  # resets the CPU timeline to the node's current time
         self.servers[server_index] = server
         self.topology_epoch += 1
-        checkpoint_time = self.checkpoints.recover_server(server)
+        promoted = {}
+        checkpoint_time = None
+        if self.chain is None:
+            checkpoint_time = self.checkpoints.recover_server(server)
+        else:
+            promoted = self.chain.promote_into(server, server_index,
+                                               failed.epoch)
+            uncovered = sorted(
+                matrix_id
+                for matrix_id in self._matrices_assigned_to(server_index)
+                if matrix_id not in promoted
+            )
+            if uncovered:
+                # Correlated failure: every holder of these matrices died
+                # too.  Restore just them from the checkpoint — promoted
+                # matrices carry post-checkpoint updates and must not be
+                # rolled back underneath their merged state.
+                self.cluster.metrics.increment("chain-fallbacks")
+                checkpoint_time = self.checkpoints.recover_server(
+                    server, only_matrices=uncovered
+                )
         reinitialized = self._reconcile(server)
         self.cluster.network.transfer(
             DRIVER, server.node_id, REQUEST_HEADER_BYTES, tag="ps-recover"
         )
         self.cluster.metrics.increment("server-recoveries")
+        if self.chain is not None:
+            # Re-establish the chains at the new epoch: successors of this
+            # primary get fresh full copies (their old ones fenced out any
+            # fan-out during the crash window), and copies it hosted for
+            # other primaries died with its state.
+            self.chain.on_server_recovered(server_index)
         if self.replication is not None:
             # Refresh the replica topology at the new epoch: replicas OF
             # this server's shards are stale (the primary may have rolled
@@ -397,6 +460,13 @@ class PSMaster:
                 "cannot resize the PS tier below one server (got %d)"
                 % new_count
             )
+        # Chains are torn down *before* the migration sweep (while every
+        # pre-resize holder is addressable): every copy was installed
+        # against the old shard map, and a crash mid-migration must take
+        # the checkpoint path rather than promote stale-layout state.
+        # :meth:`_after_resize` re-forms them over the new stores.
+        if self.chain is not None:
+            self.chain.on_topology_resized()
         if new_count > old_count:
             for _ in range(new_count - old_count):
                 node_id = self.cluster.add_server_node()
@@ -405,6 +475,7 @@ class PSMaster:
                 self.servers.append(server)
             self._migrate(new_count)
         else:
+            self._drain_departing(new_count, old_count)
             self._migrate(new_count)
             # Replicas were installed against the pre-resize topology and
             # may live on (or point at) departing indices: demote them all
@@ -417,6 +488,32 @@ class PSMaster:
         if new_count > old_count and self.replication is not None:
             self.replication.on_topology_resized()
         self._after_resize(old_count, new_count)
+
+    def _drain_departing(self, new_count, old_count):
+        """Charge departing servers' in-flight drain before they hand off.
+
+        Shard-migrate bytes were always priced, but a departing server
+        with queued work used to stream its shards away as if the queue
+        were empty — the migration departed *before* the requests it
+        logically follows.  Pin each departing server's clock to its drain
+        horizon (CPU completion watermark and both NIC timeline horizons)
+        so the migration transfers it sources leave only after its backlog
+        drains, and record the drained seconds.
+        """
+        clock = self.cluster.clock
+        network = self.cluster.network
+        drained = 0.0
+        for index in range(new_count, old_count):
+            server = self.servers[index]
+            send_horizon, recv_horizon = network.nic_horizon(server.node_id)
+            horizon = max(server.last_completion, send_horizon, recv_horizon)
+            now = clock.now(server.node_id)
+            if horizon > now:
+                clock.set_at_least(server.node_id, horizon)
+                drained += horizon - now
+        if drained > 0.0:
+            self.cluster.metrics.increment("elastic-drains")
+            self.cluster.metrics.observe("elastic-drain", drained)
 
     def _remapped_layout(self, layout, new_n):
         """The same-shape layout at *new_n* servers.
@@ -538,6 +635,10 @@ class PSMaster:
         self.fanout_group_plans.clear()
         if self.costmodel is not None:
             self.costmodel.on_topology_resized()
+        if self.chain is not None:
+            # Chains re-form over the post-migration stores (the teardown
+            # ran before the sweep), charging honest chain-sync streams.
+            self.chain.reform()
         # Pre-resize snapshots hold pre-migration shard ranges; restoring
         # one would corrupt widths (reconcile only fills *missing* shards).
         # Drop them, and — when checkpointing was in play — take a fresh
@@ -563,5 +664,9 @@ class PSMaster:
         if not server.is_alive():
             return self.recover(server_index)
         self._reconcile(server)
+        if self.chain is not None:
+            # Repaired shards were written outside the fan-out path; the
+            # chain copies must follow.
+            self.chain.resync_primary(server_index)
         self.cluster.metrics.increment("server-repairs")
         return server

@@ -561,6 +561,83 @@ class ReplicatedPushRequest(Request):
                 + self.inner.payload_bytes())
 
 
+def _chain_state_bytes(n_rows, value_bytes, n_versions):
+    """The wire size of one chain state stream: per-row descriptors
+    (row id + ``[start, stop)``), the row values, and one version token
+    per carried counter."""
+    return (int(n_rows) * 3 * INDEX_BYTES + int(value_bytes)
+            + int(n_versions) * INDEX_BYTES)
+
+
+class ChainSyncRequest(Request):
+    """Install (or refresh) one chain replica on a successor server.
+
+    The primary streams its full shard state for one matrix to a chain
+    successor (fire-and-forget): *n_rows* row descriptors, *value_bytes*
+    of row values — the raw float payload, or the cost model's compressed
+    size when a codec regime is active — and *n_versions* mutation
+    counters, fenced by the primary's recovery *epoch*.  ``matrix_id`` is
+    ``None`` on the base slot: chain sync is induced (not demand) traffic
+    and must never feed the hot-shard heat signal; the real matrix rides
+    in ``matrix`` for telemetry.
+    """
+
+    __slots__ = ("matrix", "primary_index", "epoch", "n_rows", "value_bytes",
+                 "n_versions")
+
+    op = "chain-sync"
+
+    def __init__(self, server_index, matrix, primary_index, epoch, n_rows,
+                 value_bytes, n_versions, tag="chain-sync"):
+        super().__init__(server_index, None, tag, 0)
+        self.matrix = matrix
+        self.primary_index = int(primary_index)
+        self.epoch = int(epoch)
+        self.n_rows = int(n_rows)
+        self.value_bytes = int(value_bytes)
+        self.n_versions = int(n_versions)
+
+    def payload_bytes(self):
+        # Primary index + epoch, then the state stream.
+        return 2 * INDEX_BYTES + _chain_state_bytes(
+            self.n_rows, self.value_bytes, self.n_versions
+        )
+
+
+class ChainPromoteRequest(Request):
+    """Pull a successor's chain copy into a replacement primary.
+
+    Sent by the replacement server (via the coordinator's recovery path)
+    to a surviving successor: the request names the failed primary and
+    the epoch whose copies are wanted — the response carries the state
+    stream back, sized like a :class:`ChainSyncRequest` payload.
+    """
+
+    __slots__ = ("matrix", "primary_index", "epoch", "n_rows", "value_bytes",
+                 "n_versions")
+
+    op = "chain-promote"
+
+    def __init__(self, server_index, matrix, primary_index, epoch, n_rows,
+                 value_bytes, n_versions, tag="chain-promote"):
+        super().__init__(server_index, None, tag, 0)
+        self.matrix = matrix
+        self.primary_index = int(primary_index)
+        self.epoch = int(epoch)
+        self.n_rows = int(n_rows)
+        self.value_bytes = int(value_bytes)
+        self.n_versions = int(n_versions)
+
+    def payload_bytes(self):
+        # The failed primary's index + the fenced epoch wanted.
+        return 2 * INDEX_BYTES
+
+    def response_bytes(self):
+        return RESPONSE_HEADER_BYTES + _chain_state_bytes(
+            self.n_rows, self.value_bytes, self.n_versions
+        )
+
+
 class BatchRequest(Request):
     """Envelope coalescing several requests to one server into one RPC.
 

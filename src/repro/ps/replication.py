@@ -44,17 +44,30 @@ between PR 1's hot-shard telemetry and the routing/consistency machinery:
 With ``ClusterConfig.replication == "off"`` no manager is constructed
 and every transport/server path is bit-identical to a pre-replication
 build — the golden-run guarantee the test matrix locks down.
+
+This module also hosts :class:`ChainReplicator` — ElasticDL-style chained
+replication for *durability* rather than read scaling: every primary's
+full store is mirrored on its next ``chain_replicas`` ring successors,
+kept in lockstep by the same epoch/counter-fenced fan-out machinery, and
+promoted (max-version merge) into the replacement on a crash so recovery
+never pauses for a checkpoint restore unless every holder died.
 """
 
 from __future__ import annotations
 
 from repro.common.errors import MatrixNotFoundError, ServerDownError
-from repro.common.sizeof import INDEX_BYTES
+from repro.common.sizeof import FLOAT_BYTES, INDEX_BYTES
 from repro.ps import messages
+from repro.ps.server import RowShard
 
 #: Request types a replica may serve (reads — never mutations).
 READ_TYPES = (messages.PullRowRequest, messages.PullRangeRequest,
               messages.AggregateRequest)
+
+#: Request types a chain successor may stand in for while its primary is
+#: down: the hot-key read set plus lazy-table reads (served only when the
+#: copy already holds the row — creation stays the primary's job).
+CHAIN_READ_TYPES = READ_TYPES + (messages.PullOrCreateRequest,)
 
 #: Mutation types whose effect must fan out to replicas.
 MUTATION_TYPES = (messages.PushRequest, messages.PushRangeRequest,
@@ -118,6 +131,16 @@ class HotKeyManager:
     def replicated_keys(self):
         """Sorted shard keys currently carrying at least one replica."""
         return sorted(self.replicas)
+
+    def claims(self, matrix_id, primary_index, holder_index):
+        """Whether this manager tracks a replica of the key on *holder*.
+
+        The coexistence contract with :class:`ChainReplicator`: both
+        managers share the servers' ``replica_store`` slot for a key, so
+        neither may physically evict an entry the other still claims.
+        """
+        key = (matrix_id, int(primary_index))
+        return int(holder_index) in self.replicas.get(key, {})
 
     def replica_bytes(self):
         """Total bytes of replica state across live servers."""
@@ -442,10 +465,17 @@ class HotKeyManager:
             return
         from repro.cluster.cluster import DRIVER
 
+        chain = getattr(self.cluster, "chain", None)
         for replica_index in sorted(targets):
             server = self.master.server(replica_index)
             if server.alive:
-                server.drop_replica(matrix_id, primary_index)
+                # The physical entry stays if the chain replicator still
+                # claims it as a successor copy (durability outranks the
+                # read-scaling demotion) — only the hot-key bookkeeping
+                # and the control message go out.
+                if chain is None or not chain.claims(
+                        matrix_id, primary_index, replica_index):
+                    server.drop_replica(matrix_id, primary_index)
                 self.cluster.network.transfer(
                     DRIVER, server.node_id, messages.REQUEST_HEADER_BYTES,
                     tag="replica-control",
@@ -522,3 +552,566 @@ class HotKeyManager:
             self._demote(key)
             self.plan_epoch += 1
             self.cluster.metrics.increment("replica-direct-write-demotions")
+
+
+# -- chained replication (durability) ---------------------------------------
+
+
+def chain_successors(primary_index, ring_size, m, alive):
+    """The ring-ordered successor set of one primary.
+
+    Walk the index ring starting right after *primary_index*, keep the
+    first *m* live servers met, never include the primary itself.  The
+    walk order depends only on the ring size, so for any live subset ``S``
+    the result equals the full-ring order filtered to ``S`` and truncated
+    — the "ring-stable under any live subset" property the Hypothesis
+    suite pins: a server joining or leaving ``S`` never reorders the
+    survivors relative to each other.
+    """
+    alive = set(alive)
+    out = []
+    if int(m) <= 0:
+        return out
+    for step in range(1, int(ring_size)):
+        candidate = (int(primary_index) + step) % int(ring_size)
+        if candidate == primary_index:
+            continue
+        if candidate in alive:
+            out.append(candidate)
+            if len(out) >= int(m):
+                break
+    return out
+
+
+def merge_chain_copies(copies):
+    """Max-version merge of several successors' copies of one shard key.
+
+    *copies* maps ``holder_index -> (rows, counters)`` where ``rows`` is
+    a ``{row: RowShard}`` map and ``counters`` a ``{row: int}`` map of
+    that holder's recorded mutation counters.  Each row is taken from the
+    holder with the highest counter for it, ties breaking to the lowest
+    holder index, so the merge is deterministic regardless of dict
+    insertion order.  Returns ``(rows, counters, origin)`` with
+    ``origin`` mapping each row to the holder that supplied it.  Pure —
+    the Hypothesis suite drives it directly.
+    """
+    rows_out = {}
+    counters_out = {}
+    origin = {}
+    for holder in sorted(copies):
+        rows, counters = copies[holder]
+        for row, shard in rows.items():
+            counter = counters.get(row, 0)
+            if row not in rows_out or counter > counters_out[row]:
+                rows_out[row] = shard
+                counters_out[row] = counter
+                origin[row] = holder
+    return rows_out, counters_out, origin
+
+
+class ChainReplicator:
+    """Coordinator-resident chained shard replication for durability.
+
+    Every primary's full per-matrix store is mirrored on its next
+    ``chain_replicas`` live ring successors (:func:`chain_successors`);
+    ``links`` is the authoritative chain map
+    ``{(matrix_id, primary_index): {successor_index: install_epoch}}``.
+    Copies live in the same epoch/counter-fenced ``replica_store`` slots
+    the hot-key manager uses, and stay current because the transport fans
+    *every* applied mutation out as the same fenced, idempotent
+    :class:`~repro.ps.messages.ReplicatedPushRequest` — a stale fan-out
+    from before a promotion carries the dead process's epoch and is
+    rejected by the apply fence.
+
+    Unlike hot-key replicas, chain copies are not a load-balancing
+    optimization: they serve reads only while their primary is down
+    (:meth:`route_read` — zero-downtime reads with no retry storm) and
+    exist to be promoted into the replacement on a crash
+    (:meth:`promote_into` — per-row max-version merge across the
+    surviving valid holders).  Coexistence contract with
+    :class:`HotKeyManager` when both are configured: either manager's
+    install refreshes the shared copy, neither physically drops an entry
+    the other still claims (``claims`` both ways), and duplicate write
+    fan-outs to a shared holder are deduplicated by the transport.
+    """
+
+    def __init__(self, cluster, master):
+        self.cluster = cluster
+        self.master = master
+        self.m = int(cluster.config.chain_replicas)
+        #: ``{(matrix_id, primary_index): {successor_index: install_epoch}}``
+        self.links = {}
+        #: Promotion events ``(time, primary_index, sources, matrix_ids)``
+        #: for the report.
+        self.promotions = []
+
+    # -- introspection ------------------------------------------------------
+
+    def successors(self, primary_index):
+        """Current ring successors of one primary (live servers only)."""
+        alive = [index for index, server in enumerate(self.master.servers)
+                 if server.alive]
+        return chain_successors(int(primary_index), self.master.n_servers,
+                                self.m, alive)
+
+    def claims(self, matrix_id, primary_index, holder_index):
+        """Whether the chain tracks a copy of the key on *holder* (the
+        hot-key manager must not physically evict such an entry)."""
+        key = (matrix_id, int(primary_index))
+        return int(holder_index) in self.links.get(key, {})
+
+    def key_lag(self, matrix_id, primary_index):
+        """Worst per-row counter lag of any valid successor copy behind
+        its primary (0 means every chain copy is fully caught up)."""
+        primary = self.master.server(primary_index)
+        targets = self.links.get((matrix_id, int(primary_index)), {})
+        lag = 0
+        for succ in sorted(targets):
+            if targets[succ] != primary.epoch:
+                continue
+            holder = self.master.server(succ)
+            if not holder.alive:
+                continue
+            entry = holder.replica_store.get((matrix_id, int(primary_index)))
+            if entry is None or entry.install_epoch != primary.epoch:
+                continue
+            for row_key, counter in primary.versions.items():
+                if row_key[0] == matrix_id:
+                    lag = max(lag, counter - entry.versions.get(row_key, 0))
+        return lag
+
+    # -- install / teardown -------------------------------------------------
+
+    def _priced_value_bytes(self, n_values):
+        """Wire bytes for *n_values* floats in one chain state stream,
+        compressed by the cost model's read regime when one is active."""
+        costmodel = getattr(self.cluster, "costmodel", None)
+        if costmodel is not None:
+            return costmodel.priced_chain_value_bytes(n_values)
+        return int(n_values) * FLOAT_BYTES
+
+    def _install(self, key, succ_index):
+        """Stream a full copy of the key onto one successor, charging
+        honest chain-sync wire bytes; drops the link on failure."""
+        matrix_id, primary_index = key
+        primary = self.master.server(primary_index)
+        target = self.master.server(succ_index)
+        try:
+            rows = primary.matrix_rows(matrix_id)
+            versions = {
+                row_key: counter
+                for row_key, counter in primary.versions.items()
+                if row_key[0] == matrix_id
+            }
+            n_values = sum(len(shard) for shard in rows.values())
+            message = messages.ChainSyncRequest(
+                succ_index, matrix_id, primary_index, primary.epoch,
+                len(rows), self._priced_value_bytes(n_values), len(versions),
+            )
+            self.cluster.network.transfer(
+                primary.node_id, target.node_id, message.wire_bytes(),
+                tag="chain-sync",
+            )
+            target.install_replica(
+                matrix_id, primary_index, rows, versions, primary.epoch
+            )
+        except (MatrixNotFoundError, ServerDownError):
+            targets = self.links.get(key)
+            if targets is not None:
+                targets.pop(succ_index, None)
+                if not targets:
+                    del self.links[key]
+            return False
+        self.links.setdefault(key, {})[succ_index] = primary.epoch
+        return True
+
+    def _drop_holder(self, key, holder_index):
+        """Forget one link and physically drop the copy unless the
+        hot-key manager still claims the shared entry."""
+        matrix_id, primary_index = key
+        targets = self.links.get(key)
+        if targets is None or holder_index not in targets:
+            return
+        del targets[holder_index]
+        if not targets:
+            del self.links[key]
+        if not 0 <= holder_index < self.master.n_servers:
+            return
+        holder = self.master.server(holder_index)
+        if not holder.alive:
+            return
+        from repro.cluster.cluster import DRIVER
+
+        manager = getattr(self.cluster, "replication", None)
+        if manager is None or not manager.claims(
+                matrix_id, primary_index, holder_index):
+            holder.drop_replica(matrix_id, primary_index)
+        self.cluster.network.transfer(
+            DRIVER, holder.node_id, messages.REQUEST_HEADER_BYTES,
+            tag="chain-control",
+        )
+
+    def sync_key(self, matrix_id, primary_index):
+        """(Re)stream one (matrix, primary) key along its current chain.
+
+        Drops links to servers that are no longer ring successors,
+        installs or refreshes a full copy on each current successor, and
+        returns the number of copies installed.
+        """
+        key = (matrix_id, int(primary_index))
+        primary = self.master.server(primary_index)
+        if not primary.alive:
+            return 0
+        successors = self.successors(primary_index)
+        for holder_index in sorted(
+                s for s in self.links.get(key, {}) if s not in successors):
+            self._drop_holder(key, holder_index)
+        installed = 0
+        for succ in successors:
+            if self._install(key, succ):
+                installed += 1
+        if installed:
+            self.cluster.metrics.increment("chain-syncs", installed)
+        return installed
+
+    def resync_primary(self, server_index):
+        """Re-stream every matrix *server_index* holds shards of, and
+        retire links whose matrix is gone or empty on the primary."""
+        server_index = int(server_index)
+        primary = self.master.server(server_index)
+        synced = []
+        for matrix_id in self.master.matrix_ids():
+            if primary._store.get(matrix_id):
+                self.sync_key(matrix_id, server_index)
+                synced.append(matrix_id)
+        live = set(self.master.matrix_ids())
+        for key in sorted(k for k in self.links if k[1] == server_index):
+            if key[0] not in live or not primary._store.get(key[0]):
+                for holder in sorted(self.links[key]):
+                    self._drop_holder(key, holder)
+        return synced
+
+    # -- write fan-out ------------------------------------------------------
+
+    def fan_out_messages(self, requests, covered=None):
+        """Chain copies of every mutation in *requests*, post-apply.
+
+        Same contract as :meth:`HotKeyManager.fan_out_messages` — called
+        by the transport after the originals were served, snapshotting
+        the primaries' post-apply counters and epoch as the
+        idempotence/fencing token.  *covered* is the set of
+        ``(holder_index, id(original))`` pairs the hot-key manager
+        already fanned out to; a holder serving as both hot replica and
+        chain successor gets exactly one copy (and the apply is
+        idempotent regardless).
+        """
+        if not self.links:
+            return []
+        extras = []
+        for request in requests:
+            if isinstance(request, messages.KernelRequest):
+                extras.extend(self._fan_out_kernel(request, covered))
+            elif isinstance(request, (messages.PushRequest,
+                                      messages.PushRangeRequest,
+                                      messages.FillRequest)):
+                extras.extend(self._fan_out_mutation(request, covered))
+        return extras
+
+    def _valid_targets(self, key, primary):
+        targets = self.links.get(key)
+        if not targets:
+            return []
+        return sorted(succ for succ, epoch in targets.items()
+                      if epoch == primary.epoch)
+
+    def _fan_out_mutation(self, request, covered):
+        key = (request.matrix_id, request.server_index)
+        primary = self.master.server(request.server_index)
+        valid = self._valid_targets(key, primary)
+        if not valid:
+            return []
+        row_key = (request.matrix_id, int(request.row))
+        versions = {row_key: primary.versions.get(row_key, 0)}
+        out = [
+            messages.ReplicatedPushRequest(
+                succ, request, request.server_index, primary.epoch, versions,
+            )
+            for succ in valid
+            if covered is None or (succ, id(request)) not in covered
+        ]
+        self.cluster.metrics.increment("chain-fanouts", len(out))
+        return out
+
+    def _fan_out_kernel(self, request, covered):
+        """Kernel fan-out: all-or-nothing across the operand matrices.
+
+        Chain copies must never be demoted (they are the durability
+        story), so when the operand keys' valid successor sets disagree —
+        e.g. one matrix's install failed, or a mid-recovery epoch skew —
+        the keys are re-streamed wholesale instead: the primary already
+        applied the kernel, so a full sync carries its effect.
+        """
+        primary_index = request.server_index
+        primary = self.master.server(primary_index)
+        keys = sorted({(m, primary_index) for m, _row in request.operands})
+        tracked = [key for key in keys if self.links.get(key)]
+        if not tracked:
+            return []
+        sets = [frozenset(self._valid_targets(key, primary))
+                for key in tracked]
+        common = sets[0]
+        if len(tracked) != len(keys) or not common \
+                or any(s != common for s in sets):
+            for key in keys:
+                self.sync_key(*key)
+            self.cluster.metrics.increment("chain-kernel-resyncs", len(keys))
+            return []
+        versions = {
+            (m, int(row)): primary.versions.get((m, int(row)), 0)
+            for m, row in request.operands
+        }
+        out = [
+            messages.ReplicatedPushRequest(
+                succ, request, primary_index, primary.epoch, versions
+            )
+            for succ in sorted(common)
+            if covered is None or (succ, id(request)) not in covered
+        ]
+        self.cluster.metrics.increment("chain-fanouts", len(out))
+        return out
+
+    # -- read routing (dead primary only) -----------------------------------
+
+    def route_read(self, request):
+        """Reroute a read whose primary is down to a surviving successor.
+
+        Zero-downtime reads: while a crashed primary awaits promotion
+        (triggered by the next mutation's retry path), pulls and
+        aggregates are served by the nearest ring successor holding a
+        valid copy — no detection timeout, no retry storm.  A read of a
+        row the copy lacks (and any ``pull_or_create`` of an unseen id)
+        still goes to the primary and triggers its recovery: only a
+        primary may create rows.  Healthy primaries are never bypassed,
+        so steady-state routing is untouched.
+        """
+        if not self.links or request.replica_of is not None \
+                or not isinstance(request, CHAIN_READ_TYPES):
+            return request
+        primary_index = request.server_index
+        key = (request.matrix_id, primary_index)
+        targets = self.links.get(key)
+        if not targets:
+            return request
+        primary = self.master.server(primary_index)
+        if primary.is_alive():
+            return request
+        ring = max(1, self.master.n_servers)
+        for succ in sorted(targets,
+                           key=lambda s: (s - primary_index) % ring):
+            if targets[succ] != primary.epoch:
+                continue
+            holder = self.master.server(succ)
+            if not holder.alive:
+                continue
+            entry = holder.replica_store.get(key)
+            if entry is None or entry.install_epoch != primary.epoch:
+                continue
+            row = getattr(request, "row", None)
+            if row is not None and int(row) not in entry.rows:
+                continue
+            request.server_index = succ
+            request.replica_of = primary_index
+            self.cluster.metrics.increment("chain-reads")
+            break
+        return request
+
+    # -- promotion ----------------------------------------------------------
+
+    def promote_into(self, replacement, server_index, failed_epoch):
+        """Rebuild a failed primary's matrices from its chain successors.
+
+        For every (matrix, failed-primary) key, the surviving successors
+        whose copies were installed at the dead process's epoch are
+        merged per-row (:func:`merge_chain_copies` — each row from the
+        most-advanced holder) and the result installed into
+        *replacement* with the winning counters, priced as one
+        :class:`~repro.ps.messages.ChainPromoteRequest` round trip per
+        contributing holder.  Returns ``{matrix_id: rows_promoted}``;
+        keys with no surviving valid holder are left out and the caller
+        falls back to checkpoint restore for them.
+        """
+        server_index = int(server_index)
+        promoted = {}
+        sources = set()
+        network = self.cluster.network
+        for key in sorted(k for k in self.links if k[1] == server_index):
+            matrix_id = key[0]
+            copies = {}
+            for succ in sorted(self.links[key]):
+                if self.links[key][succ] != failed_epoch:
+                    continue
+                holder = self.master.server(succ)
+                if not holder.is_alive():
+                    continue
+                entry = holder.replica_store.get(key)
+                if entry is None or entry.install_epoch != failed_epoch:
+                    continue
+                copies[succ] = (entry.rows, {
+                    row: entry.versions.get((matrix_id, row), 0)
+                    for row in entry.rows
+                })
+            if not copies:
+                continue
+            rows, counters, origin = merge_chain_copies(copies)
+            contributed = {}
+            for row, holder_index in origin.items():
+                contributed.setdefault(holder_index, []).append(row)
+            for holder_index in sorted(contributed):
+                holder = self.master.server(holder_index)
+                rows_here = contributed[holder_index]
+                n_values = sum(len(rows[row]) for row in rows_here)
+                message = messages.ChainPromoteRequest(
+                    holder_index, matrix_id, server_index, failed_epoch,
+                    len(rows_here), self._priced_value_bytes(n_values),
+                    len(rows_here),
+                )
+                network.transfer(replacement.node_id, holder.node_id,
+                                 message.wire_bytes(), tag="chain-promote")
+                network.transfer(holder.node_id, replacement.node_id,
+                                 message.response_bytes(),
+                                 tag="chain-promote")
+                sources.add(holder_index)
+            store_rows = {}
+            for row in sorted(rows):
+                shard = rows[row]
+                store_rows[row] = RowShard(shard.start, shard.stop,
+                                           shard.values.copy())
+            replacement._store[matrix_id] = store_rows
+            for row in sorted(counters):
+                if counters[row]:
+                    replacement.versions[(matrix_id, row)] = counters[row]
+            promoted[matrix_id] = len(store_rows)
+            self.cluster.metrics.increment("chain-promoted-keys")
+        if promoted:
+            self.cluster.metrics.increment("chain-promotions")
+            self.promotions.append((
+                self.cluster.clock.global_time(), server_index,
+                sorted(sources), sorted(promoted),
+            ))
+        return promoted
+
+    # -- lifecycle hooks ----------------------------------------------------
+
+    def on_matrix_created(self, matrix_id):
+        """Form the chain for a freshly allocated matrix."""
+        for server_index in range(self.master.n_servers):
+            if self.master.server(server_index)._store.get(matrix_id):
+                self.sync_key(matrix_id, server_index)
+
+    def on_matrix_freed(self, matrix_id):
+        """Forget chain metadata for a freed matrix (the servers already
+        purged their stores and replica entries in ``drop_matrix``)."""
+        for key in sorted(k for k in self.links if k[0] == matrix_id):
+            del self.links[key]
+
+    def on_row_created(self, matrix_id, row, server_index):
+        """Stream one freshly created lazy row to the chain successors.
+
+        Chains grow with the table: the first created row of a (matrix,
+        primary) key forms its chain entry, later rows ride as one-row
+        incremental syncs into the existing copies; a stale or
+        mismatched chain falls back to a full key re-stream.
+        """
+        key = (matrix_id, int(server_index))
+        primary = self.master.server(server_index)
+        successors = self.successors(server_index)
+        if not successors:
+            return
+        targets = self.links.get(key)
+        if targets is None or sorted(targets) != successors or any(
+                targets[s] != primary.epoch for s in targets):
+            self.sync_key(matrix_id, server_index)
+            return
+        row = int(row)
+        try:
+            shard = primary.matrix_rows(matrix_id)[row]
+        except (MatrixNotFoundError, KeyError):
+            return
+        row_key = (matrix_id, row)
+        counter = primary.versions.get(row_key, 0)
+        value_bytes = self._priced_value_bytes(len(shard))
+        synced = 0
+        for succ in successors:
+            holder = self.master.server(succ)
+            entry = holder.replica_store.get(key)
+            if not holder.alive or entry is None \
+                    or entry.install_epoch != primary.epoch:
+                self.sync_key(matrix_id, server_index)
+                return
+            message = messages.ChainSyncRequest(
+                succ, matrix_id, server_index, primary.epoch, 1, value_bytes,
+                1,
+            )
+            self.cluster.network.transfer(
+                primary.node_id, holder.node_id, message.wire_bytes(),
+                tag="chain-sync",
+            )
+            entry.rows[row] = RowShard(shard.start, shard.stop,
+                                       shard.values.copy())
+            if counter:
+                entry.versions[row_key] = counter
+            synced += 1
+        if synced:
+            self.cluster.metrics.increment("chain-row-syncs", synced)
+
+    def on_direct_write(self, matrix_id, server_index):
+        """Re-stream a key mutated outside the dispatch/fan-out path.
+
+        Unlike hot-key replicas — an optimization that simply demotes —
+        chain copies are the durability story and must *follow* direct
+        writes (realignment, recovery tooling): the key is re-streamed
+        wholesale so the successors converge on the new state.
+        """
+        key = (matrix_id, int(server_index))
+        if key in self.links:
+            self.sync_key(matrix_id, server_index)
+            self.cluster.metrics.increment("chain-direct-write-resyncs")
+
+    def on_server_recovered(self, server_index):
+        """Re-establish the chain topology after a recovery, both ways.
+
+        Keys whose primary is the recovered server are re-streamed to
+        their successors at the replacement's fresh epoch — a full copy,
+        not an epoch re-stamp, because a copy that fenced out fan-outs
+        during the crash window lags the promoted state.  Keys the
+        recovered server serves as successor for are re-installed onto
+        it from their live primaries (the crash wiped its replica
+        store).
+        """
+        server_index = int(server_index)
+        self.resync_primary(server_index)
+        for key in sorted(
+            k for k in self.links
+            if k[1] != server_index and server_index in self.links[k]
+        ):
+            self._install(key, server_index)
+
+    def on_topology_resized(self):
+        """Tear every chain down ahead of an elastic resize.
+
+        The shard map is about to be rewritten wholesale, so every
+        installed copy is retired (while its holder is still
+        addressable) and the link map cleared; a crash during the
+        migration itself therefore falls back to checkpoint restore, and
+        :meth:`reform` rebuilds the chains from the post-migration
+        stores.
+        """
+        for key in sorted(self.links):
+            for holder in sorted(self.links[key]):
+                self._drop_holder(key, holder)
+
+    def reform(self):
+        """Form chains over the current topology and stores."""
+        for server_index in range(self.master.n_servers):
+            self.resync_primary(server_index)
+        self.cluster.metrics.increment("chain-reforms")

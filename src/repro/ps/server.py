@@ -175,6 +175,11 @@ class PSServer:
             manager = getattr(self.cluster, "replication", None)
             if manager is not None:
                 manager.on_direct_write(matrix_id, self.server_index)
+            # Chain copies follow direct writes instead of demoting —
+            # they are the durability story, not an optimization.
+            chain = getattr(self.cluster, "chain", None)
+            if chain is not None:
+                chain.on_direct_write(matrix_id, self.server_index)
 
     def _bump_version(self, matrix_id, row):
         key = (matrix_id, int(row))
@@ -331,6 +336,12 @@ class PSServer:
         self._check_alive()
         matrix_id = request.matrix_id
         row = request.row
+        if self._is_replica_read(request):
+            # A chain successor standing in for a crashed primary: the
+            # router only retargets when the copy already holds the row,
+            # so this is a pure read — creation stays the primary's job.
+            values = self.replica_read(matrix_id, request.replica_of, row)
+            return values, False
         created = not self.has_shard(matrix_id, row)
         if created:
             rng = generator(self.cluster.rng.seed,
@@ -347,6 +358,12 @@ class PSServer:
             manager = getattr(self.cluster, "replication", None)
             if manager is not None:
                 manager.on_direct_write(matrix_id, self.server_index)
+            # The chain, by contrast, grows with the table: stream the
+            # new row to the successors so a crash right after creation
+            # still promotes a bit-identical vector.
+            chain = getattr(self.cluster, "chain", None)
+            if chain is not None:
+                chain.on_row_created(matrix_id, row, self.server_index)
         values = self.read(matrix_id, row)
         return values, created
 
@@ -411,13 +428,15 @@ class PSServer:
         bit-identical to per-sub dispatch.  Returns ``None`` to fall back
         whenever any per-sub observable could differ: span tracing (spans
         nest per sub), pending scheduled crashes (a crash may fire
-        mid-batch), a replication manager (replica reads/demotions), a dead
+        mid-batch), a replication manager (replica reads/demotions), a
+        chain replicator (write fan-out and dead-primary reads), a dead
         server, or a mixed batch.
         """
         cluster = self.cluster
         if not self.alive or cluster.tracer.enabled \
                 or cluster.failures.has_pending_server_failures() \
                 or getattr(cluster, "replication", None) is not None \
+                or getattr(cluster, "chain", None) is not None \
                 or getattr(cluster, "costmodel", None) is not None:
             return None
         first = subs[0]
@@ -896,6 +915,12 @@ class PSServer:
             matrix_id: _copy_rows(rows)
             for matrix_id, rows in snapshot.items()
         }
+        self.alive = True
+
+    def restore_matrix(self, matrix_id, rows):
+        """Install one matrix's snapshot rows (deep-copied in), leaving
+        the rest of the store — e.g. chain-promoted matrices — alone."""
+        self._store[matrix_id] = _copy_rows(rows)
         self.alive = True
 
 

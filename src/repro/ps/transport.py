@@ -187,16 +187,20 @@ class Transport:
             for request in requests:
                 costmodel.prepare(request, self.node_id)
         manager = getattr(self.cluster, "replication", None)
+        chain = getattr(self.cluster, "chain", None)
         outgoing = None
         bulk_cache = None
-        if manager is not None:
+        if manager is not None or chain is not None:
             for request in requests:
                 if request.replica_of is not None:
                     # A pooled request retargeted on an earlier call:
                     # restore the primary before routing afresh.
                     request.server_index = request.replica_of
                     request.replica_of = None
-                manager.route_read(request)
+                if manager is not None:
+                    manager.route_read(request)
+                if chain is not None and request.replica_of is None:
+                    chain.route_read(request)
         elif pooled:
             plans = self.master.fanout_group_plans
             key = (id(requests), self.coalesce)
@@ -218,7 +222,7 @@ class Transport:
                 else:
                     for p in positions:
                         outgoing.append((requests[p], [p]))
-            if pooled and manager is None:
+            if pooled and manager is None and chain is None:
                 plans = self.master.fanout_group_plans
                 if len(plans) >= 64:
                     plans.clear()
@@ -252,21 +256,43 @@ class Transport:
     # -- replication hooks -------------------------------------------------
 
     def _route(self, request):
-        """Offer one read to the replication manager's replica router."""
+        """Offer one read to the replica routers (hot-key, then chain).
+
+        The chain router only retargets reads whose primary is down, and
+        only when the hot-key router left the request on its primary —
+        a request already rerouted to a live hot replica needs no
+        stand-in.
+        """
         manager = getattr(self.cluster, "replication", None)
+        chain = getattr(self.cluster, "chain", None)
+        if manager is None and chain is None:
+            return request
+        if request.replica_of is not None:
+            request.server_index = request.replica_of
+            request.replica_of = None
         if manager is not None:
-            if request.replica_of is not None:
-                request.server_index = request.replica_of
-                request.replica_of = None
             manager.route_read(request)
+        if chain is not None and request.replica_of is None:
+            chain.route_read(request)
         return request
 
     def _fan_out(self, requests):
-        """Replica fan-out messages for the mutations in *requests*."""
+        """Replica fan-out messages for the mutations in *requests*.
+
+        Hot-key fan-outs are built first; the chain replicator then skips
+        ``(holder, original)`` pairs already covered, so a server holding
+        a key both as hot replica and chain successor gets one copy.
+        """
         manager = getattr(self.cluster, "replication", None)
-        if manager is None:
-            return []
-        return manager.fan_out_messages(requests)
+        chain = getattr(self.cluster, "chain", None)
+        extras = [] if manager is None else manager.fan_out_messages(requests)
+        if chain is not None:
+            covered = {
+                (message.server_index, id(message.inner))
+                for message in extras
+            }
+            extras = extras + chain.fan_out_messages(requests, covered)
+        return extras
 
     def _send_fanout(self, extras):
         """Ship replica fan-out messages (all fire-and-forget).
@@ -311,6 +337,10 @@ class Transport:
         if failures.has_partitions() or failures.has_pending_server_failures():
             return False
         if getattr(cluster, "replication", None) is not None:
+            return False
+        # The chain replicator fans every mutation out and may retarget
+        # reads of a dead primary; both need per-message dispatch.
+        if getattr(cluster, "chain", None) is not None:
             return False
         # The bulk path reads the _wb/_rb memo slots directly; a cost model
         # may attach codecs that re-price messages, so it keeps the

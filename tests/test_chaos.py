@@ -563,3 +563,146 @@ def test_backlog_pushes_transfer_past_healed_window():
     recv_done = network.transfer(src, dst, 100, deliver=False)
     assert recv_done > depart
     assert cluster.metrics.counters.get("partition-drops", 0) == 0
+
+
+# -- chain replication under failures ----------------------------------------
+
+
+def _chain_stream(crash):
+    """A read-only serving stream over a lazy table with ``chain_replicas=1``.
+
+    Phase A materializes rows, then (*crash* only) the middle server dies;
+    phase B reads a pre-crash row owned by the dead server — served by its
+    chain successor with no recovery; phase C streams brand-new ids, the
+    first of which to land on the dead server triggers recover + promotion.
+    Returns the final pulled vectors so the crashed run can be compared
+    bit-for-bit against its uncrashed twin.
+    """
+    ctx = make_context(n_executors=2, n_servers=3, seed=13, chain_replicas=1)
+    cluster = ctx.cluster
+    metrics = cluster.metrics
+    table = ctx.master.create_table(8, name="serve")
+    clients = [ctx.client_for(node) for node in cluster.executors]
+    ids = np.random.default_rng(7).integers(0, 48, size=(30, 2))
+    served = 0
+    for step, request_ids in enumerate(ids):
+        clients[step % 2].pull_or_create(table, [int(i) for i in request_ids])
+        served += 1
+    layout = ctx.master.layout(table)
+    created = sorted(ctx.master.info(table).created_rows)
+    victim_row = next(r for r in created
+                      if layout.shards_for_row(r)[0][0] == 1)
+    if crash:
+        ctx.master.servers[1].crash()
+        # Zero-downtime read: the successor serves the copy, no recovery.
+        clients[0].pull_or_create(table, [victim_row])
+        assert metrics.counters.get("chain-reads", 0) >= 1
+        assert metrics.counters.get("server-recoveries", 0) == 0
+    else:
+        clients[0].pull_or_create(table, [victim_row])
+    fresh = np.random.default_rng(11).integers(48, 96, size=(30, 2))
+    for step, request_ids in enumerate(fresh):
+        clients[step % 2].pull_or_create(table, [int(i) for i in request_ids])
+        served += 1
+    rows = sorted(ctx.master.info(table).created_rows)
+    vectors = clients[0].pull_or_create(table, rows)
+    return ctx, served, rows, vectors
+
+
+def test_chain_serving_crash_promotes_with_zero_drops():
+    """Tentpole acceptance: a mid-stream crash under chain replication
+    drops zero requests, recovers by successor promotion (never the
+    checkpoint path — none exists), and every lazy-init vector the stream
+    created reads back bit-identical to the uncrashed twin run."""
+    ctx, served, rows, vectors = _chain_stream(crash=True)
+    ctx_twin, served_twin, rows_twin, vectors_twin = _chain_stream(crash=False)
+    metrics = ctx.metrics
+    assert served == served_twin == 60
+    # No request was dropped: every client op completed (retries included).
+    assert metrics.counters.get("client-dropped-ops", 0) == 0
+    # Recovery went through promotion, not checkpoint fallback.
+    assert metrics.counters["chain-promotions"] >= 1
+    assert metrics.counters.get("chain-fallbacks", 0) == 0
+    assert ctx.master.checkpoints.recoveries == 0
+    assert metrics.counters["server-recoveries"] == 1
+    assert metrics.bytes_for_tag("chain-promote") > 0
+    # Post-crash state is bit-identical to the run where nothing died.
+    assert rows == rows_twin
+    assert np.array_equal(vectors, vectors_twin)
+    # The uncrashed twin never touched any failure machinery.
+    assert "server-recoveries" not in ctx_twin.metrics.counters
+    assert "chain-reads" not in ctx_twin.metrics.counters
+
+
+def test_chain_serving_crash_is_deterministic():
+    ctx_a, _served_a, rows_a, vectors_a = _chain_stream(crash=True)
+    ctx_b, _served_b, rows_b, vectors_b = _chain_stream(crash=True)
+    assert rows_a == rows_b
+    assert np.array_equal(vectors_a, vectors_b)
+    assert ctx_a.elapsed() == ctx_b.elapsed()
+    assert ctx_a.metrics.counters == ctx_b.metrics.counters
+
+
+def test_chain_double_crash_falls_back_to_checkpoint():
+    """Primary AND its only successor die: promotion finds no valid holder
+    and recovery falls back to the checkpoint — rolling back the
+    post-checkpoint delta on the doubly-lost shard only.  Shards whose
+    chain survived keep the delta, and the successor's later recovery goes
+    through promotion as usual."""
+    ctx = make_context(n_executors=2, n_servers=3, seed=17, chain_replicas=1)
+    ctx.cluster.tracer.enable()  # retry/recovery spans recorded too
+    client = ctx.client_for(ctx.cluster.executors[0])
+    m = ctx.master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    ctx.master.checkpoint_all()
+    client.push_add(m, 0, np.ones(30))  # post-checkpoint, unsnapshotted
+    ctx.master.servers[0].crash()
+    ctx.master.servers[1].crash()  # successor of 0: every holder now dead
+    pulled = client.pull_row(m, 0)
+    for server_index, start, stop in ctx.master.layout(m).shards_for_row(0):
+        base = np.arange(30.0)[start:stop]
+        if server_index == 0:
+            # All M+1 holders died: checkpoint restore, delta rolled back.
+            assert np.allclose(pulled[start:stop], base)
+        else:
+            # Server 1's shard is served by ITS surviving successor (or
+            # its own store): the delta outlived the double crash.
+            assert np.allclose(pulled[start:stop], base + 1.0)
+    assert ctx.metrics.counters["chain-fallbacks"] == 1
+    assert ctx.master.checkpoints.recoveries == 1
+    # A mutation wakes the dead successor: ITS chain survived on server 2,
+    # so this recovery is a promotion — no second fallback.
+    client.push_add(m, 0, np.ones(30))
+    assert ctx.metrics.counters["chain-promotions"] >= 1
+    assert ctx.metrics.counters["chain-fallbacks"] == 1
+    pulled = client.pull_row(m, 0)
+    for server_index, start, stop in ctx.master.layout(m).shards_for_row(0):
+        base = np.arange(30.0)[start:stop]
+        expected = base + (1.0 if server_index == 0 else 2.0)
+        assert np.allclose(pulled[start:stop], expected)
+
+
+def test_chain_crash_during_resize_reforms():
+    """A server dying mid-migration, after the resize tore the chains down
+    but before they re-formed: the in-place recovery cannot promote (no
+    links exist) and takes the checkpoint path; the sweep completes and
+    the chain re-forms over the new topology."""
+    ctx = make_context(n_executors=2, n_servers=3, seed=19, chain_replicas=1)
+    client = ctx.client_for(ctx.cluster.executors[0])
+    m = ctx.master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    ctx.master.checkpoint_all()
+    assert ctx.cluster.chain.links
+    ctx.master.servers[1].crash()  # dead when the migration reads it
+    ctx.master.resize_servers(4)
+    assert ctx.metrics.counters["server-recoveries"] == 1
+    assert ctx.metrics.counters["chain-fallbacks"] >= 1
+    assert "chain-promotions" not in ctx.metrics.counters
+    assert ctx.metrics.counters["chain-reforms"] == 1
+    # The chain map re-formed against the post-resize ring.
+    chain = ctx.cluster.chain
+    assert chain.links
+    for (_matrix_id, primary), holders in chain.links.items():
+        assert sorted(holders) == chain.successors(primary)
+        assert chain.key_lag(_matrix_id, primary) == 0
+    assert np.allclose(client.pull_row(m, 0), np.arange(30.0))

@@ -495,3 +495,54 @@ def test_autoscaler_idle_band_is_a_no_op():
     assert scaler.maybe_scale(0.0) is None
     assert scaler.events == []
     assert scaler._last_action is None
+
+
+# -- scale-down drain accounting ----------------------------------------------
+
+
+def test_scale_down_charges_departing_drain():
+    """Regression: a departing server whose NIC queue (or CPU) is still
+    booked out must be drained — its clock pinned to the later of its last
+    completion and both NIC horizons — BEFORE its shards migrate, so the
+    migration reads state the server had actually finished producing.
+    Previously the migration read the doomed server at its stale clock and
+    the backlog's time vanished from the makespan."""
+    ctx = _ctx(n_servers=3)
+    m, client = _dense_with_values(ctx)
+    network = ctx.cluster.network
+    doomed = ctx.cluster.servers[2]
+    while network.nic_horizon(doomed)[0] < 5e-3:
+        network.transfer(doomed, ctx.cluster.servers[0], 200_000,
+                         deliver=False)
+    backlog_horizon = network.nic_horizon(doomed)[0]
+    assert ctx.cluster.clock.now(doomed) < backlog_horizon
+    ctx.master.resize_servers(2)
+    assert ctx.metrics.counters["elastic-drains"] == 1
+    drained = ctx.metrics.latency["elastic-drain"].summary()
+    assert drained["max"] > 0.0
+    # The departing clock was pinned to its booked horizon, and the whole
+    # run's makespan now covers the drained backlog.
+    assert ctx.cluster.clock.now(doomed) >= backlog_horizon
+    assert ctx.cluster.elapsed() >= backlog_horizon
+    # Values still migrated intact.
+    assert np.allclose(client.pull_row(m, 0), np.arange(30.0))
+    assert np.allclose(client.pull_row(m, 1), np.arange(30.0) * 2.0)
+
+
+def test_scale_down_idle_departure_charges_no_drain():
+    """A departing server with nothing in flight has nothing to drain:
+    no counter, no histogram, identical behaviour to the pre-fix path."""
+    ctx = _ctx(n_servers=3)
+    m, client = _dense_with_values(ctx)
+    ctx.cluster.barrier()  # everyone caught up: no booked horizons ahead
+    ctx.master.resize_servers(2)
+    assert "elastic-drains" not in ctx.metrics.counters
+    assert "elastic-drain" not in ctx.metrics.latency
+    assert np.allclose(client.pull_row(m, 0), np.arange(30.0))
+
+
+def test_scale_up_never_drains():
+    ctx = _ctx(n_servers=2)
+    _dense_with_values(ctx)
+    ctx.master.resize_servers(4)
+    assert "elastic-drains" not in ctx.metrics.counters

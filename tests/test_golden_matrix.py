@@ -34,7 +34,8 @@ GOLDEN_BSP_HASH = \
 
 
 def _run(consistency, staleness, coalesce, replication,
-         timeseries_window=0.0, trace=False, wire_codec="off"):
+         timeseries_window=0.0, trace=False, wire_codec="off",
+         chain_replicas=0):
     ctx = make_context(
         n_executors=2, n_servers=3, seed=11,
         coalesce_requests=coalesce,
@@ -43,6 +44,7 @@ def _run(consistency, staleness, coalesce, replication,
         replication_factor=2,
         timeseries_window=timeseries_window,
         wire_codec=wire_codec,
+        chain_replicas=chain_replicas,
     )
     if trace:
         ctx.cluster.tracer.enable()
@@ -185,3 +187,49 @@ def test_observability_never_perturbs_the_golden_cell():
     # the instrumentation actually ran: spans recorded, windows closed
     assert len(ctx.cluster.tracer) > 0
     assert ctx.cluster.timeseries.finalize()
+
+
+@pytest.mark.parametrize("consistency,staleness", [("bsp", 0), ("ssp", 1)])
+@pytest.mark.parametrize("chain", [0, 1, 2])
+def test_chain_cell_is_bit_identical_across_runs(consistency, staleness,
+                                                 chain):
+    """The chain-replication axis of the matrix: {off, M=1, M=2} cells are
+    each a pure function of the seed, and the off cell is byte-oblivious
+    to the feature existing (no chain object, no chain wire tags)."""
+    losses_a, weights_a, ctx_a = _run(consistency, staleness, True, "off",
+                                      chain_replicas=chain)
+    losses_b, weights_b, ctx_b = _run(consistency, staleness, True, "off",
+                                      chain_replicas=chain)
+    assert losses_a == losses_b
+    assert np.array_equal(weights_a, weights_b)
+    assert ctx_a.elapsed() == ctx_b.elapsed()
+    assert ctx_a.metrics.total_bytes() == ctx_b.metrics.total_bytes()
+    if chain == 0:
+        assert ctx_a.cluster.chain is None
+        assert not any("chain" in tag for tag in ctx_a.metrics.bytes_by_tag)
+        assert "chain-syncs" not in ctx_a.metrics.counters
+        if consistency == "bsp":
+            assert _loss_hash(losses_a) == GOLDEN_BSP_HASH
+    else:
+        # The knob is live: every primary carries M fenced chain copies
+        # and every applied write fanned out to them.
+        assert ctx_a.cluster.chain is not None
+        assert ctx_a.metrics.counters["chain-syncs"] > 0
+        assert ctx_a.metrics.counters["chain-fanouts"] > 0
+        assert ctx_a.metrics.bytes_for_tag("chain-sync") > 0
+        assert (ctx_a.metrics.counters["chain-fanouts"]
+                == ctx_b.metrics.counters["chain-fanouts"])
+        for key, holders in ctx_a.cluster.chain.links.items():
+            assert len(holders) == min(chain, ctx_a.master.n_servers - 1)
+            assert ctx_a.cluster.chain.key_lag(*key) == 0
+
+
+@pytest.mark.parametrize("consistency,staleness", [("bsp", 0), ("ssp", 1)])
+@pytest.mark.parametrize("chain", [1, 2])
+def test_chain_never_changes_the_losses(consistency, staleness, chain):
+    """Chain replication moves bytes, not floats: with no failures the
+    chained cells produce the exact loss history of the plain cell."""
+    losses_off, _w, _ctx = _run(consistency, staleness, True, "off")
+    losses_on, _w, _ctx = _run(consistency, staleness, True, "off",
+                               chain_replicas=chain)
+    assert losses_on == losses_off

@@ -299,3 +299,136 @@ def test_replication_table_renders_map_and_counters():
     assert "1,2" in text  # the replica set of (m, 0)
     assert "promotions=2" in text
     assert "fan-outs=2" in text
+
+
+# -- chain replication: unit coverage -----------------------------------------
+# (the chaos suite covers crash/promotion end to end; these pin the
+# introspection, lifecycle and failure edges of the ChainReplicator)
+
+
+def _chain_rig(**overrides):
+    from repro.config import FailureConfig  # noqa: F401 (rig callers)
+
+    settings = dict(n_executors=2, n_servers=3, seed=42, chain_replicas=1)
+    settings.update(overrides)
+    cluster = Cluster(ClusterConfig(**settings))
+    master = PSMaster(cluster)
+    client = PSClient(cluster, master, cluster.executors[0])
+    return cluster, master, client
+
+
+def test_chain_claims_and_lag_introspection():
+    cluster, master, client = _chain_rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    chain = cluster.chain
+    assert chain.claims(m, 0, 1)
+    assert not chain.claims(m, 0, 2)
+    assert chain.key_lag(m, 0) == 0
+    # A dead holder's copy is not consultable: it contributes no lag.
+    master.servers[1].crash()
+    assert chain.key_lag(m, 0) == 0
+
+
+def test_chain_free_matrix_retires_links():
+    cluster, master, client = _chain_rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    assert any(key[0] == m for key in cluster.chain.links)
+    master.free_matrix(m)
+    assert not any(key[0] == m for key in cluster.chain.links)
+
+
+def test_chain_direct_write_resyncs_successors():
+    """A depth-0 storage write bypassed the fan-out: the whole key is
+    re-streamed so the chain converges on the new state."""
+    cluster, master, client = _chain_rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    master.server(0).add(m, 0, np.ones(10))
+    assert cluster.metrics.counters["chain-direct-write-resyncs"] == 1
+    assert cluster.chain.key_lag(m, 0) == 0
+    entry = master.server(1).replica_store[(m, 0)]
+    assert np.array_equal(entry.rows[0].values,
+                          master.server(0)._store[m][0].values)
+
+
+def test_chain_repair_resyncs_live_server():
+    cluster, master, client = _chain_rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    master.repair(0)
+    assert cluster.metrics.counters["server-repairs"] == 1
+    assert cluster.chain.key_lag(m, 0) == 0
+
+
+def test_chain_install_drops_link_when_holder_crashes():
+    """A successor that dies between the ring walk and the install (its
+    scheduled crash applies at first contact) must not keep a link."""
+    from repro.config import FailureConfig
+
+    cluster, master, client = _chain_rig(
+        failures=FailureConfig(server_failure_times=((1, 10.0),)))
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    assert cluster.chain.claims(m, 0, 1)
+    # The holder sails past its scheduled crash time; the ring walk still
+    # sees ``alive`` (the failure applies at first contact) so the next
+    # install hits the corpse and must clean up the link.
+    cluster.clock.set_at_least(master.server(1).node_id, 11.0)
+    cluster.chain.sync_key(m, 0)
+    assert not master.server(1).alive
+    assert not cluster.chain.claims(m, 0, 1)
+    assert (m, 0) not in cluster.chain.links
+
+
+def test_chain_row_create_falls_back_when_holder_dead():
+    """Incremental row sync requires a valid live holder; otherwise the
+    creation falls back to a full re-sync against the current ring."""
+    cluster, master, client = _chain_rig()
+    table = master.create_table(6)
+    client.pull_or_create(table, list(range(6)))
+    layout = master.layout(table)
+    owner = layout.shards_for_row(0)[0][0]
+    succ = cluster.chain.successors(owner)[0]
+    master.servers[succ].crash()
+    fresh = next(row for row in range(6, 24)
+                 if layout.shards_for_row(row)[0][0] == owner)
+    client.pull_or_create(table, [fresh])
+    holders = cluster.chain.links.get((table, owner), {})
+    assert holders and succ not in holders
+    assert all(master.servers[h].alive for h in holders)
+
+
+def test_chain_sync_bytes_priced_through_cost_model():
+    """Chain-sync value bytes compress exactly like replication fan-out
+    reads under a forced codec — never identity-rate floats."""
+    identity_cluster, identity_master, identity_client = _chain_rig()
+    coded_cluster, coded_master, coded_client = _chain_rig(wire_codec="fp16")
+    for master, client in ((identity_master, identity_client),
+                           (coded_master, coded_client)):
+        m = master.create_matrix(64)
+        client.push_assign(m, 0, np.arange(64.0))
+    identity_bytes = identity_cluster.metrics.bytes_for_tag("chain-sync")
+    coded_bytes = coded_cluster.metrics.bytes_for_tag("chain-sync")
+    assert 0 < coded_bytes < identity_bytes
+    assert coded_cluster.costmodel.priced_chain_value_bytes(64) == \
+        64 * messages.FLOAT_BYTES // 4
+    assert coded_cluster.costmodel.priced_chain_value_bytes(0) == 0
+
+
+def test_chain_report_renders_map_and_promotions():
+    from repro.obs.report import chain_table
+
+    cluster, master, client = _chain_rig()
+    m = master.create_matrix(30)
+    client.push_assign(m, 0, np.arange(30.0))
+    master.servers[0].crash()
+    client.push_add(m, 0, np.ones(30))  # recover via promotion
+    text = chain_table(cluster)
+    assert "successors per primary: 1" in text
+    assert "promotions=1" in text
+    assert "sync bytes=" in text
+    # Off mode renders the placeholder and nothing else.
+    off_cluster, _m, _c = _rig(replication="off")
+    assert "off" in chain_table(off_cluster)
